@@ -1,0 +1,206 @@
+//! Shared working context for the anonymization algorithms: closures as
+//! per-attribute node vectors, incremental joins, and cluster costs
+//! `d(S) = c(closure(S))` (Eq. 7) backed by a precomputed
+//! [`NodeCostTable`].
+
+use kanon_core::hierarchy::NodeId;
+use kanon_core::record::GeneralizedRecord;
+use kanon_core::table::Table;
+use kanon_measures::NodeCostTable;
+
+/// Borrowed bundle of everything the algorithms need to evaluate cluster
+/// costs: the original table (for record values), its schema, and the
+/// measure's node costs.
+#[derive(Clone, Copy)]
+pub struct CostContext<'a> {
+    /// The original table `D`.
+    pub table: &'a Table,
+    /// Precomputed per-node measure costs over `D`.
+    pub costs: &'a NodeCostTable,
+}
+
+impl<'a> CostContext<'a> {
+    /// Creates a context. The cost table must have been computed over a
+    /// table with the same schema (same attribute count is asserted).
+    pub fn new(table: &'a Table, costs: &'a NodeCostTable) -> Self {
+        assert_eq!(
+            table.num_attrs(),
+            costs.num_attrs(),
+            "cost table and table disagree on attribute count"
+        );
+        CostContext { table, costs }
+    }
+
+    /// Number of attributes `r`.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.table.num_attrs()
+    }
+
+    /// Number of records `n`.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.table.num_rows()
+    }
+
+    /// Leaf nodes of a row (the closure of a singleton cluster).
+    pub fn leaf_nodes(&self, row: usize) -> Vec<NodeId> {
+        let schema = self.table.schema();
+        let rec = self.table.row(row);
+        (0..self.num_attrs())
+            .map(|j| schema.attr(j).hierarchy().leaf(rec.get(j)))
+            .collect()
+    }
+
+    /// Joins row `row` into the closure `acc` in place.
+    pub fn join_row_into(&self, acc: &mut [NodeId], row: usize) {
+        let schema = self.table.schema();
+        let rec = self.table.row(row);
+        for (j, slot) in acc.iter_mut().enumerate() {
+            let h = schema.attr(j).hierarchy();
+            *slot = h.join(*slot, h.leaf(rec.get(j)));
+        }
+    }
+
+    /// Joins closure `other` into `acc` in place.
+    pub fn join_nodes_into(&self, acc: &mut [NodeId], other: &[NodeId]) {
+        let schema = self.table.schema();
+        for (j, slot) in acc.iter_mut().enumerate() {
+            *slot = schema.attr(j).hierarchy().join(*slot, other[j]);
+        }
+    }
+
+    /// Cost of a closure: `d(S) = c(closure(S))`.
+    #[inline]
+    pub fn cost(&self, nodes: &[NodeId]) -> f64 {
+        self.costs.nodes_cost(nodes)
+    }
+
+    /// Cost of the join of two closures without materializing it.
+    pub fn join_cost(&self, a: &[NodeId], b: &[NodeId]) -> f64 {
+        let schema = self.table.schema();
+        let mut sum = 0.0;
+        for (j, (&na, &nb)) in a.iter().zip(b).enumerate() {
+            let h = schema.attr(j).hierarchy();
+            sum += self.costs.entry_cost(j, h.join(na, nb));
+        }
+        sum / self.num_attrs() as f64
+    }
+
+    /// Cost of the join of a closure with one row without materializing it.
+    pub fn join_row_cost(&self, a: &[NodeId], row: usize) -> f64 {
+        let schema = self.table.schema();
+        let rec = self.table.row(row);
+        let mut sum = 0.0;
+        for (j, &na) in a.iter().enumerate() {
+            let h = schema.attr(j).hierarchy();
+            sum += self.costs.entry_cost(j, h.join(na, h.leaf(rec.get(j))));
+        }
+        sum / self.num_attrs() as f64
+    }
+
+    /// Pairwise record cost `d({R_i, R_j})` — the edge weight used by
+    /// Algorithm 3 and the forest baseline.
+    pub fn pair_cost(&self, i: usize, j: usize) -> f64 {
+        let schema = self.table.schema();
+        let (ri, rj) = (self.table.row(i), self.table.row(j));
+        let mut sum = 0.0;
+        for a in 0..self.num_attrs() {
+            let h = schema.attr(a).hierarchy();
+            let n = h.join(h.leaf(ri.get(a)), h.leaf(rj.get(a)));
+            sum += self.costs.entry_cost(a, n);
+        }
+        sum / self.num_attrs() as f64
+    }
+
+    /// Closure of an explicit row set (panics on empty input).
+    pub fn closure_of(&self, rows: &[u32]) -> Vec<NodeId> {
+        let mut acc = self.leaf_nodes(rows[0] as usize);
+        for &row in &rows[1..] {
+            self.join_row_into(&mut acc, row as usize);
+        }
+        acc
+    }
+
+    /// Wraps a closure node vector into a [`GeneralizedRecord`].
+    pub fn to_record(&self, nodes: &[NodeId]) -> GeneralizedRecord {
+        GeneralizedRecord::new(nodes.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::record::Record;
+    use kanon_core::schema::SchemaBuilder;
+    use kanon_measures::LmMeasure;
+    use std::sync::Arc;
+
+    fn setup() -> (Table, NodeCostTable) {
+        let s = SchemaBuilder::new()
+            .categorical_with_groups("c", ["a", "b", "c", "d"], &[&["a", "b"], &["c", "d"]])
+            .categorical("x", ["p", "q"])
+            .build_shared()
+            .unwrap();
+        let t = Table::new(
+            Arc::clone(&s),
+            vec![
+                Record::from_raw([0, 0]),
+                Record::from_raw([1, 0]),
+                Record::from_raw([2, 1]),
+                Record::from_raw([3, 1]),
+            ],
+        )
+        .unwrap();
+        let c = NodeCostTable::compute(&t, &LmMeasure);
+        (t, c)
+    }
+
+    #[test]
+    fn singleton_cost_zero() {
+        let (t, c) = setup();
+        let ctx = CostContext::new(&t, &c);
+        for i in 0..4 {
+            let nodes = ctx.leaf_nodes(i);
+            assert_eq!(ctx.cost(&nodes), 0.0);
+        }
+    }
+
+    #[test]
+    fn pair_cost_symmetric_and_matches_closure() {
+        let (t, c) = setup();
+        let ctx = CostContext::new(&t, &c);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(ctx.pair_cost(i, j), ctx.pair_cost(j, i));
+                let closure = ctx.closure_of(&[i as u32, j as u32]);
+                assert!((ctx.pair_cost(i, j) - ctx.cost(&closure)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn join_costs_agree_with_materialized_joins() {
+        let (t, c) = setup();
+        let ctx = CostContext::new(&t, &c);
+        let a = ctx.closure_of(&[0, 1]);
+        let b = ctx.closure_of(&[2, 3]);
+        let mut u = a.clone();
+        ctx.join_nodes_into(&mut u, &b);
+        assert!((ctx.join_cost(&a, &b) - ctx.cost(&u)).abs() < 1e-12);
+        let mut ar = a.clone();
+        ctx.join_row_into(&mut ar, 2);
+        assert!((ctx.join_row_cost(&a, 2) - ctx.cost(&ar)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lm_pair_cost_values() {
+        let (t, c) = setup();
+        let ctx = CostContext::new(&t, &c);
+        // Rows 0,1 share x=p and group {a,b}: LM = ((2−1)/3 + 0)/2 = 1/6.
+        assert!((ctx.pair_cost(0, 1) - 1.0 / 6.0).abs() < 1e-12);
+        // Rows 0,2: attr c generalizes to root (3/3), x to root (1/1):
+        // LM = (1 + 1)/2 = 1.
+        assert!((ctx.pair_cost(0, 2) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,286 @@
+//! Algorithm 6 of Sec. V-C: transforming a (k,k)-anonymization into a
+//! **global (1,k)-anonymization**.
+//!
+//! For every original record `R_i`, the algorithm computes its *matches*
+//! `P ⊆ Q` (neighbours whose edge extends to a perfect matching of
+//! `V_{D,g(D)}`, Def. 4.6). While `|P| < k`, it picks the non-match
+//! neighbour `R̄_{j_h}` minimizing `d_h = c(R̄_i + R_{j_h}) − c(R̄_i)` and
+//! generalizes `R̄_i` to also cover the original record `R_{j_h}`; this
+//! upgrades `R̄_{j_h}` to a match of `R_i` (the pair `(R_i ↔ R̄_{j_h},
+//! R_{j_h} ↔ R̄_i)` plus the identity pairing elsewhere is a perfect
+//! matching).
+//!
+//! **Implementation note.** The paper tests each edge with a fresh
+//! Hopcroft–Karp run (`O(√n · m²)` total). We use the all-edges oracle of
+//! `kanon-matching` — matched edges plus alternating cycles found by one
+//! SCC pass — recomputing it only when a record actually changes. Since
+//! every update only *adds* edges, matches never disappear: one pass over
+//! the records suffices. The identity pairing `R_i ↔ R̄_i` of a row-wise
+//! generalization serves as the free perfect matching seed.
+
+use kanon_core::error::{CoreError, Result};
+use kanon_core::generalize::{is_consistent, is_generalization_of, record_join_ground};
+use kanon_core::table::{check_aligned, GeneralizedTable, Table};
+use kanon_matching::{AllowedEdges, BipartiteGraph, Matching};
+use kanon_measures::NodeCostTable;
+
+/// Output of Algorithm 6 with upgrade statistics.
+#[derive(Debug, Clone)]
+pub struct GlobalOutput {
+    /// The globally (1,k)-anonymous table.
+    pub table: GeneralizedTable,
+    /// The information loss under the supplied measure.
+    pub loss: f64,
+    /// Number of record upgrades performed (`R̄_i ← R̄_i + R_{j_h}` steps).
+    pub upgrade_steps: usize,
+    /// Number of records that were deficient (had fewer than `k` matches)
+    /// when first visited.
+    pub deficient_records: usize,
+}
+
+/// Mutable adjacency of the consistency graph, kept incrementally.
+struct ConsistencyState {
+    /// `adj[i]` = generalized rows consistent with original row `i`
+    /// (ascending).
+    adj: Vec<Vec<u32>>,
+}
+
+impl ConsistencyState {
+    fn build(table: &Table, gtable: &GeneralizedTable) -> Self {
+        let schema = table.schema();
+        let n = table.num_rows();
+        let mut adj = vec![Vec::new(); n];
+        for (i, item) in adj.iter_mut().enumerate() {
+            let rec = table.row(i);
+            for j in 0..n {
+                if is_consistent(schema, rec, gtable.row(j)) {
+                    item.push(j as u32);
+                }
+            }
+        }
+        ConsistencyState { adj }
+    }
+
+    /// Generalized row `col` changed: recompute the column (which left
+    /// rows are consistent with it). Only additions can occur because
+    /// records only become more general.
+    fn refresh_column(&mut self, table: &Table, gtable: &GeneralizedTable, col: usize) {
+        let schema = table.schema();
+        let colv = col as u32;
+        for (i, list) in self.adj.iter_mut().enumerate() {
+            if is_consistent(schema, table.row(i), gtable.row(col)) {
+                if let Err(pos) = list.binary_search(&colv) {
+                    list.insert(pos, colv);
+                }
+            }
+        }
+    }
+
+    fn graph(&self, n_right: usize) -> BipartiteGraph {
+        BipartiteGraph::from_adjacency(n_right, &self.adj)
+    }
+}
+
+/// Runs Algorithm 6 on a (k,k)-anonymization (any row-wise generalization
+/// whose consistency graph has all degrees ≥ k works; the (k,k) property
+/// of the input is validated in debug builds only).
+pub fn global_1k_from_kk(
+    table: &Table,
+    gtable: &GeneralizedTable,
+    costs: &NodeCostTable,
+    k: usize,
+) -> Result<GlobalOutput> {
+    let n = table.num_rows();
+    if k == 0 || k > n {
+        return Err(CoreError::InvalidK { k, n });
+    }
+    check_aligned(table, gtable)?;
+    if !is_generalization_of(table, gtable)? {
+        return Err(CoreError::InvalidClustering(
+            "input to Algorithm 6 must be a row-wise generalization of the table".into(),
+        ));
+    }
+    let schema = table.schema();
+    let mut out = gtable.clone();
+    let mut state = ConsistencyState::build(table, &out);
+
+    let identity = Matching {
+        pair_left: (0..n as u32).collect(),
+        pair_right: (0..n as u32).collect(),
+        size: n,
+    };
+    let mut oracle = AllowedEdges::compute_with_matching(&state.graph(n), &identity);
+
+    let mut upgrade_steps = 0usize;
+    let mut deficient_records = 0usize;
+
+    for i in 0..n {
+        if oracle.matches_of(i).len() < k {
+            deficient_records += 1;
+        }
+        // Paper line 8: "Return to Step 3" — recompute P after each
+        // upgrade until |P| ≥ k.
+        while oracle.matches_of(i).len() < k {
+            let matches = oracle.matches_of(i);
+            // Non-match neighbours Q \ P, cheapest to absorb into R̄_i.
+            let mut best: Option<(f64, u32)> = None;
+            let ci = costs.record_cost(out.row(i));
+            for &j in &state.adj[i] {
+                if matches.binary_search(&j).is_ok() {
+                    continue;
+                }
+                let joined = record_join_ground(schema, out.row(i), table.row(j as usize));
+                let dh = costs.record_cost(&joined) - ci;
+                let better = match best {
+                    None => true,
+                    Some((bd, bj)) => dh.total_cmp(&bd).is_lt() || (dh == bd && j < bj),
+                };
+                if better {
+                    best = Some((dh, j));
+                }
+            }
+            let Some((_, jh)) = best else {
+                // No non-match neighbour left: every neighbour is already a
+                // match yet there are fewer than k of them, i.e. record i
+                // has fewer than k neighbours. The input was not a
+                // (1,k)-anonymization, violating the precondition.
+                return Err(CoreError::InvalidClustering(format!(
+                    "record {i} has only {} neighbours (< k = {k}); \
+                     Algorithm 6 requires a (k,k)-anonymized input",
+                    state.adj[i].len()
+                )));
+            };
+            // Upgrade: R̄_i ← R̄_i + R_{j_h}.
+            let upgraded = record_join_ground(schema, out.row(i), table.row(jh as usize));
+            *out.row_mut(i) = upgraded;
+            upgrade_steps += 1;
+            // Column i of the consistency graph changed.
+            state.refresh_column(table, &out, i);
+            oracle = AllowedEdges::compute_with_matching(&state.graph(n), &identity);
+        }
+    }
+
+    let loss = costs.table_loss(&out);
+    Ok(GlobalOutput {
+        table: out,
+        loss,
+        upgrade_steps,
+        deficient_records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::k1::k1_expansion;
+    use crate::one_k::one_k_anonymize;
+    use kanon_core::record::Record;
+    use kanon_core::schema::{SchemaBuilder, SharedSchema};
+    use kanon_measures::{EntropyMeasure, LmMeasure};
+    use std::sync::Arc;
+
+    fn schema() -> SharedSchema {
+        SchemaBuilder::new()
+            .categorical_with_groups(
+                "c",
+                ["a", "b", "c", "d", "e", "f"],
+                &[&["a", "b"], &["c", "d"], &["e", "f"], &["a", "b", "c", "d"]],
+            )
+            .categorical("x", ["p", "q"])
+            .build_shared()
+            .unwrap()
+    }
+
+    fn table(s: &SharedSchema) -> Table {
+        let rows = vec![
+            Record::from_raw([0, 0]),
+            Record::from_raw([1, 0]),
+            Record::from_raw([2, 1]),
+            Record::from_raw([3, 1]),
+            Record::from_raw([4, 0]),
+            Record::from_raw([5, 1]),
+        ];
+        Table::new(Arc::clone(s), rows).unwrap()
+    }
+
+    fn global_level(t: &Table, g: &GeneralizedTable) -> usize {
+        let state = ConsistencyState::build(t, g);
+        let n = t.num_rows();
+        let identity = Matching {
+            pair_left: (0..n as u32).collect(),
+            pair_right: (0..n as u32).collect(),
+            size: n,
+        };
+        let oracle = AllowedEdges::compute_with_matching(&state.graph(n), &identity);
+        oracle.match_counts().into_iter().min().unwrap()
+    }
+
+    #[test]
+    fn kk_pipeline_becomes_global() {
+        let s = schema();
+        let t = table(&s);
+        for k in [2, 3] {
+            let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+            let k1 = k1_expansion(&t, &costs, k).unwrap();
+            let kk = one_k_anonymize(&t, &k1.table, &costs, k).unwrap();
+            let out = global_1k_from_kk(&t, &kk.table, &costs, k).unwrap();
+            assert!(global_level(&t, &out.table) >= k, "k={k}");
+            // Still a row-wise generalization.
+            assert!(is_generalization_of(&t, &out.table).unwrap());
+            // Loss only grows relative to the (k,k) input (monotone joins).
+            assert!(out.loss >= kk.loss - 1e-12);
+        }
+    }
+
+    #[test]
+    fn already_global_input_is_untouched() {
+        let s = schema();
+        let t = table(&s);
+        let costs = NodeCostTable::compute(&t, &LmMeasure);
+        // Fully suppressed: every permutation is a perfect matching.
+        let star = kanon_core::GeneralizedRecord::new(s.suppressed_nodes());
+        let g =
+            GeneralizedTable::new(Arc::clone(&s), (0..6).map(|_| star.clone()).collect()).unwrap();
+        let out = global_1k_from_kk(&t, &g, &costs, 3).unwrap();
+        assert_eq!(out.upgrade_steps, 0);
+        assert_eq!(out.deficient_records, 0);
+        assert_eq!(out.table.rows(), g.rows());
+    }
+
+    #[test]
+    fn rejects_non_generalization_input() {
+        let s = schema();
+        let t = table(&s);
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let idg = GeneralizedTable::identity_of(&t);
+        // Swap two rows: no longer row-aligned.
+        let mut bad = idg.clone();
+        let r0 = bad.row(0).clone();
+        let r1 = bad.row(1).clone();
+        *bad.row_mut(0) = r1;
+        *bad.row_mut(1) = r0;
+        assert!(global_1k_from_kk(&t, &bad, &costs, 2).is_err());
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let s = schema();
+        let t = table(&s);
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let idg = GeneralizedTable::identity_of(&t);
+        assert!(global_1k_from_kk(&t, &idg, &costs, 0).is_err());
+        assert!(global_1k_from_kk(&t, &idg, &costs, 7).is_err());
+    }
+
+    #[test]
+    fn upgrade_statistics_are_consistent() {
+        let s = schema();
+        let t = table(&s);
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let k1 = k1_expansion(&t, &costs, 2).unwrap();
+        let kk = one_k_anonymize(&t, &k1.table, &costs, 2).unwrap();
+        let out = global_1k_from_kk(&t, &kk.table, &costs, 2).unwrap();
+        // Every deficient record required at least one upgrade.
+        assert!(out.upgrade_steps >= out.deficient_records);
+    }
+}

@@ -1,0 +1,331 @@
+//! ℓ-diverse k-anonymization — the extension the paper defers to future
+//! work ("we believe ℓ-diversity fits also in our framework", Sec. II).
+//!
+//! The agglomerative machinery of Algorithm 1 adapts directly: a cluster
+//! only *matures* when it both reaches size k **and** covers at least ℓ
+//! distinct values of the sensitive attribute, so every equivalence class
+//! of the output is simultaneously k-anonymous and distinct-ℓ-diverse.
+//! Feasibility requires ℓ not to exceed the number of distinct sensitive
+//! values, and no sensitive value may occur in more than ⌈n/ℓ⌉ records —
+//! the standard eligibility condition; we check the first directly and
+//! surface the second through a final validation pass.
+
+use crate::agglomerative::KAnonOutput;
+use crate::cost::CostContext;
+use crate::distance::ClusterDistance;
+use kanon_core::cluster::Clustering;
+use kanon_core::error::{CoreError, Result};
+use kanon_core::hierarchy::NodeId;
+use kanon_core::table::Table;
+use kanon_measures::NodeCostTable;
+use std::collections::HashMap;
+
+/// Configuration for [`l_diverse_k_anonymize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LDiverseConfig {
+    /// The anonymity parameter `k ≥ 1`.
+    pub k: usize,
+    /// The diversity parameter `ℓ ≥ 1` (distinct ℓ-diversity).
+    pub l: usize,
+    /// The cluster distance function.
+    pub distance: ClusterDistance,
+}
+
+impl LDiverseConfig {
+    /// k-anonymity + distinct-ℓ-diversity with the default distance (D3).
+    pub fn new(k: usize, l: usize) -> Self {
+        LDiverseConfig {
+            k,
+            l,
+            distance: ClusterDistance::default(),
+        }
+    }
+}
+
+/// One working cluster with sensitive-value counts.
+#[derive(Debug, Clone)]
+struct Cluster {
+    members: Vec<u32>,
+    nodes: Vec<NodeId>,
+    cost: f64,
+    /// Sensitive value → count within the cluster.
+    sensitive: HashMap<u32, u32>,
+}
+
+impl Cluster {
+    fn singleton(ctx: &CostContext<'_>, row: u32, sensitive: &[u32]) -> Self {
+        let nodes = ctx.leaf_nodes(row as usize);
+        let cost = ctx.cost(&nodes);
+        let mut map = HashMap::with_capacity(1);
+        map.insert(sensitive[row as usize], 1);
+        Cluster {
+            members: vec![row],
+            nodes,
+            cost,
+            sensitive: map,
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    fn distinct(&self) -> usize {
+        self.sensitive.len()
+    }
+}
+
+/// Agglomerative k-anonymization with a distinct-ℓ-diversity maturity
+/// condition: clusters keep merging until they have ≥ k members *and*
+/// ≥ ℓ distinct sensitive values.
+///
+/// `sensitive[i]` is the sensitive value of row `i` (any dense labelling;
+/// e.g. the CMC contraceptive-method class).
+pub fn l_diverse_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    sensitive: &[u32],
+    cfg: &LDiverseConfig,
+) -> Result<KAnonOutput> {
+    let n = table.num_rows();
+    if cfg.k == 0 || cfg.k > n {
+        return Err(CoreError::InvalidK { k: cfg.k, n });
+    }
+    if sensitive.len() != n {
+        return Err(CoreError::RowCountMismatch {
+            left: n,
+            right: sensitive.len(),
+        });
+    }
+    let total_distinct = {
+        let mut vals: Vec<u32> = sensitive.to_vec();
+        vals.sort_unstable();
+        vals.dedup();
+        vals.len()
+    };
+    if cfg.l == 0 || cfg.l > total_distinct {
+        return Err(CoreError::InvalidK {
+            k: cfg.l,
+            n: total_distinct,
+        });
+    }
+    let ctx = CostContext::new(table, costs);
+
+    // Active clusters in a slab; simple global-scan selection (the
+    // ℓ-diverse variant is an extension, clarity over micro-optimality).
+    let mut slots: Vec<Option<Cluster>> = (0..n)
+        .map(|i| Some(Cluster::singleton(&ctx, i as u32, sensitive)))
+        .collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut done: Vec<Cluster> = Vec::new();
+
+    let dist = |a: &Cluster, b: &Cluster, ctx: &CostContext<'_>| -> f64 {
+        let cost_u = ctx.join_cost(&a.nodes, &b.nodes);
+        cfg.distance.eval_symmetric(
+            a.size(),
+            a.cost,
+            b.size(),
+            b.cost,
+            a.size() + b.size(),
+            cost_u,
+        )
+    };
+
+    let mature = |c: &Cluster| -> bool { c.size() >= cfg.k && c.distinct() >= cfg.l };
+
+    // Singletons can already be mature when k = 1 = ℓ.
+    if cfg.k == 1 && cfg.l == 1 {
+        let clustering = Clustering::from_assignment((0..n as u32).collect())?;
+        let gtable = clustering.to_generalized_table(table)?;
+        let loss = costs.table_loss(&gtable);
+        return Ok(KAnonOutput {
+            clustering,
+            table: gtable,
+            loss,
+        });
+    }
+
+    while active.len() > 1 {
+        // Closest pair among active clusters (quadratic scan).
+        let mut best: Option<(usize, usize, f64)> = None;
+        for x in 0..active.len() {
+            for y in (x + 1)..active.len() {
+                let (i, j) = (active[x], active[y]);
+                let d = dist(slots[i].as_ref().unwrap(), slots[j].as_ref().unwrap(), &ctx);
+                let better = match best {
+                    None => true,
+                    Some((.., bd)) => d.total_cmp(&bd).is_lt(),
+                };
+                if better {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let (i, j, _) = best.expect("≥ 2 active clusters");
+        let a = slots[i].take().unwrap();
+        let b = slots[j].take().unwrap();
+        active.retain(|&s| s != i && s != j);
+
+        let mut merged = {
+            let mut members = a.members;
+            members.extend_from_slice(&b.members);
+            members.sort_unstable();
+            let mut nodes = a.nodes;
+            ctx.join_nodes_into(&mut nodes, &b.nodes);
+            let cost = ctx.cost(&nodes);
+            let mut sensitive_counts = a.sensitive;
+            for (v, c) in b.sensitive {
+                *sensitive_counts.entry(v).or_insert(0) += c;
+            }
+            Cluster {
+                members,
+                nodes,
+                cost,
+                sensitive: sensitive_counts,
+            }
+        };
+
+        if mature(&merged) {
+            merged.members.sort_unstable();
+            done.push(merged);
+        } else {
+            let slot = slots.len();
+            slots.push(Some(merged));
+            active.push(slot);
+        }
+    }
+
+    // Leftover cluster: distribute its records over mature clusters.
+    if let Some(&slot) = active.first() {
+        let leftover = slots[slot].take().unwrap();
+        if done.is_empty() {
+            // No cluster ever matured — infeasible combination.
+            return Err(CoreError::InvalidClustering(format!(
+                "cannot satisfy k = {} with ℓ = {} on {} records",
+                cfg.k, cfg.l, n
+            )));
+        }
+        for &row in &leftover.members {
+            let single = Cluster::singleton(&ctx, row, sensitive);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (ci, c) in done.iter().enumerate() {
+                let d = dist(&single, c, &ctx);
+                if d.total_cmp(&best_d).is_lt() {
+                    best_d = d;
+                    best = ci;
+                }
+            }
+            let c = &mut done[best];
+            c.members.push(row);
+            c.members.sort_unstable();
+            ctx.join_row_into(&mut c.nodes, row as usize);
+            c.cost = ctx.cost(&c.nodes);
+            *c.sensitive.entry(sensitive[row as usize]).or_insert(0) += 1;
+        }
+    }
+
+    let clusters: Vec<Vec<u32>> = done.into_iter().map(|c| c.members).collect();
+    let clustering = Clustering::from_clusters(n, clusters)?;
+    let gtable = clustering.to_generalized_table(table)?;
+    let loss = costs.table_loss(&gtable);
+    Ok(KAnonOutput {
+        clustering,
+        table: gtable,
+        loss,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::record::Record;
+    use kanon_core::schema::SchemaBuilder;
+    use kanon_measures::EntropyMeasure;
+    use std::sync::Arc;
+
+    fn setup(n: usize) -> (Table, Vec<u32>, NodeCostTable) {
+        let s = SchemaBuilder::new()
+            .categorical_with_groups(
+                "c",
+                ["a", "b", "c", "d", "e", "f"],
+                &[&["a", "b"], &["c", "d"], &["e", "f"]],
+            )
+            .build_shared()
+            .unwrap();
+        let rows = (0..n).map(|i| Record::from_raw([(i % 6) as u32])).collect();
+        let t = Table::new(Arc::clone(&s), rows).unwrap();
+        // Sensitive values alternate 0/1/2 — diversity requires mixing.
+        let sensitive: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        (t, sensitive, costs)
+    }
+
+    fn class_diversity(out: &KAnonOutput, sensitive: &[u32]) -> usize {
+        out.clustering
+            .clusters()
+            .iter()
+            .map(|c| {
+                let mut vals: Vec<u32> = c.iter().map(|&i| sensitive[i as usize]).collect();
+                vals.sort_unstable();
+                vals.dedup();
+                vals.len()
+            })
+            .min()
+            .unwrap()
+    }
+
+    #[test]
+    fn output_is_k_anonymous_and_l_diverse() {
+        let (t, sensitive, costs) = setup(18);
+        for (k, l) in [(2, 2), (3, 2), (3, 3), (4, 2)] {
+            let out =
+                l_diverse_k_anonymize(&t, &costs, &sensitive, &LDiverseConfig::new(k, l)).unwrap();
+            assert!(out.clustering.min_cluster_size() >= k, "k={k} l={l}");
+            assert!(class_diversity(&out, &sensitive) >= l, "k={k} l={l}");
+        }
+    }
+
+    #[test]
+    fn diversity_may_cost_extra_loss() {
+        // Without diversity, identical-value clusters are free; forcing
+        // ℓ ≥ 2 must mix them, so loss can only grow.
+        let (t, _, costs) = setup(12);
+        // Sensitive values aligned with the attribute: cluster {a,a} would
+        // be homogeneous.
+        let sensitive: Vec<u32> = (0..12).map(|i| (i % 6) as u32 / 2).collect();
+        let plain = crate::agglomerative::agglomerative_k_anonymize(
+            &t,
+            &costs,
+            &crate::agglomerative::AgglomerativeConfig::new(2),
+        )
+        .unwrap();
+        let diverse =
+            l_diverse_k_anonymize(&t, &costs, &sensitive, &LDiverseConfig::new(2, 2)).unwrap();
+        assert!(diverse.loss >= plain.loss - 1e-12);
+        assert!(class_diversity(&diverse, &sensitive) >= 2);
+    }
+
+    #[test]
+    fn infeasible_l_rejected() {
+        let (t, _, costs) = setup(12);
+        let homogeneous = vec![7u32; 12];
+        assert!(
+            l_diverse_k_anonymize(&t, &costs, &homogeneous, &LDiverseConfig::new(2, 2)).is_err()
+        );
+    }
+
+    #[test]
+    fn k1_l1_is_identity() {
+        let (t, sensitive, costs) = setup(12);
+        let out =
+            l_diverse_k_anonymize(&t, &costs, &sensitive, &LDiverseConfig::new(1, 1)).unwrap();
+        assert_eq!(out.loss, 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let (t, _, costs) = setup(12);
+        assert!(l_diverse_k_anonymize(&t, &costs, &[0, 1], &LDiverseConfig::new(2, 2)).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! **MDAV-style microaggregation** (Domingo-Ferrer & Mateo-Sanz) adapted
+//! to the paper's hierarchy model — a third clustering baseline
+//! (experiment E-A8) besides the forest algorithm and the Mondrian-style
+//! splitter. Microaggregation is the dominant k-anonymization heuristic
+//! in the statistical-disclosure-control literature, so it anchors the
+//! paper's agglomerative family against that tradition.
+//!
+//! Classic MDAV works in Euclidean space; here distances are the cluster
+//! costs `d({·,·})` of the active measure and the "centroid" of a record
+//! set is its closure. Each round:
+//!
+//! 1. compute the closure of all remaining records;
+//! 2. find the record `x` *farthest* from that closure (max `d({x} ∪ C)`
+//!    proxy: `d` of the pair `{x, closure}`);
+//! 3. group `x` with its `k−1` nearest remaining records into a cluster;
+//! 4. if at least `2k` records remain, also build the mirror cluster
+//!    around the record farthest from `x`;
+//! 5. when fewer than `2k` remain, they form the last cluster.
+
+use crate::agglomerative::KAnonOutput;
+use crate::cost::CostContext;
+use kanon_core::cluster::Clustering;
+use kanon_core::error::{CoreError, Result};
+use kanon_core::table::Table;
+use kanon_measures::NodeCostTable;
+
+/// Runs MDAV-style microaggregation.
+pub fn mdav_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Result<KAnonOutput> {
+    let n = table.num_rows();
+    if k == 0 || k > n {
+        return Err(CoreError::InvalidK { k, n });
+    }
+    let ctx = CostContext::new(table, costs);
+
+    let mut remaining: Vec<u32> = (0..n as u32).collect();
+    let mut clusters: Vec<Vec<u32>> = Vec::with_capacity(n / k);
+
+    // Extracts from `remaining` the row farthest from the closure of all
+    // remaining rows (ties: lowest row id).
+    let farthest_from_closure = |remaining: &[u32], ctx: &CostContext<'_>| -> u32 {
+        let closure = ctx.closure_of(remaining);
+        let mut best = remaining[0];
+        let mut best_d = f64::NEG_INFINITY;
+        for &r in remaining {
+            let d = ctx.join_row_cost(&closure, r as usize);
+            if d.total_cmp(&best_d).is_gt() {
+                best_d = d;
+                best = r;
+            }
+        }
+        best
+    };
+
+    // Builds a cluster of `x` plus its k−1 nearest in `remaining`
+    // (removing them from `remaining`).
+    let take_cluster = |x: u32, remaining: &mut Vec<u32>, ctx: &CostContext<'_>| -> Vec<u32> {
+        remaining.retain(|&r| r != x);
+        let mut dists: Vec<(f64, u32)> = remaining
+            .iter()
+            .map(|&r| (ctx.pair_cost(x as usize, r as usize), r))
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut cluster = vec![x];
+        for &(_, r) in dists.iter().take(k - 1) {
+            cluster.push(r);
+        }
+        let taken: std::collections::HashSet<u32> = cluster.iter().copied().collect();
+        remaining.retain(|r| !taken.contains(r));
+        cluster.sort_unstable();
+        cluster
+    };
+
+    while remaining.len() >= 2 * k {
+        // Farthest record from the global closure…
+        let xr = farthest_from_closure(&remaining, &ctx);
+        // …and the record farthest from that one (the classic xr/xs pair).
+        let xs = {
+            let mut best = remaining[0];
+            let mut best_d = f64::NEG_INFINITY;
+            for &r in &remaining {
+                if r == xr {
+                    continue;
+                }
+                let d = ctx.pair_cost(xr as usize, r as usize);
+                if d.total_cmp(&best_d).is_gt() {
+                    best_d = d;
+                    best = r;
+                }
+            }
+            best
+        };
+        clusters.push(take_cluster(xr, &mut remaining, &ctx));
+        if remaining.len() >= k && remaining.contains(&xs) {
+            clusters.push(take_cluster(xs, &mut remaining, &ctx));
+        }
+    }
+    if !remaining.is_empty() {
+        if remaining.len() >= k {
+            remaining.sort_unstable();
+            clusters.push(std::mem::take(&mut remaining));
+        } else {
+            // Fewer than k stragglers: absorb them into their nearest
+            // cluster (by closure-join cost).
+            for &r in &remaining {
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (ci, c) in clusters.iter().enumerate() {
+                    let closure = ctx.closure_of(c);
+                    let d = ctx.join_row_cost(&closure, r as usize);
+                    if d.total_cmp(&best_d).is_lt() {
+                        best_d = d;
+                        best = ci;
+                    }
+                }
+                clusters[best].push(r);
+                clusters[best].sort_unstable();
+            }
+            remaining.clear();
+        }
+    }
+
+    let clustering = Clustering::from_clusters(n, clusters)?;
+    let gtable = clustering.to_generalized_table(table)?;
+    let loss = costs.table_loss(&gtable);
+    Ok(KAnonOutput {
+        clustering,
+        table: gtable,
+        loss,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::record::Record;
+    use kanon_core::schema::SchemaBuilder;
+    use kanon_measures::{EntropyMeasure, LmMeasure};
+    use std::sync::Arc;
+
+    fn table(n: usize) -> Table {
+        let s = SchemaBuilder::new()
+            .categorical_with_groups(
+                "c",
+                ["a", "b", "c", "d", "e", "f"],
+                &[&["a", "b"], &["c", "d"], &["e", "f"]],
+            )
+            .numeric_with_intervals("x", 0, 9, &[2, 4])
+            .build_shared()
+            .unwrap();
+        let rows = (0..n)
+            .map(|i| Record::from_raw([(i % 6) as u32, ((i * 7) % 10) as u32]))
+            .collect();
+        Table::new(Arc::clone(&s), rows).unwrap()
+    }
+
+    #[test]
+    fn output_is_k_anonymous() {
+        for n in [10, 17, 24] {
+            let t = table(n);
+            let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+            for k in [2, 3, 5] {
+                let out = mdav_k_anonymize(&t, &costs, k).unwrap();
+                assert!(
+                    out.clustering.min_cluster_size() >= k,
+                    "n={n} k={k}: min {}",
+                    out.clustering.min_cluster_size()
+                );
+                assert_eq!(
+                    out.clustering
+                        .clusters()
+                        .iter()
+                        .map(Vec::len)
+                        .sum::<usize>(),
+                    n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_sizes_are_tight() {
+        // MDAV builds clusters of exactly k except the last (≤ 2k−1).
+        let t = table(23);
+        let costs = NodeCostTable::compute(&t, &LmMeasure);
+        let out = mdav_k_anonymize(&t, &costs, 4).unwrap();
+        let mut sizes: Vec<usize> = out.clustering.clusters().iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert!(*sizes.last().unwrap() <= 2 * 4 - 1 + 3); // last + absorbed stragglers
+        assert!(sizes[..sizes.len() - 1].iter().all(|&s| s >= 4));
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = table(20);
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let a = mdav_k_anonymize(&t, &costs, 3).unwrap();
+        let b = mdav_k_anonymize(&t, &costs, 3).unwrap();
+        assert_eq!(a.clustering, b.clustering);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let t = table(10);
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        assert!(mdav_k_anonymize(&t, &costs, 0).is_err());
+        assert!(mdav_k_anonymize(&t, &costs, 11).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_single_cluster() {
+        let t = table(8);
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let out = mdav_k_anonymize(&t, &costs, 8).unwrap();
+        assert_eq!(out.clustering.num_clusters(), 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! A Mondrian-style **top-down** k-anonymizer (LeFevre et al., adapted to
+//! the paper's laminar-hierarchy model) — an extra baseline contrasting
+//! the paper's bottom-up agglomerative family. Not part of the original
+//! evaluation; included as an ablation (DESIGN.md E-A6) because top-down
+//! partitioners are the other standard local-recoding approach.
+//!
+//! The algorithm keeps a queue of clusters, starting from one cluster
+//! holding the whole table. For each cluster it considers, per attribute,
+//! the partition of the cluster induced by the children of its closure
+//! node, greedily packs those child groups into two bins of balanced
+//! size, and performs the feasible (both bins ≥ k) binary split that
+//! reduces the clustering cost `Σ |S| d(S)` the most. Clusters with no
+//! feasible cost-reducing split are final. The result is k-anonymous by
+//! construction.
+
+use crate::agglomerative::KAnonOutput;
+use crate::cost::CostContext;
+use kanon_core::cluster::Clustering;
+use kanon_core::error::{CoreError, Result};
+use kanon_core::table::Table;
+use kanon_measures::NodeCostTable;
+
+/// Runs the top-down Mondrian-style k-anonymizer.
+pub fn mondrian_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Result<KAnonOutput> {
+    let n = table.num_rows();
+    if k == 0 || k > n {
+        return Err(CoreError::InvalidK { k, n });
+    }
+    let ctx = CostContext::new(table, costs);
+    let schema = table.schema();
+
+    let mut queue: Vec<Vec<u32>> = vec![(0..n as u32).collect()];
+    let mut done: Vec<Vec<u32>> = Vec::new();
+
+    while let Some(members) = queue.pop() {
+        if members.len() < 2 * k {
+            done.push(members);
+            continue;
+        }
+        let closure = ctx.closure_of(&members);
+        let current_cost = members.len() as f64 * ctx.cost(&closure);
+
+        // Best feasible binary split over attributes.
+        let mut best: Option<(f64, Vec<u32>, Vec<u32>)> = None;
+        for (j, &node) in closure.iter().enumerate() {
+            let h = schema.attr(j).hierarchy();
+            let children = h.children(node);
+            if children.len() < 2 {
+                continue;
+            }
+            // Group members by the child of `node` containing their value.
+            let mut groups: Vec<Vec<u32>> = vec![Vec::new(); children.len()];
+            for &row in &members {
+                let v = table.row(row as usize).get(j);
+                let child_idx = children
+                    .iter()
+                    .position(|&c| h.contains(c, v))
+                    .expect("laminar: the value lies in exactly one child");
+                groups[child_idx].push(row);
+            }
+            // Greedy balanced packing of the groups into two bins.
+            let mut order: Vec<usize> = (0..groups.len()).collect();
+            order.sort_by_key(|&g| std::cmp::Reverse(groups[g].len()));
+            let (mut left, mut right): (Vec<u32>, Vec<u32>) = (Vec::new(), Vec::new());
+            for g in order {
+                if left.len() <= right.len() {
+                    left.extend_from_slice(&groups[g]);
+                } else {
+                    right.extend_from_slice(&groups[g]);
+                }
+            }
+            if left.len() < k || right.len() < k {
+                continue;
+            }
+            let split_cost = left.len() as f64 * ctx.cost(&ctx.closure_of(&left))
+                + right.len() as f64 * ctx.cost(&ctx.closure_of(&right));
+            if split_cost < current_cost - 1e-12 {
+                let better = match &best {
+                    None => true,
+                    Some((bc, ..)) => split_cost < *bc,
+                };
+                if better {
+                    best = Some((split_cost, left, right));
+                }
+            }
+        }
+
+        match best {
+            Some((_, left, right)) => {
+                queue.push(left);
+                queue.push(right);
+            }
+            None => done.push(members),
+        }
+    }
+
+    for c in &mut done {
+        c.sort_unstable();
+    }
+    let clustering = Clustering::from_clusters(n, done)?;
+    let gtable = clustering.to_generalized_table(table)?;
+    let loss = costs.table_loss(&gtable);
+    Ok(KAnonOutput {
+        clustering,
+        table: gtable,
+        loss,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::record::Record;
+    use kanon_core::schema::SchemaBuilder;
+    use kanon_measures::{EntropyMeasure, LmMeasure};
+    use std::sync::Arc;
+
+    fn table() -> Table {
+        let s = SchemaBuilder::new()
+            .categorical_with_groups("c", ["a", "b", "c", "d"], &[&["a", "b"], &["c", "d"]])
+            .numeric_with_intervals("age", 0, 19, &[5, 10])
+            .build_shared()
+            .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..24u32 {
+            rows.push(Record::from_raw([i % 4, (i * 7) % 20]));
+        }
+        Table::new(Arc::clone(&s), rows).unwrap()
+    }
+
+    #[test]
+    fn output_is_k_anonymous() {
+        let t = table();
+        for k in [2, 3, 5, 12] {
+            let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+            let out = mondrian_k_anonymize(&t, &costs, k).unwrap();
+            assert!(out.clustering.min_cluster_size() >= k, "k={k}");
+            assert!(kanon_core::generalize::is_generalization_of(&t, &out.table).unwrap());
+        }
+    }
+
+    #[test]
+    fn splits_reduce_loss_vs_single_cluster() {
+        let t = table();
+        let costs = NodeCostTable::compute(&t, &LmMeasure);
+        let out = mondrian_k_anonymize(&t, &costs, 3).unwrap();
+        // One big cluster would cost the full-table closure cost.
+        let all: Vec<u32> = (0..t.num_rows() as u32).collect();
+        let ctx = crate::cost::CostContext::new(&t, &costs);
+        let single_cost = ctx.cost(&ctx.closure_of(&all));
+        assert!(out.loss < single_cost);
+        assert!(out.clustering.num_clusters() > 1);
+    }
+
+    #[test]
+    fn small_tables_stay_single_cluster() {
+        let t = table();
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let out = mondrian_k_anonymize(&t, &costs, 13).unwrap();
+        // 24 rows with k = 13: no split can give two bins ≥ 13.
+        assert_eq!(out.clustering.num_clusters(), 1);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let t = table();
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        assert!(mondrian_k_anonymize(&t, &costs, 0).is_err());
+        assert!(mondrian_k_anonymize(&t, &costs, 25).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = table();
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let a = mondrian_k_anonymize(&t, &costs, 3).unwrap();
+        let b = mondrian_k_anonymize(&t, &costs, 3).unwrap();
+        assert_eq!(a.clustering, b.clustering);
+    }
+}

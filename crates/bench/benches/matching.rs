@@ -1,0 +1,66 @@
+//! Criterion benches for the matching substrate: Hopcroft–Karp, the SCC
+//! match oracle, and the paper's naive per-edge method — quantifying the
+//! O(√n·m²) → O(n+m) gap that makes Algorithm 6 practical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kanon_matching::{
+    hopcroft_karp, is_edge_in_some_perfect_matching_naive, AllowedEdges, BipartiteGraph,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// A consistency-like graph: identity edges (perfect matching exists)
+/// plus ~`extra_per_left` random extras per left vertex.
+fn random_graph(n: usize, extra_per_left: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, i)).collect();
+    for u in 0..n as u32 {
+        for _ in 0..extra_per_left {
+            edges.push((u, rng.gen_range(0..n as u32)));
+        }
+    }
+    BipartiteGraph::from_edges(n, n, &edges)
+}
+
+fn bench_hopcroft_karp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp");
+    for n in [500usize, 2000, 8000] {
+        let g = random_graph(n, 8, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| hopcroft_karp(black_box(&g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_match_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match_oracle");
+    for n in [500usize, 2000, 8000] {
+        let g = random_graph(n, 8, 42);
+        group.bench_with_input(BenchmarkId::new("scc_all_edges", n), &n, |b, _| {
+            b.iter(|| AllowedEdges::compute(black_box(&g)))
+        });
+    }
+    // The paper's per-edge method, small n only (it is the slow baseline).
+    for n in [100usize, 300] {
+        let g = random_graph(n, 8, 42);
+        group.bench_with_input(BenchmarkId::new("naive_all_edges", n), &n, |b, _| {
+            b.iter(|| {
+                let mut allowed = 0usize;
+                for u in 0..g.n_left() {
+                    for &v in g.neighbors(u) {
+                        if is_edge_in_some_perfect_matching_naive(black_box(&g), u, v) {
+                            allowed += 1;
+                        }
+                    }
+                }
+                allowed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hopcroft_karp, bench_match_oracle);
+criterion_main!(benches);

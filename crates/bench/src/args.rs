@@ -1,0 +1,129 @@
+//! Minimal command-line argument parsing shared by the experiment
+//! binaries (flag-style, no external dependencies).
+//!
+//! Supported flags (all optional):
+//!
+//! * `--n <N>` — records per dataset (overrides the per-dataset default);
+//! * `--seed <S>` — RNG seed for the generators (default 42);
+//! * `--full` — paper-scale sizes (ART 5000, ADT 5000, CMC 1473);
+//! * `--quick` — tiny sizes for smoke runs (n = 300);
+//! * `--k <list>` — comma-separated k values (default `5,10,15,20`).
+
+/// Parsed experiment arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Explicit row-count override (`--n`), if any.
+    pub n_override: Option<usize>,
+    /// Generator seed (`--seed`), default 42.
+    pub seed: u64,
+    /// Paper-scale run (`--full`).
+    pub full: bool,
+    /// Smoke-test run (`--quick`).
+    pub quick: bool,
+    /// The k values to sweep (`--k`), default {5, 10, 15, 20}.
+    pub ks: Vec<usize>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            n_override: None,
+            seed: 42,
+            full: false,
+            quick: false,
+            ks: crate::runner::PAPER_KS.to_vec(),
+        }
+    }
+}
+
+impl Args {
+    /// Parses from an iterator of arguments (without the program name).
+    /// Unknown flags abort with a usage message.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--n" => {
+                    let v = it.next().expect("--n needs a value");
+                    out.n_override = Some(v.parse().expect("--n must be an integer"));
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    out.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--full" => out.full = true,
+                "--quick" => out.quick = true,
+                "--k" => {
+                    let v = it.next().expect("--k needs a value");
+                    out.ks = v
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--k must be integers"))
+                        .collect();
+                    assert!(!out.ks.is_empty(), "--k must list at least one value");
+                }
+                "--help" | "-h" => {
+                    eprintln!("flags: [--n N] [--seed S] [--full] [--quick] [--k 5,10,15,20]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other:?}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses from the process environment.
+    pub fn from_env() -> Args {
+        Args::parse(std::env::args().skip(1))
+    }
+
+    /// Effective row count for a dataset whose default/quick/full sizes
+    /// are given.
+    pub fn rows(&self, default: usize, quick: usize, full: usize) -> usize {
+        if let Some(n) = self.n_override {
+            n
+        } else if self.quick {
+            quick
+        } else if self.full {
+            full
+        } else {
+            default
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.ks, vec![5, 10, 15, 20]);
+        assert!(a.n_override.is_none());
+        assert_eq!(a.rows(1000, 300, 5000), 1000);
+    }
+
+    #[test]
+    fn overrides() {
+        let a = parse(&["--n", "700", "--seed", "7", "--k", "2,4"]);
+        assert_eq!(a.n_override, Some(700));
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.ks, vec![2, 4]);
+        assert_eq!(a.rows(1000, 300, 5000), 700);
+    }
+
+    #[test]
+    fn quick_and_full_sizes() {
+        assert_eq!(parse(&["--quick"]).rows(1000, 300, 5000), 300);
+        assert_eq!(parse(&["--full"]).rows(1000, 300, 5000), 5000);
+    }
+}

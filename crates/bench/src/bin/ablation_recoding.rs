@@ -1,0 +1,60 @@
+//! Experiment E-A7 (extension) — **local vs global recoding**: the
+//! paper's Sec. III claim "local recoding is more flexible, hence it
+//! offers higher utility", quantified. Compares the optimal full-domain
+//! (global) recoding — the Incognito/LeFevre model — against the paper's
+//! local-recoding algorithms under the same measures.
+//!
+//! Usage: `cargo run --release -p kanon-bench --bin ablation_recoding -- [--n N]`
+
+use kanon_algos::{
+    agglomerative_k_anonymize, fulldomain_k_anonymize, kk_anonymize, AgglomerativeConfig, KkConfig,
+};
+use kanon_bench::{
+    load_dataset, measure_costs, render_table, Args, DatasetName, Measure, TextTable,
+};
+
+fn main() {
+    let args = Args::from_env();
+    println!(
+        "ABLATION — recoding models: optimal full-domain (global) vs the paper's\n\
+         local-recoding algorithms\n"
+    );
+
+    for name in DatasetName::ALL {
+        let dataset = load_dataset(name, &args);
+        for measure in Measure::ALL {
+            let costs = measure_costs(&dataset.table, measure);
+            let mut table = TextTable::new(
+                std::iter::once(format!("{} {}", name.label(), measure.label()))
+                    .chain(args.ks.iter().map(|k| format!("k={k}"))),
+            );
+            let mut full_row = vec!["full-domain (opt)".to_string()];
+            let mut local_row = vec!["local k-anon".to_string()];
+            let mut kk_row = vec!["local (k,k)".to_string()];
+            let mut lattice_note = String::new();
+            for &k in &args.ks {
+                let full = fulldomain_k_anonymize(&dataset.table, &costs, k).unwrap();
+                let local =
+                    agglomerative_k_anonymize(&dataset.table, &costs, &AgglomerativeConfig::new(k))
+                        .unwrap();
+                let kk = kk_anonymize(&dataset.table, &costs, &KkConfig::new(k)).unwrap();
+                full_row.push(format!("{:.3}", full.output.loss));
+                local_row.push(format!("{:.3}", local.loss));
+                kk_row.push(format!("{:.3}", kk.loss));
+                lattice_note = format!(
+                    "lattice: {} nodes, {} tested after pruning",
+                    full.lattice_size, full.nodes_tested
+                );
+            }
+            table.row(full_row);
+            table.row(local_row);
+            table.row(kk_row);
+            println!("{}", render_table(&table));
+            println!("  {lattice_note}\n");
+        }
+    }
+    println!(
+        "expected shape (Sec. III): local k-anonymity beats even the *optimal*\n\
+         global recoding, and local (k,k) widens the gap further."
+    );
+}

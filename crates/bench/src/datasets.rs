@@ -1,0 +1,105 @@
+//! Dataset loading for the experiments: ART, ADT and CMC (Sec. VI).
+
+use crate::args::Args;
+use kanon_core::table::Table;
+use kanon_data::{adult, art, cmc};
+
+/// The three evaluation datasets of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetName {
+    /// The paper's artificial dataset.
+    Art,
+    /// Adult (synthetic look-alike unless a real file is loaded).
+    Adt,
+    /// Contraceptive Method Choice (synthetic look-alike).
+    Cmc,
+}
+
+impl DatasetName {
+    /// All three datasets, in the paper's order.
+    pub const ALL: [DatasetName; 3] = [DatasetName::Art, DatasetName::Adt, DatasetName::Cmc];
+
+    /// The paper's label ("ART" / "ADT" / "CMC").
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetName::Art => "ART",
+            DatasetName::Adt => "ADT",
+            DatasetName::Cmc => "CMC",
+        }
+    }
+}
+
+/// A loaded experiment dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Which dataset this is.
+    pub name: DatasetName,
+    /// The quasi-identifier table.
+    pub table: Table,
+    /// Class labels (CMC only), for the CM measure.
+    pub labels: Option<Vec<u32>>,
+}
+
+/// Loads a dataset at the size implied by `args`.
+///
+/// Default / `--quick` / `--full` sizes: ART 1000/300/5000,
+/// ADT 1000/300/5000 (paper: 5000), CMC 1000/300/1473 (paper: 1473).
+pub fn load_dataset(name: DatasetName, args: &Args) -> Dataset {
+    match name {
+        DatasetName::Art => {
+            let n = args.rows(1000, 300, 5000);
+            Dataset {
+                name,
+                table: art::generate(n, args.seed),
+                labels: None,
+            }
+        }
+        DatasetName::Adt => {
+            let n = args.rows(1000, 300, 5000);
+            Dataset {
+                name,
+                table: adult::generate(n, args.seed),
+                labels: None,
+            }
+        }
+        DatasetName::Cmc => {
+            let n = args.rows(1000, 300, cmc::REAL_SIZE);
+            let lt = cmc::generate(n, args.seed);
+            Dataset {
+                name,
+                table: lt.table,
+                labels: Some(lt.labels),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_datasets_load_at_quick_size() {
+        let args = Args {
+            quick: true,
+            ..Args::default()
+        };
+        for name in DatasetName::ALL {
+            let d = load_dataset(name, &args);
+            assert_eq!(d.table.num_rows(), 300, "{}", name.label());
+            assert!(d.table.num_attrs() >= 6);
+        }
+    }
+
+    #[test]
+    fn labels_only_for_cmc() {
+        let args = Args {
+            n_override: Some(50),
+            ..Args::default()
+        };
+        assert!(load_dataset(DatasetName::Art, &args).labels.is_none());
+        assert!(load_dataset(DatasetName::Adt, &args).labels.is_none());
+        let cmc = load_dataset(DatasetName::Cmc, &args);
+        assert_eq!(cmc.labels.as_ref().unwrap().len(), 50);
+    }
+}

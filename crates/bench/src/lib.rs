@@ -1,0 +1,36 @@
+//! # kanon-bench
+//!
+//! Experiment harness regenerating every table and figure of
+//! *"k-Anonymization Revisited"* (ICDE 2008). Each paper artefact has a
+//! dedicated binary (see DESIGN.md §4 for the experiment index):
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `table1` | Table I (summary of results) |
+//! | `fig2` | Figure 2 (entropy measure on Adult) |
+//! | `fig3` | Figure 3 (LM measure on Adult) |
+//! | `fig1_inclusions` | Figure 1 (anonymity-class inclusions, machine-checked) |
+//! | `ablation_distance` | distance functions D1–D4 comparison |
+//! | `ablation_k1` | Alg.3+5 vs Alg.4+5 couplings |
+//! | `ablation_modified` | basic vs modified agglomerative |
+//! | `global1k_stats` | (k,k) → global (1,k) statistics |
+//! | `scaling` | runtime scaling in n |
+//!
+//! This library holds the shared machinery: dataset loading, measure
+//! dispatch, the three competitor protocols of Table I, and plain-text
+//! table/series rendering.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod datasets;
+pub mod render;
+pub mod runner;
+
+pub use args::Args;
+pub use datasets::{load_dataset, Dataset, DatasetName};
+pub use render::{render_series, render_table, series_to_csv, Series, TextTable};
+pub use runner::{
+    measure_costs, run_best_k_anon, run_forest, run_kk_best, CompetitorResult, Measure, PAPER_KS,
+};

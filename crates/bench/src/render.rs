@@ -1,0 +1,226 @@
+//! Plain-text rendering of experiment tables and figure series.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with a header row.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders with column alignment (first column left, rest right).
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |row: &[String], out: &mut String| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Renders a [`TextTable`] (convenience free function).
+pub fn render_table(table: &TextTable) -> String {
+    table.render()
+}
+
+impl TextTable {
+    /// Serializes the table as CSV (for plotting pipelines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let needs_quotes = cell.contains(',') || cell.contains('"');
+                if needs_quotes {
+                    out.push('"');
+                    out.push_str(&cell.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Serializes figure series as CSV: `k,label1,label2,…` header plus one
+/// row per x value.
+pub fn series_to_csv(series: &[Series]) -> String {
+    let mut out = String::from("k");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.label);
+    }
+    out.push('\n');
+    let xs: Vec<usize> = series
+        .first()
+        .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+        .unwrap_or_default();
+    for (i, &x) in xs.iter().enumerate() {
+        out.push_str(&x.to_string());
+        for s in series {
+            out.push_str(&format!(",{}", s.points[i].1));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One named series of (k, loss) points — a figure line.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The (x, y) points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Renders figure series as an aligned data block plus a crude ASCII
+/// chart, so the figure's shape is visible in a terminal.
+pub fn render_series(title: &str, series: &[Series]) -> String {
+    let mut out = format!("{title}\n");
+    let mut table = TextTable::new(
+        std::iter::once("k".to_string()).chain(series.iter().map(|s| s.label.clone())),
+    );
+    let xs: Vec<usize> = series
+        .first()
+        .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+        .unwrap_or_default();
+    for (i, &x) in xs.iter().enumerate() {
+        let mut row = vec![x.to_string()];
+        for s in series {
+            row.push(format!("{:.4}", s.points[i].1));
+        }
+        table.row(row);
+    }
+    out.push_str(&table.render());
+
+    // ASCII chart: one row per series per x, bars scaled to max loss.
+    let max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(_, y)| y))
+        .fold(0.0f64, f64::max);
+    if max > 0.0 {
+        out.push('\n');
+        for s in series {
+            out.push_str(&format!("{}\n", s.label));
+            for &(x, y) in &s.points {
+                let bars = ((y / max) * 50.0).round() as usize;
+                out.push_str(&format!("  k={x:<3} {:<50} {y:.4}\n", "#".repeat(bars)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(["name", "v"]);
+        t.row(["short", "1.0"]);
+        t.row(["a-much-longer-name", "12.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // Right alignment of the numeric column.
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].ends_with("12.5"));
+    }
+
+    #[test]
+    fn series_renders_points_and_bars() {
+        let s = vec![
+            Series {
+                label: "k-anon".into(),
+                points: vec![(5, 0.5), (10, 1.0)],
+            },
+            Series {
+                label: "forest".into(),
+                points: vec![(5, 0.8), (10, 1.4)],
+            },
+        ];
+        let out = render_series("Figure 2", &s);
+        assert!(out.contains("Figure 2"));
+        assert!(out.contains("k-anon"));
+        assert!(out.contains("0.5000"));
+        assert!(out.contains("#"));
+    }
+
+    #[test]
+    fn table_to_csv_quotes() {
+        let mut t = TextTable::new(["name", "v"]);
+        t.row(["with,comma", "1"]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("name,v\n"));
+        assert!(csv.contains("\"with,comma\",1"));
+    }
+
+    #[test]
+    fn series_to_csv_layout() {
+        let s = vec![Series {
+            label: "k-anon".into(),
+            points: vec![(5, 0.5), (10, 1.0)],
+        }];
+        let csv = series_to_csv(&s);
+        assert_eq!(csv, "k,k-anon\n5,0.5\n10,1\n");
+    }
+
+    #[test]
+    fn empty_series() {
+        let out = render_series("empty", &[]);
+        assert!(out.contains("empty"));
+    }
+}

@@ -1,0 +1,146 @@
+//! The three competitor protocols of Table I and shared measure dispatch.
+
+use kanon_algos::{
+    best_k_anonymize, forest_k_anonymize, kk_anonymize, ClusterDistance, K1Method, KkConfig,
+};
+use kanon_core::table::Table;
+use kanon_measures::{EntropyMeasure, LmMeasure, NodeCostTable};
+
+/// The k values of Table I and Figures 2–3.
+pub const PAPER_KS: [usize; 4] = [5, 10, 15, 20];
+
+/// The two information-loss measures used in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Measure {
+    /// Entropy measure (Eq. 3).
+    Em,
+    /// LM measure (Eq. 4).
+    Lm,
+}
+
+impl Measure {
+    /// Both measures, in the paper's order.
+    pub const ALL: [Measure; 2] = [Measure::Em, Measure::Lm];
+
+    /// The paper's label ("EM" / "LM").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Measure::Em => "EM",
+            Measure::Lm => "LM",
+        }
+    }
+}
+
+/// Precomputes the node-cost table of a measure over a table.
+pub fn measure_costs(table: &Table, measure: Measure) -> NodeCostTable {
+    match measure {
+        Measure::Em => NodeCostTable::compute(table, &EntropyMeasure),
+        Measure::Lm => NodeCostTable::compute(table, &LmMeasure),
+    }
+}
+
+/// One competitor's result for a (dataset, measure, k) cell.
+#[derive(Debug, Clone)]
+pub struct CompetitorResult {
+    /// Information loss achieved.
+    pub loss: f64,
+    /// Which configuration won (for the "best X" protocols).
+    pub winner: String,
+}
+
+/// "best k-anon": the agglomerative algorithm over all four distance
+/// functions, basic and modified variants (8 runs), keeping the cheapest —
+/// the protocol behind the first row of each Table I block.
+pub fn run_best_k_anon(table: &Table, costs: &NodeCostTable, k: usize) -> CompetitorResult {
+    let (out, cfg) = best_k_anonymize(table, costs, k, &ClusterDistance::paper_variants(), true)
+        .expect("valid k for dataset");
+    CompetitorResult {
+        loss: out.loss,
+        winner: format!(
+            "{}{}",
+            cfg.distance.name(),
+            if cfg.modified { "+mod" } else { "" }
+        ),
+    }
+}
+
+/// The forest baseline (second row of each Table I block).
+pub fn run_forest(table: &Table, costs: &NodeCostTable, k: usize) -> CompetitorResult {
+    let out = forest_k_anonymize(table, costs, k).expect("valid k for dataset");
+    CompetitorResult {
+        loss: out.loss,
+        winner: "forest".to_string(),
+    }
+}
+
+/// "(k,k)-anon": the better of the two couplings Alg.3+5 and Alg.4+5
+/// (third row of each Table I block).
+pub fn run_kk_best(table: &Table, costs: &NodeCostTable, k: usize) -> CompetitorResult {
+    let mut best: Option<CompetitorResult> = None;
+    for method in [K1Method::NearestNeighbors, K1Method::Expansion] {
+        let out = kk_anonymize(table, costs, &KkConfig { k, method }).expect("valid k");
+        let better = best.as_ref().is_none_or(|b| out.loss < b.loss);
+        if better {
+            best = Some(CompetitorResult {
+                loss: out.loss,
+                winner: method.name().to_string(),
+            });
+        }
+    }
+    best.expect("two methods ran")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_data::art;
+
+    #[test]
+    fn competitor_ordering_holds_on_art() {
+        // The paper's two headline orderings on a small ART instance:
+        // best-k-anon ≤ forest and kk ≤ best-k-anon.
+        let table = art::generate(150, 1);
+        for measure in Measure::ALL {
+            let costs = measure_costs(&table, measure);
+            let k = 5;
+            let best = run_best_k_anon(&table, &costs, k);
+            let forest = run_forest(&table, &costs, k);
+            let kk = run_kk_best(&table, &costs, k);
+            assert!(
+                best.loss <= forest.loss + 1e-9,
+                "{}: best {} > forest {}",
+                measure.label(),
+                best.loss,
+                forest.loss
+            );
+            assert!(
+                kk.loss <= best.loss + 1e-9,
+                "{}: kk {} > best {}",
+                measure.label(),
+                kk.loss,
+                best.loss
+            );
+        }
+    }
+
+    #[test]
+    fn losses_grow_with_k() {
+        let table = art::generate(120, 2);
+        let costs = measure_costs(&table, Measure::Lm);
+        let l5 = run_best_k_anon(&table, &costs, 5).loss;
+        let l10 = run_best_k_anon(&table, &costs, 10).loss;
+        assert!(l5 <= l10 + 1e-9, "loss should grow with k: {l5} vs {l10}");
+    }
+
+    #[test]
+    fn winners_are_reported() {
+        let table = art::generate(80, 3);
+        let costs = measure_costs(&table, Measure::Em);
+        let best = run_best_k_anon(&table, &costs, 5);
+        assert!(["D1", "D2", "D3", "D4"]
+            .iter()
+            .any(|d| best.winner.starts_with(d)));
+        let kk = run_kk_best(&table, &costs, 5);
+        assert!(kk.winner == "Alg3+5" || kk.winner == "Alg4+5");
+    }
+}

@@ -1,0 +1,459 @@
+//! `kanon` — command-line anonymization tool.
+//!
+//! Subcommands:
+//!
+//! * `generate <art|adult|cmc> [--n N] [--seed S] [--out FILE]` — emit a
+//!   synthetic dataset as CSV;
+//! * `anonymize <art|adult|cmc> --k K [--notion k|kk|global] [--measure em|lm]
+//!   [--in FILE] [--n N] [--out FILE]` — anonymize a CSV (or a generated
+//!   table) and emit the generalized CSV;
+//! * `verify <art|adult|cmc> --k K --in ORIGINAL --anon GENERALIZED` —
+//!   report the anonymity profile of a published table (original CSV +
+//!   generalized CSV over the same built-in schema);
+//! * `measure <art|adult|cmc> [--in FILE]` — print per-attribute statistics.
+//!
+//! Built-in schemas are used so hierarchies are well-defined; use the
+//! library directly for custom schemas.
+
+use kanon_algos::{
+    best_k_anonymize, global_1k_anonymize, kk_anonymize, ClusterDistance, GlobalConfig, KkConfig,
+};
+use kanon_core::schema::SharedSchema;
+use kanon_core::table::{GeneralizedTable, Table};
+use kanon_core::TableStats;
+use kanon_data::{adult, art, cmc, csv};
+use kanon_measures::{EntropyMeasure, LmMeasure, NodeCostTable};
+use kanon_verify::{journalist_risk, prosecutor_risk, AnonymityProfile};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         kanon generate  <art|adult|cmc> [--n N] [--seed S] [--out FILE]\n  \
+         kanon anonymize <DATASET> --k K [--notion k|kk|global] \
+         [--measure em|lm] [--in FILE] [--n N] [--seed S] [--out FILE]\n  \
+         kanon verify    <DATASET> --k K --in ORIGINAL.csv --anon ANON.csv\n  \
+         kanon measure   <DATASET> [--in FILE] [--n N] [--seed S]\n\n\
+         DATASET is art|adult|cmc (built-in schemas) or custom;\n\
+         custom requires --schema SCHEMA.txt (see kanon_data::schema_text)\n\
+         and --in DATA.csv."
+    );
+    exit(2)
+}
+
+/// Parsed `--flag value` pairs after the positional arguments.
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            if !flag.starts_with("--") {
+                eprintln!("unexpected argument {flag:?}");
+                usage();
+            }
+            let value = it.next().unwrap_or_else(|| {
+                eprintln!("flag {flag} needs a value");
+                usage()
+            });
+            map.insert(flag.trim_start_matches("--").to_string(), value.clone());
+        }
+        Flags(map)
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn usize_or(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--{key} must be an integer");
+                    usage()
+                })
+            })
+            .unwrap_or(default)
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--{key} must be an integer");
+                    usage()
+                })
+            })
+            .unwrap_or(default)
+    }
+}
+
+fn dataset_schema(name: &str, flags: &Flags) -> SharedSchema {
+    match name {
+        "art" => art::schema(),
+        "adult" => adult::schema(),
+        "cmc" => cmc::schema(),
+        "custom" => {
+            let path = flags.get("schema").unwrap_or_else(|| {
+                eprintln!("custom datasets require --schema SCHEMA.txt");
+                usage()
+            });
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1)
+            });
+            kanon_data::parse_schema(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                exit(1)
+            })
+        }
+        other => {
+            eprintln!("unknown dataset {other:?} (expected art|adult|cmc|custom)");
+            usage()
+        }
+    }
+}
+
+/// Loads a table either from `--in FILE` (CSV with header over the
+/// built-in schema) or by generating `--n` rows.
+fn load_table(name: &str, schema: &SharedSchema, flags: &Flags) -> Table {
+    if let Some(path) = flags.get("in") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1)
+        });
+        csv::table_from_csv(schema, &text, true).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            exit(1)
+        })
+    } else {
+        let n = flags.usize_or("n", 1000);
+        let seed = flags.u64_or("seed", 42);
+        match name {
+            "art" => art::generate_with_schema(schema, n, seed),
+            "adult" => adult::generate_with_schema(schema, n, seed),
+            "cmc" => cmc::generate_with_schema(schema, n, seed).table,
+            _ => {
+                eprintln!("custom datasets cannot be generated; pass --in DATA.csv");
+                usage()
+            }
+        }
+    }
+}
+
+fn write_out(flags: &Flags, text: &str) {
+    match flags.get("out") {
+        Some(path) => std::fs::write(path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        }),
+        None => print!("{text}"),
+    }
+}
+
+fn cmd_generate(name: &str, flags: &Flags) {
+    let schema = dataset_schema(name, flags);
+    let table = load_table(name, &schema, flags);
+    write_out(flags, &csv::table_to_csv(&table));
+}
+
+fn cmd_anonymize(name: &str, flags: &Flags) {
+    let schema = dataset_schema(name, flags);
+    let table = load_table(name, &schema, flags);
+    let k = flags.usize_or("k", 0);
+    if k == 0 {
+        eprintln!("anonymize requires --k");
+        usage();
+    }
+    let costs = match flags.get("measure").unwrap_or("em") {
+        "em" => NodeCostTable::compute(&table, &EntropyMeasure),
+        "lm" => NodeCostTable::compute(&table, &LmMeasure),
+        other => {
+            eprintln!("unknown measure {other:?} (expected em|lm)");
+            usage()
+        }
+    };
+    let notion = flags.get("notion").unwrap_or("kk");
+    let gtable: GeneralizedTable = match notion {
+        "k" => {
+            let (out, cfg) =
+                best_k_anonymize(&table, &costs, k, &ClusterDistance::paper_variants(), true)
+                    .unwrap_or_else(|e| {
+                        eprintln!("anonymization failed: {e}");
+                        exit(1)
+                    });
+            eprintln!(
+                "k-anonymized with {}{}; loss = {:.4} ({})",
+                cfg.distance.name(),
+                if cfg.modified { "+mod" } else { "" },
+                out.loss,
+                costs.measure_name()
+            );
+            out.table
+        }
+        "kk" => {
+            let out = kk_anonymize(&table, &costs, &KkConfig::new(k)).unwrap_or_else(|e| {
+                eprintln!("anonymization failed: {e}");
+                exit(1)
+            });
+            eprintln!(
+                "(k,k)-anonymized; loss = {:.4} ({})",
+                out.loss,
+                costs.measure_name()
+            );
+            out.table
+        }
+        "global" => {
+            let out =
+                global_1k_anonymize(&table, &costs, &GlobalConfig::new(k)).unwrap_or_else(|e| {
+                    eprintln!("anonymization failed: {e}");
+                    exit(1)
+                });
+            eprintln!(
+                "globally (1,k)-anonymized; loss = {:.4} ({}); {} upgrades for {} deficient records",
+                out.loss,
+                costs.measure_name(),
+                out.upgrade_steps,
+                out.deficient_records
+            );
+            out.table
+        }
+        other => {
+            eprintln!("unknown notion {other:?} (expected k|kk|global)");
+            usage()
+        }
+    };
+    write_out(flags, &csv::generalized_to_csv(&gtable));
+}
+
+/// Parses a generalized CSV produced by `kanon anonymize` back into a
+/// [`GeneralizedTable`] over the given schema.
+fn parse_generalized_csv(schema: &SharedSchema, text: &str) -> Result<GeneralizedTable, String> {
+    let mut rows = csv::parse_csv(text);
+    if rows.is_empty() {
+        return Err("empty file".into());
+    }
+    rows.remove(0); // header
+    let mut grecords = Vec::with_capacity(rows.len());
+    for fields in &rows {
+        if fields.len() == 1 && fields[0].trim().is_empty() {
+            continue;
+        }
+        if fields.len() != schema.num_attrs() {
+            return Err(format!(
+                "row has {} fields, schema expects {}",
+                fields.len(),
+                schema.num_attrs()
+            ));
+        }
+        let mut nodes = Vec::with_capacity(fields.len());
+        for (j, raw) in fields.iter().enumerate() {
+            let attr = schema.attr(j);
+            let h = attr.hierarchy();
+            let raw = raw.trim();
+            // A literal value label always wins: domains may legitimately
+            // contain labels that *look* like the generalized notations
+            // ("*", "{…}"), and `generalized_to_csv` prints leaf labels
+            // verbatim. (A domain whose label is exactly "*" remains
+            // ambiguous with full suppression in this text format — the
+            // leaf interpretation is chosen; avoid such labels.)
+            let node = if let Ok(v) = attr.domain().value_of(raw) {
+                h.leaf(v)
+            } else if raw == "*" {
+                h.root()
+            } else if let Some(inner) = raw.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+                let values: Result<Vec<_>, _> = inner
+                    .split(',')
+                    .map(|l| attr.domain().value_of(l.trim()))
+                    .collect();
+                let values = values.map_err(|e| e.to_string())?;
+                h.node_of_exact_set(&values).ok_or_else(|| {
+                    format!("{raw} is not a permissible subset of {}", attr.name())
+                })?
+            } else {
+                h.leaf(attr.domain().value_of(raw).map_err(|e| e.to_string())?)
+            };
+            nodes.push(node);
+        }
+        grecords.push(kanon_core::GeneralizedRecord::new(nodes));
+    }
+    GeneralizedTable::new(std::sync::Arc::clone(schema), grecords).map_err(|e| e.to_string())
+}
+
+fn cmd_verify(name: &str, flags: &Flags) {
+    let schema = dataset_schema(name, flags);
+    let k = flags.usize_or("k", 0);
+    let original = flags.get("in").unwrap_or_else(|| {
+        eprintln!("verify requires --in ORIGINAL.csv");
+        usage()
+    });
+    let anon = flags.get("anon").unwrap_or_else(|| {
+        eprintln!("verify requires --anon ANON.csv");
+        usage()
+    });
+    let orig_text = std::fs::read_to_string(original).unwrap_or_else(|e| {
+        eprintln!("cannot read {original}: {e}");
+        exit(1)
+    });
+    let table = csv::table_from_csv(&schema, &orig_text, true).unwrap_or_else(|e| {
+        eprintln!("cannot parse {original}: {e}");
+        exit(1)
+    });
+    let anon_text = std::fs::read_to_string(anon).unwrap_or_else(|e| {
+        eprintln!("cannot read {anon}: {e}");
+        exit(1)
+    });
+    let gtable = parse_generalized_csv(&schema, &anon_text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {anon}: {e}");
+        exit(1)
+    });
+
+    let profile = AnonymityProfile::compute(&table, &gtable).unwrap_or_else(|e| {
+        eprintln!("verification failed: {e}");
+        exit(1)
+    });
+    println!("anonymity profile (largest k for which each notion holds):");
+    println!("  k-anonymity:      {}", profile.k_anonymity);
+    println!("  (1,k)-anonymity:  {}", profile.one_k);
+    println!("  (k,1)-anonymity:  {}", profile.k_one);
+    println!("  (k,k)-anonymity:  {}", profile.kk);
+    println!("  global (1,k):     {}", profile.global_1k);
+    if let (Ok(j), Ok(p)) = (
+        journalist_risk(&table, &gtable),
+        prosecutor_risk(&table, &gtable),
+    ) {
+        println!(
+            "re-identification risk: journalist max {:.3} avg {:.3}; \
+             prosecutor max {:.3} avg {:.3}",
+            j.max_risk, j.avg_risk, p.max_risk, p.avg_risk
+        );
+    }
+    if k > 0 {
+        let pass = profile.kk >= k;
+        println!(
+            "requested k = {k}: (k,k) {}",
+            if pass { "SATISFIED" } else { "VIOLATED" }
+        );
+        if !pass {
+            exit(1);
+        }
+    }
+}
+
+fn cmd_measure(name: &str, flags: &Flags) {
+    let schema = dataset_schema(name, flags);
+    let table = load_table(name, &schema, flags);
+    let stats = TableStats::compute(&table);
+    println!(
+        "{} rows, {} attributes",
+        table.num_rows(),
+        table.num_attrs()
+    );
+    for (j, (_, attr)) in schema.attrs().enumerate() {
+        let dist = stats.attr(j);
+        println!(
+            "  {:<18} |domain| = {:<4} H = {:.3} bits, hierarchy: {} nodes, height {}",
+            attr.name(),
+            attr.domain().size(),
+            dist.entropy(),
+            attr.hierarchy().num_nodes(),
+            attr.hierarchy().height()
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let cmd = args[0].as_str();
+    let dataset = args[1].as_str();
+    let flags = Flags::parse(&args[2..]);
+    match cmd {
+        "generate" => cmd_generate(dataset, &flags),
+        "anonymize" => cmd_anonymize(dataset, &flags),
+        "verify" => cmd_verify(dataset, &flags),
+        "measure" => cmd_measure(dataset, &flags),
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Flags {
+        Flags::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn flags_parse_pairs() {
+        let f = flags(&["--k", "5", "--measure", "lm"]);
+        assert_eq!(f.get("k"), Some("5"));
+        assert_eq!(f.get("measure"), Some("lm"));
+        assert_eq!(f.get("missing"), None);
+        assert_eq!(f.usize_or("k", 1), 5);
+        assert_eq!(f.usize_or("absent", 7), 7);
+        assert_eq!(f.u64_or("absent", 9), 9);
+    }
+
+    #[test]
+    fn builtin_schemas_resolve() {
+        let f = flags(&[]);
+        assert_eq!(dataset_schema("art", &f).num_attrs(), 6);
+        assert_eq!(dataset_schema("adult", &f).num_attrs(), 9);
+        assert_eq!(dataset_schema("cmc", &f).num_attrs(), 9);
+    }
+
+    #[test]
+    fn generalized_csv_roundtrip() {
+        let schema = art::schema();
+        let table = art::generate_with_schema(&schema, 30, 5);
+        let costs = NodeCostTable::compute(&table, &EntropyMeasure);
+        let out = kk_anonymize(&table, &costs, &KkConfig::new(3)).unwrap();
+        let text = csv::generalized_to_csv(&out.table);
+        let back = parse_generalized_csv(&schema, &text).unwrap();
+        assert_eq!(out.table.rows(), back.rows());
+    }
+
+    #[test]
+    fn generalized_csv_rejects_bad_subset() {
+        let schema = art::schema();
+        // {a1,a3} is not a permissible subset of A2.
+        let text = "A1,A2,A3,A4,A5,A6\na1,\"{a1,a3}\",a1,a1,a1,a1\n";
+        assert!(parse_generalized_csv(&schema, text).is_err());
+    }
+
+    #[test]
+    fn literal_labels_beat_generalized_notation() {
+        // A domain containing labels that look like generalized notation
+        // must round-trip as leaves.
+        let schema =
+            kanon_data::parse_schema("attr x = {low}, low, high\ngroup x = low, high\n").unwrap();
+        let text = "x\n\"{low}\"\nlow\n\"{low,high}\"\n";
+        let g = parse_generalized_csv(&schema, text).unwrap();
+        let h = schema.attr(0).hierarchy();
+        // "{low}" is a real label → its leaf, not the {low} subset.
+        let lit = schema.attr(0).domain().value_of("{low}").unwrap();
+        assert_eq!(g.row(0).get(0), h.leaf(lit));
+        let low = schema.attr(0).domain().value_of("low").unwrap();
+        assert_eq!(g.row(1).get(0), h.leaf(low));
+        // "{low,high}" is not a label → parsed as the permissible pair.
+        let high = schema.attr(0).domain().value_of("high").unwrap();
+        let pair = h.closure([low, high]).unwrap();
+        assert_eq!(g.row(2).get(0), pair);
+    }
+
+    #[test]
+    fn generalized_csv_parses_star_and_leaf() {
+        let schema = art::schema();
+        let text = "A1,A2,A3,A4,A5,A6\n*,a2,a1,a1,a1,a1\n";
+        let g = parse_generalized_csv(&schema, text).unwrap();
+        assert_eq!(g.num_rows(), 1);
+        let h = schema.attr(0).hierarchy();
+        assert_eq!(g.row(0).get(0), h.root());
+    }
+}

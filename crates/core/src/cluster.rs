@@ -1,0 +1,227 @@
+//! Clusterings: partitions `γ = {S_1, …, S_m}` of the table's rows, and
+//! their translation into generalized tables by replacing every record
+//! with the closure of its cluster (end of Sec. V-A.1).
+
+use crate::error::{CoreError, Result};
+use crate::generalize::closure_of_rows;
+use crate::record::GeneralizedRecord;
+use crate::table::{GeneralizedTable, Table};
+use std::sync::Arc;
+
+/// A partition of row indices `0..n` into non-empty clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// `assignment[i]` = cluster index of row `i`.
+    assignment: Vec<u32>,
+    /// `clusters[c]` = sorted row indices of cluster `c`.
+    clusters: Vec<Vec<u32>>,
+}
+
+impl Clustering {
+    /// Builds a clustering from per-row cluster assignments. Cluster ids
+    /// must be dense (`0..m` all used).
+    pub fn from_assignment(assignment: Vec<u32>) -> Result<Self> {
+        if assignment.is_empty() {
+            return Err(CoreError::InvalidClustering("empty assignment".into()));
+        }
+        let m = (*assignment.iter().max().unwrap() as usize) + 1;
+        let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); m];
+        for (i, &c) in assignment.iter().enumerate() {
+            clusters[c as usize].push(i as u32);
+        }
+        if let Some(empty) = clusters.iter().position(|c| c.is_empty()) {
+            return Err(CoreError::InvalidClustering(format!(
+                "cluster id {empty} is unused (ids must be dense)"
+            )));
+        }
+        Ok(Clustering {
+            assignment,
+            clusters,
+        })
+    }
+
+    /// Builds a clustering from explicit clusters; validates that they
+    /// partition `0..n`.
+    pub fn from_clusters(n: usize, clusters: Vec<Vec<u32>>) -> Result<Self> {
+        let mut assignment = vec![u32::MAX; n];
+        for (c, rows) in clusters.iter().enumerate() {
+            if rows.is_empty() {
+                return Err(CoreError::InvalidClustering(format!(
+                    "cluster {c} is empty"
+                )));
+            }
+            for &i in rows {
+                let slot = assignment.get_mut(i as usize).ok_or_else(|| {
+                    CoreError::InvalidClustering(format!("row {i} out of range (n={n})"))
+                })?;
+                if *slot != u32::MAX {
+                    return Err(CoreError::InvalidClustering(format!(
+                        "row {i} appears in clusters {} and {c}",
+                        *slot
+                    )));
+                }
+                *slot = c as u32;
+            }
+        }
+        if let Some(missing) = assignment.iter().position(|&c| c == u32::MAX) {
+            return Err(CoreError::InvalidClustering(format!(
+                "row {missing} is not covered by any cluster"
+            )));
+        }
+        let mut clusters = clusters;
+        for c in &mut clusters {
+            c.sort_unstable();
+        }
+        Ok(Clustering {
+            assignment,
+            clusters,
+        })
+    }
+
+    /// Number of rows covered.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of clusters `m`.
+    #[inline]
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Cluster index of a row.
+    #[inline]
+    pub fn cluster_of(&self, row: usize) -> u32 {
+        self.assignment[row]
+    }
+
+    /// Rows of a cluster, sorted ascending.
+    #[inline]
+    pub fn cluster(&self, c: usize) -> &[u32] {
+        &self.clusters[c]
+    }
+
+    /// All clusters.
+    #[inline]
+    pub fn clusters(&self) -> &[Vec<u32>] {
+        &self.clusters
+    }
+
+    /// The smallest cluster size — the anonymity level the clustering
+    /// guarantees when translated to a generalized table.
+    pub fn min_cluster_size(&self) -> usize {
+        self.clusters.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// The largest cluster size.
+    pub fn max_cluster_size(&self) -> usize {
+        self.clusters.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Translates the clustering into a generalized table: every row is
+    /// replaced by the closure of its cluster. Since all rows of a cluster
+    /// share one generalized record, a clustering with all clusters of
+    /// size ≥ k yields a k-anonymization (Sec. V-A.1).
+    pub fn to_generalized_table(&self, table: &Table) -> Result<GeneralizedTable> {
+        if table.num_rows() != self.num_rows() {
+            return Err(CoreError::RowCountMismatch {
+                left: table.num_rows(),
+                right: self.num_rows(),
+            });
+        }
+        let closures: Vec<GeneralizedRecord> = self
+            .clusters
+            .iter()
+            .map(|rows| {
+                let idx: Vec<usize> = rows.iter().map(|&i| i as usize).collect();
+                closure_of_rows(table, &idx).expect("clusters are non-empty")
+            })
+            .collect();
+        let rows = self
+            .assignment
+            .iter()
+            .map(|&c| closures[c as usize].clone())
+            .collect();
+        Ok(GeneralizedTable::new_unchecked(
+            Arc::clone(table.schema()),
+            rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::schema::{SchemaBuilder, SharedSchema};
+
+    fn schema() -> SharedSchema {
+        SchemaBuilder::new()
+            .categorical_with_groups("c", ["a", "b", "c", "d"], &[&["a", "b"], &["c", "d"]])
+            .build_shared()
+            .unwrap()
+    }
+
+    #[test]
+    fn from_assignment_roundtrip() {
+        let cl = Clustering::from_assignment(vec![0, 1, 0, 1, 1]).unwrap();
+        assert_eq!(cl.num_clusters(), 2);
+        assert_eq!(cl.cluster(0), &[0, 2]);
+        assert_eq!(cl.cluster(1), &[1, 3, 4]);
+        assert_eq!(cl.cluster_of(3), 1);
+        assert_eq!(cl.min_cluster_size(), 2);
+        assert_eq!(cl.max_cluster_size(), 3);
+    }
+
+    #[test]
+    fn from_assignment_rejects_gaps() {
+        assert!(Clustering::from_assignment(vec![0, 2]).is_err());
+        assert!(Clustering::from_assignment(vec![]).is_err());
+    }
+
+    #[test]
+    fn from_clusters_validates_partition() {
+        assert!(Clustering::from_clusters(3, vec![vec![0, 1], vec![2]]).is_ok());
+        // overlap
+        assert!(Clustering::from_clusters(3, vec![vec![0, 1], vec![1, 2]]).is_err());
+        // missing row
+        assert!(Clustering::from_clusters(3, vec![vec![0, 1]]).is_err());
+        // out of range
+        assert!(Clustering::from_clusters(2, vec![vec![0, 1, 5]]).is_err());
+        // empty cluster
+        assert!(Clustering::from_clusters(2, vec![vec![0, 1], vec![]]).is_err());
+    }
+
+    #[test]
+    fn translation_produces_cluster_closures() {
+        let s = schema();
+        let t = Table::new(
+            Arc::clone(&s),
+            vec![
+                Record::from_raw([0]), // a
+                Record::from_raw([1]), // b
+                Record::from_raw([2]), // c
+                Record::from_raw([3]), // d
+            ],
+        )
+        .unwrap();
+        let cl = Clustering::from_assignment(vec![0, 0, 1, 1]).unwrap();
+        let g = cl.to_generalized_table(&t).unwrap();
+        let h = s.attr(0).hierarchy();
+        // Rows 0,1 share the {a,b} node; rows 2,3 share {c,d}.
+        assert_eq!(g.row(0), g.row(1));
+        assert_eq!(g.row(2), g.row(3));
+        assert_eq!(h.node_size(g.row(0).get(0)), 2);
+        assert_eq!(h.node_size(g.row(2).get(0)), 2);
+        assert_ne!(g.row(0), g.row(2));
+    }
+
+    #[test]
+    fn translation_checks_row_count() {
+        let s = schema();
+        let t = Table::new(Arc::clone(&s), vec![Record::from_raw([0])]).unwrap();
+        let cl = Clustering::from_assignment(vec![0, 0]).unwrap();
+        assert!(cl.to_generalized_table(&t).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Attribute domains: the finite value sets `A_j` of the paper (Sec. III).
+//!
+//! Every public attribute (quasi-identifier) takes values in a finite set
+//! `A_j = {a_{j,1}, …, a_{j,m_j}}`. Numeric attributes such as `age` are
+//! modelled, exactly as in the paper's experiments, as bounded finite
+//! domains (one value per year / bucket). Values are referred to by dense
+//! [`ValueId`] indices; human-readable labels are kept for display and I/O.
+
+use crate::error::{CoreError, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of an attribute within a [`crate::schema::Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// The attribute index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0 + 1)
+    }
+}
+
+/// Index of a ground value within an [`AttributeDomain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// The value index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A finite, ordered attribute domain with unique string labels.
+///
+/// ```
+/// use kanon_core::domain::AttributeDomain;
+///
+/// let d = AttributeDomain::new("gender", ["M", "F"]).unwrap();
+/// assert_eq!(d.size(), 2);
+/// assert_eq!(d.label(d.value_of("F").unwrap()), "F");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeDomain {
+    name: String,
+    labels: Vec<String>,
+    lookup: HashMap<String, ValueId>,
+}
+
+impl AttributeDomain {
+    /// Builds a domain from a name and an ordered list of value labels.
+    ///
+    /// Fails with [`CoreError::EmptyDomain`] on an empty list and
+    /// [`CoreError::DuplicateValue`] on repeated labels.
+    pub fn new<N, I, S>(name: N, labels: I) -> Result<Self>
+    where
+        N: Into<String>,
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        if labels.is_empty() {
+            return Err(CoreError::EmptyDomain);
+        }
+        let mut lookup = HashMap::with_capacity(labels.len());
+        for (i, l) in labels.iter().enumerate() {
+            if lookup.insert(l.clone(), ValueId(i as u32)).is_some() {
+                return Err(CoreError::DuplicateValue(l.clone()));
+            }
+        }
+        Ok(AttributeDomain {
+            name: name.into(),
+            labels,
+            lookup,
+        })
+    }
+
+    /// Builds a numeric bucket domain `lo..=hi` with one value per integer,
+    /// labelled by the integer itself — the paper's model for `age`-like
+    /// attributes.
+    pub fn numeric<N: Into<String>>(name: N, lo: i64, hi: i64) -> Result<Self> {
+        if lo > hi {
+            return Err(CoreError::EmptyDomain);
+        }
+        Self::new(name, (lo..=hi).map(|v| v.to_string()))
+    }
+
+    /// Builds an anonymous domain of `size` values labelled `a1..a{size}`
+    /// (handy for the paper's abstract examples and for tests).
+    pub fn anonymous<N: Into<String>>(name: N, size: usize) -> Result<Self> {
+        if size == 0 {
+            return Err(CoreError::EmptyDomain);
+        }
+        Self::new(name, (1..=size).map(|i| format!("a{i}")))
+    }
+
+    /// The attribute's display name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of ground values `m_j` in the domain.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The label of a value. Panics if the id is out of range.
+    #[inline]
+    pub fn label(&self, v: ValueId) -> &str {
+        &self.labels[v.index()]
+    }
+
+    /// Resolves a label to its [`ValueId`].
+    pub fn value_of(&self, label: &str) -> Result<ValueId> {
+        self.lookup
+            .get(label)
+            .copied()
+            .ok_or_else(|| CoreError::UnknownLabel {
+                attr: self.name.clone(),
+                label: label.to_string(),
+            })
+    }
+
+    /// Checked conversion of a raw index into a [`ValueId`] of this domain.
+    pub fn value_from_index(&self, idx: usize) -> Result<ValueId> {
+        if idx < self.labels.len() {
+            Ok(ValueId(idx as u32))
+        } else {
+            Err(CoreError::ValueOutOfRange {
+                value: idx as u32,
+                domain_size: self.labels.len() as u32,
+            })
+        }
+    }
+
+    /// Iterates over all value ids of the domain in order.
+    pub fn values(&self) -> impl Iterator<Item = ValueId> + '_ {
+        (0..self.labels.len() as u32).map(ValueId)
+    }
+
+    /// Iterates over `(ValueId, label)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (ValueId, &str)> + '_ {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (ValueId(i as u32), l.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_resolves() {
+        let d = AttributeDomain::new("color", ["red", "green", "blue"]).unwrap();
+        assert_eq!(d.size(), 3);
+        assert_eq!(d.value_of("green").unwrap(), ValueId(1));
+        assert_eq!(d.label(ValueId(2)), "blue");
+        assert_eq!(d.name(), "color");
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(
+            AttributeDomain::new("x", Vec::<String>::new()).unwrap_err(),
+            CoreError::EmptyDomain
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let err = AttributeDomain::new("x", ["a", "b", "a"]).unwrap_err();
+        assert_eq!(err, CoreError::DuplicateValue("a".into()));
+    }
+
+    #[test]
+    fn numeric_domain_covers_range() {
+        let d = AttributeDomain::numeric("age", 17, 20).unwrap();
+        assert_eq!(d.size(), 4);
+        assert_eq!(d.label(ValueId(0)), "17");
+        assert_eq!(d.value_of("20").unwrap(), ValueId(3));
+    }
+
+    #[test]
+    fn numeric_rejects_inverted_range() {
+        assert!(AttributeDomain::numeric("age", 5, 4).is_err());
+    }
+
+    #[test]
+    fn anonymous_domain_labels() {
+        let d = AttributeDomain::anonymous("A5", 10).unwrap();
+        assert_eq!(d.size(), 10);
+        assert_eq!(d.label(ValueId(0)), "a1");
+        assert_eq!(d.label(ValueId(9)), "a10");
+    }
+
+    #[test]
+    fn unknown_label_reports_attr() {
+        let d = AttributeDomain::new("sex", ["M", "F"]).unwrap();
+        match d.value_of("X").unwrap_err() {
+            CoreError::UnknownLabel { attr, label } => {
+                assert_eq!(attr, "sex");
+                assert_eq!(label, "X");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_from_index_bounds() {
+        let d = AttributeDomain::new("sex", ["M", "F"]).unwrap();
+        assert!(d.value_from_index(1).is_ok());
+        assert!(d.value_from_index(2).is_err());
+    }
+
+    #[test]
+    fn id_displays() {
+        assert_eq!(AttrId(0).to_string(), "A1");
+        assert_eq!(AttrId(2).index(), 2);
+        assert_eq!(ValueId(5).to_string(), "5");
+    }
+
+    #[test]
+    fn entries_pair_ids_and_labels() {
+        let d = AttributeDomain::new("c", ["x", "y"]).unwrap();
+        let pairs: Vec<(u32, &str)> = d.entries().map(|(v, l)| (v.0, l)).collect();
+        assert_eq!(pairs, vec![(0, "x"), (1, "y")]);
+    }
+
+    #[test]
+    fn values_iterator_is_dense() {
+        let d = AttributeDomain::anonymous("x", 4).unwrap();
+        let vs: Vec<u32> = d.values().map(|v| v.0).collect();
+        assert_eq!(vs, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Error types for the `kanon-core` crate.
+
+use std::fmt;
+
+/// Errors produced while building or manipulating schemas, hierarchies,
+/// tables and generalizations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum CoreError {
+    /// A domain was declared with no values.
+    EmptyDomain,
+    /// A value label appears twice in a domain declaration.
+    DuplicateValue(String),
+    /// A value id is out of range for its domain.
+    ValueOutOfRange { value: u32, domain_size: u32 },
+    /// A subset supplied to a hierarchy builder is empty.
+    EmptySubset,
+    /// Two subsets of a hierarchy overlap without one containing the other,
+    /// so the collection is not laminar and cannot be compiled into a tree.
+    NotLaminar { a: String, b: String },
+    /// A record has the wrong number of attributes for its schema.
+    ArityMismatch { expected: usize, found: usize },
+    /// An attribute index is out of range for the schema.
+    AttrOutOfRange { attr: usize, num_attrs: usize },
+    /// A node id does not belong to the hierarchy it was used with.
+    NodeOutOfRange { node: u32, num_nodes: u32 },
+    /// Tables passed to an operation have different numbers of rows.
+    RowCountMismatch { left: usize, right: usize },
+    /// Tables passed to an operation were built over different schemas.
+    SchemaMismatch,
+    /// The requested anonymity parameter is not achievable
+    /// (e.g. `k` larger than the number of records, or `k == 0`).
+    InvalidK { k: usize, n: usize },
+    /// A clustering is not a partition of the table's row indices.
+    InvalidClustering(String),
+    /// A label could not be resolved against a domain.
+    UnknownLabel { attr: String, label: String },
+    /// Interval hierarchy widths must be non-decreasing divisors of the
+    /// domain layout; this variant reports a bad width sequence.
+    BadIntervalWidths(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyDomain => write!(f, "attribute domain must contain at least one value"),
+            CoreError::DuplicateValue(v) => write!(f, "duplicate value label {v:?} in domain"),
+            CoreError::ValueOutOfRange { value, domain_size } => {
+                write!(
+                    f,
+                    "value id {value} out of range for domain of size {domain_size}"
+                )
+            }
+            CoreError::EmptySubset => write!(f, "hierarchy subsets must be non-empty"),
+            CoreError::NotLaminar { a, b } => {
+                write!(
+                    f,
+                    "hierarchy collection is not laminar: {a} and {b} overlap without nesting"
+                )
+            }
+            CoreError::ArityMismatch { expected, found } => {
+                write!(
+                    f,
+                    "record has {found} attributes, schema expects {expected}"
+                )
+            }
+            CoreError::AttrOutOfRange { attr, num_attrs } => {
+                write!(
+                    f,
+                    "attribute index {attr} out of range (schema has {num_attrs})"
+                )
+            }
+            CoreError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "hierarchy node {node} out of range ({num_nodes} nodes)")
+            }
+            CoreError::RowCountMismatch { left, right } => {
+                write!(f, "tables have different row counts: {left} vs {right}")
+            }
+            CoreError::SchemaMismatch => write!(f, "tables were built over different schemas"),
+            CoreError::InvalidK { k, n } => {
+                write!(
+                    f,
+                    "anonymity parameter k={k} is invalid for a table of {n} records"
+                )
+            }
+            CoreError::InvalidClustering(msg) => write!(f, "invalid clustering: {msg}"),
+            CoreError::UnknownLabel { attr, label } => {
+                write!(f, "unknown label {label:?} for attribute {attr:?}")
+            }
+            CoreError::BadIntervalWidths(msg) => write!(f, "bad interval widths: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Convenience result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CoreError::InvalidK { k: 10, n: 5 };
+        assert!(e.to_string().contains("k=10"));
+        assert!(e.to_string().contains("5 records"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+
+    #[test]
+    fn errors_compare_equal() {
+        assert_eq!(CoreError::EmptyDomain, CoreError::EmptyDomain);
+        assert_ne!(
+            CoreError::EmptySubset,
+            CoreError::DuplicateValue("x".into())
+        );
+    }
+}

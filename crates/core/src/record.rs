@@ -1,0 +1,175 @@
+//! Records: the tuples `R_i ∈ A_1 × ⋯ × A_r` of Eq. (1), and generalized
+//! records `R̄_i ∈ 𝒜_1 × ⋯ × 𝒜_r` of Def. 3.2.
+//!
+//! A [`Record`] stores one [`crate::domain::ValueId`] per attribute; a
+//! [`GeneralizedRecord`] stores one hierarchy [`crate::hierarchy::NodeId`]
+//! per attribute (the permissible subset the entry was generalized to).
+
+use crate::domain::ValueId;
+use crate::hierarchy::NodeId;
+use crate::schema::Schema;
+
+/// An original (ground) record: one value per public attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Record {
+    values: Box<[ValueId]>,
+}
+
+impl Record {
+    /// Builds a record from values; does not validate against a schema
+    /// (see [`Schema::validate_values`] for that).
+    pub fn new<I: IntoIterator<Item = ValueId>>(values: I) -> Self {
+        Record {
+            values: values.into_iter().collect(),
+        }
+    }
+
+    /// Builds a record from raw `u32` value indices (test/IO convenience).
+    pub fn from_raw<I: IntoIterator<Item = u32>>(values: I) -> Self {
+        Record {
+            values: values.into_iter().map(ValueId).collect(),
+        }
+    }
+
+    /// The record's values.
+    #[inline]
+    pub fn values(&self) -> &[ValueId] {
+        &self.values
+    }
+
+    /// The value of attribute `j` (the paper's `R_i(j)`).
+    #[inline]
+    pub fn get(&self, j: usize) -> ValueId {
+        self.values[j]
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Renders the record using its schema's labels, comma-separated.
+    pub fn display(&self, schema: &Schema) -> String {
+        let mut s = String::new();
+        for (j, &v) in self.values.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(schema.attr(j).domain().label(v));
+        }
+        s
+    }
+}
+
+/// A generalized record: one permissible subset (hierarchy node) per
+/// attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GeneralizedRecord {
+    nodes: Box<[NodeId]>,
+}
+
+impl GeneralizedRecord {
+    /// Builds a generalized record from hierarchy nodes; does not validate
+    /// against a schema (see [`Schema::validate_nodes`]).
+    pub fn new<I: IntoIterator<Item = NodeId>>(nodes: I) -> Self {
+        GeneralizedRecord {
+            nodes: nodes.into_iter().collect(),
+        }
+    }
+
+    /// The node ids.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The generalized entry for attribute `j` (the paper's `R̄_i(j)`).
+    #[inline]
+    pub fn get(&self, j: usize) -> NodeId {
+        self.nodes[j]
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Replaces the entry of attribute `j`.
+    #[inline]
+    pub fn set(&mut self, j: usize, n: NodeId) {
+        self.nodes[j] = n;
+    }
+
+    /// Renders the record using its schema's labels; generalized entries
+    /// appear as `{v1,v2,…}`, suppressed entries as `*`.
+    pub fn display(&self, schema: &Schema) -> String {
+        let mut s = String::new();
+        for (j, &n) in self.nodes.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let attr = schema.attr(j);
+            s.push_str(&attr.hierarchy().format_node(n, |v| attr.domain().label(v)));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+
+    #[test]
+    fn record_roundtrip() {
+        let r = Record::from_raw([1, 0, 2]);
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.get(0), ValueId(1));
+        assert_eq!(r.values(), &[ValueId(1), ValueId(0), ValueId(2)]);
+    }
+
+    #[test]
+    fn record_display_uses_labels() {
+        let s = SchemaBuilder::new()
+            .categorical("g", ["M", "F"])
+            .categorical("c", ["red", "green", "blue"])
+            .build()
+            .unwrap();
+        let r = Record::from_raw([1, 2]);
+        assert_eq!(r.display(&s), "F, blue");
+    }
+
+    #[test]
+    fn generalized_display_shapes() {
+        let s = SchemaBuilder::new()
+            .categorical_with_groups("c", ["r", "g", "b"], &[&["r", "g"]])
+            .categorical("x", ["p", "q"])
+            .build()
+            .unwrap();
+        let h0 = s.attr(0).hierarchy();
+        let h1 = s.attr(1).hierarchy();
+        let pair = h0.closure([ValueId(0), ValueId(1)]).unwrap();
+        let gr = GeneralizedRecord::new([pair, h1.root()]);
+        assert_eq!(gr.display(&s), "{r,g}, *");
+    }
+
+    #[test]
+    fn set_replaces_entry() {
+        let mut gr = GeneralizedRecord::new([NodeId(1), NodeId(2)]);
+        gr.set(1, NodeId(5));
+        assert_eq!(gr.get(1), NodeId(5));
+        assert_eq!(gr.get(0), NodeId(1));
+    }
+
+    #[test]
+    fn records_hash_and_compare() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Record::from_raw([0, 1]));
+        set.insert(Record::from_raw([0, 1]));
+        set.insert(Record::from_raw([1, 0]));
+        assert_eq!(set.len(), 2);
+    }
+}

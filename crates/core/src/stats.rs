@@ -1,0 +1,174 @@
+//! Empirical attribute distributions: the `Pr(X_j = a)` of Sec. IV, which
+//! parameterize the entropy measure.
+
+use crate::domain::ValueId;
+use crate::table::Table;
+
+/// Value counts for one attribute over a table.
+#[derive(Debug, Clone)]
+pub struct AttributeDistribution {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl AttributeDistribution {
+    /// Count of one value.
+    #[inline]
+    pub fn count(&self, v: ValueId) -> u64 {
+        self.counts[v.index()]
+    }
+
+    /// All counts, indexed by value id.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of records.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Empirical probability `Pr(X_j = a)`.
+    #[inline]
+    pub fn probability(&self, v: ValueId) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(v) as f64 / self.total as f64
+        }
+    }
+
+    /// Number of records whose value lies in the given subset.
+    pub fn count_in<I: IntoIterator<Item = ValueId>>(&self, values: I) -> u64 {
+        values.into_iter().map(|v| self.count(v)).sum()
+    }
+
+    /// Shannon entropy `H(X_j)` of the whole attribute, in bits.
+    pub fn entropy(&self) -> f64 {
+        conditional_entropy(&self.counts)
+    }
+}
+
+/// Per-attribute distributions for a whole table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    attrs: Vec<AttributeDistribution>,
+}
+
+impl TableStats {
+    /// Computes value counts for every attribute of the table.
+    pub fn compute(table: &Table) -> Self {
+        let schema = table.schema();
+        let mut attrs: Vec<AttributeDistribution> = (0..schema.num_attrs())
+            .map(|j| AttributeDistribution {
+                counts: vec![0; schema.attr(j).domain().size()],
+                total: table.num_rows() as u64,
+            })
+            .collect();
+        for rec in table.rows() {
+            for (j, &v) in rec.values().iter().enumerate() {
+                attrs[j].counts[v.index()] += 1;
+            }
+        }
+        TableStats { attrs }
+    }
+
+    /// Distribution of attribute `j`.
+    #[inline]
+    pub fn attr(&self, j: usize) -> &AttributeDistribution {
+        &self.attrs[j]
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+/// Entropy (in bits) of the normalized distribution of the given counts;
+/// zero-count buckets contribute nothing; all-zero input yields 0.
+/// This is the `H(X_j | B)` kernel of Def. 4.3 when fed the counts of the
+/// values inside `B`.
+pub fn conditional_entropy(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    let mut h = 0.0;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::schema::SchemaBuilder;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_and_probabilities() {
+        let s = SchemaBuilder::new()
+            .categorical("c", ["a", "b", "c"])
+            .build_shared()
+            .unwrap();
+        let t = Table::new(
+            Arc::clone(&s),
+            vec![
+                Record::from_raw([0]),
+                Record::from_raw([0]),
+                Record::from_raw([1]),
+                Record::from_raw([2]),
+            ],
+        )
+        .unwrap();
+        let st = TableStats::compute(&t);
+        let d = st.attr(0);
+        assert_eq!(d.count(ValueId(0)), 2);
+        assert_eq!(d.count(ValueId(1)), 1);
+        assert_eq!(d.total(), 4);
+        assert!((d.probability(ValueId(0)) - 0.5).abs() < 1e-12);
+        assert_eq!(d.count_in([ValueId(0), ValueId(2)]), 3);
+    }
+
+    #[test]
+    fn entropy_uniform_and_skewed() {
+        assert!((conditional_entropy(&[1, 1]) - 1.0).abs() < 1e-12);
+        assert!((conditional_entropy(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+        assert_eq!(conditional_entropy(&[4, 0]), 0.0);
+        assert_eq!(conditional_entropy(&[]), 0.0);
+        assert_eq!(conditional_entropy(&[0, 0]), 0.0);
+        // H(0.25, 0.75) ≈ 0.8113
+        let h = conditional_entropy(&[1, 3]);
+        assert!((h - 0.811278).abs() < 1e-5);
+    }
+
+    #[test]
+    fn attribute_entropy_matches_kernel() {
+        let s = SchemaBuilder::new()
+            .categorical("c", ["a", "b"])
+            .build_shared()
+            .unwrap();
+        let t = Table::new(
+            Arc::clone(&s),
+            vec![
+                Record::from_raw([0]),
+                Record::from_raw([1]),
+                Record::from_raw([1]),
+                Record::from_raw([1]),
+            ],
+        )
+        .unwrap();
+        let st = TableStats::compute(&t);
+        assert!((st.attr(0).entropy() - conditional_entropy(&[1, 3])).abs() < 1e-12);
+    }
+}

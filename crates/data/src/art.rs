@@ -1,0 +1,183 @@
+//! The paper's **artificial dataset (ART)** — Sec. VI, reproduced exactly.
+//!
+//! Six attributes sampled independently from the stated distributions:
+//!
+//! ```text
+//! A1: {0.7, 0.3}
+//! A2: {0.3, 0.3, 0.2, 0.2}
+//! A3: {0.25, 0.25, 0.4, 0.1}
+//! A4: {6 × 0.07, 10 × 0.04, 9 × 0.02}
+//! A5: {10 × 0.1}
+//! A6: {0.05, 0.05, 0.5, 0.3, 0.1}
+//! ```
+//!
+//! with exactly the permissible generalized subsets listed in the paper
+//! (plus all singletons and each full set, which every collection
+//! includes).
+
+use crate::sampling::{runs, Categorical};
+use kanon_core::domain::AttributeDomain;
+use kanon_core::domain::ValueId;
+use kanon_core::record::Record;
+use kanon_core::schema::{Attribute, Schema, SharedSchema};
+use kanon_core::table::Table;
+use kanon_core::Hierarchy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn v(i: u32) -> ValueId {
+    ValueId(i)
+}
+
+fn range(lo: u32, hi_inclusive: u32) -> Vec<ValueId> {
+    (lo..=hi_inclusive).map(ValueId).collect()
+}
+
+/// Builds the ART schema (six attributes with the paper's hierarchies).
+pub fn schema() -> SharedSchema {
+    let mk = |name: &str, size: usize, subsets: Vec<Vec<ValueId>>| -> Attribute {
+        let d = AttributeDomain::anonymous(name, size).expect("non-empty");
+        let h = Hierarchy::from_subsets(size, &subsets).expect("paper subsets are laminar");
+        Attribute::new(d, h).expect("sizes match")
+    };
+
+    let a1 = mk("A1", 2, vec![]);
+    let a2 = mk("A2", 4, vec![vec![v(0), v(1)], vec![v(2), v(3)]]);
+    let a3 = mk("A3", 4, vec![vec![v(0), v(1)], vec![v(2), v(3)]]);
+    let a4 = mk(
+        "A4",
+        25,
+        vec![
+            range(0, 5),   // {a1..a6}
+            range(6, 11),  // {a7..a12}
+            range(12, 17), // {a13..a18}
+            range(18, 24), // {a19..a25}
+            range(0, 11),  // {a1..a12}
+            range(12, 24), // {a13..a25}
+        ],
+    );
+    let a5 = mk(
+        "A5",
+        10,
+        vec![
+            vec![v(0), v(1)],
+            vec![v(2), v(3)],
+            vec![v(5), v(6)],
+            vec![v(7), v(8)],
+            range(0, 4), // {a1..a5}
+            range(5, 9), // {a6..a10}
+        ],
+    );
+    let a6 = mk(
+        "A6",
+        5,
+        vec![vec![v(0), v(1)], vec![v(3), v(4)], vec![v(2), v(3), v(4)]],
+    );
+
+    Schema::new(vec![a1, a2, a3, a4, a5, a6])
+        .expect("six attributes")
+        .into_shared()
+}
+
+/// The six marginal distributions, in paper order.
+fn distributions() -> [Categorical; 6] {
+    [
+        Categorical::new(&[0.7, 0.3]),
+        Categorical::new(&[0.3, 0.3, 0.2, 0.2]),
+        Categorical::new(&[0.25, 0.25, 0.4, 0.1]),
+        Categorical::new(&runs(&[(6, 0.07), (10, 0.04), (9, 0.02)])),
+        Categorical::new(&runs(&[(10, 0.1)])),
+        Categorical::new(&[0.05, 0.05, 0.5, 0.3, 0.1]),
+    ]
+}
+
+/// Generates an ART table of `n` records with the given seed.
+pub fn generate(n: usize, seed: u64) -> Table {
+    generate_with_schema(&schema(), n, seed)
+}
+
+/// Generates ART rows against an existing ART schema instance (so several
+/// tables can share one schema).
+pub fn generate_with_schema(schema: &SharedSchema, n: usize, seed: u64) -> Table {
+    assert_eq!(schema.num_attrs(), 6, "not an ART schema");
+    let dists = distributions();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = (0..n)
+        .map(|_| Record::new(dists.iter().map(|d| ValueId(d.sample(&mut rng) as u32))))
+        .collect();
+    Table::new_unchecked(Arc::clone(schema), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::TableStats;
+
+    #[test]
+    fn schema_shape_matches_paper() {
+        let s = schema();
+        assert_eq!(s.num_attrs(), 6);
+        let sizes: Vec<usize> = s.attrs().map(|(_, a)| a.domain().size()).collect();
+        assert_eq!(sizes, vec![2, 4, 4, 25, 10, 5]);
+        // A1 has no non-trivial subsets: nodes = singletons + root.
+        assert_eq!(s.attr(0).hierarchy().num_nodes(), 3);
+        // A2: root + 2 pairs + 4 singletons.
+        assert_eq!(s.attr(1).hierarchy().num_nodes(), 7);
+        // A4: root + 4 blocks + 2 halves + 25 singletons.
+        assert_eq!(s.attr(3).hierarchy().num_nodes(), 32);
+        // A5: root + 4 pairs + 2 halves + 10 singletons.
+        assert_eq!(s.attr(4).hierarchy().num_nodes(), 17);
+        // A6: root + {a1,a2} + {a4,a5} + {a3,a4,a5} + 5 singletons.
+        assert_eq!(s.attr(5).hierarchy().num_nodes(), 9);
+    }
+
+    #[test]
+    fn a4_hierarchy_nests() {
+        let s = schema();
+        let h = s.attr(3).hierarchy();
+        // Closure of values in the first block stays in the block.
+        let c = h.closure([ValueId(0), ValueId(5)]).unwrap();
+        assert_eq!(h.node_size(c), 6);
+        // Crossing into the second block lands in {a1..a12}.
+        let c = h.closure([ValueId(0), ValueId(6)]).unwrap();
+        assert_eq!(h.node_size(c), 12);
+        // Crossing the halves lands at the root.
+        let c = h.closure([ValueId(0), ValueId(12)]).unwrap();
+        assert_eq!(c, h.root());
+    }
+
+    #[test]
+    fn marginals_approximate_paper_distributions() {
+        let t = generate(40_000, 11);
+        let stats = TableStats::compute(&t);
+        // A1 ≈ (0.7, 0.3)
+        let p = stats.attr(0).probability(ValueId(0));
+        assert!((p - 0.7).abs() < 0.01, "A1 p0 = {p}");
+        // A6 ≈ 0.5 on its third value.
+        let p = stats.attr(5).probability(ValueId(2));
+        assert!((p - 0.5).abs() < 0.01, "A6 p3 = {p}");
+        // A5 uniform.
+        for i in 0..10 {
+            let p = stats.attr(4).probability(ValueId(i));
+            assert!((p - 0.1).abs() < 0.01, "A5 p{i} = {p}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(50, 99);
+        let b = generate(50, 99);
+        assert_eq!(a.rows(), b.rows());
+        let c = generate(50, 100);
+        assert_ne!(a.rows(), c.rows());
+    }
+
+    #[test]
+    fn shared_schema_generation() {
+        let s = schema();
+        let t1 = generate_with_schema(&s, 10, 1);
+        let t2 = generate_with_schema(&s, 10, 2);
+        assert!(Arc::ptr_eq(t1.schema(), t2.schema()));
+    }
+}

@@ -1,0 +1,272 @@
+//! Dependency-free CSV reader/writer (RFC 4180 quoting rules: fields may
+//! be wrapped in double quotes, embedded quotes are doubled, quoted fields
+//! may contain commas and newlines).
+
+use kanon_core::error::{CoreError, Result};
+use kanon_core::record::Record;
+use kanon_core::schema::SharedSchema;
+use kanon_core::table::{GeneralizedTable, Table};
+use std::sync::Arc;
+
+/// Parses CSV text into rows of fields.
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => { /* swallow; \n terminates the row */ }
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+/// Escapes one field for CSV output.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serializes rows of fields as CSV text (LF line endings).
+pub fn write_csv<S: AsRef<str>>(rows: &[Vec<S>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for (i, f) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape(f.as_ref()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Reads a [`Table`] from CSV text using the schema's label lookup. When
+/// `has_header` is set, the first row is validated against the attribute
+/// names. Fields are trimmed of surrounding whitespace before lookup.
+pub fn table_from_csv(schema: &SharedSchema, text: &str, has_header: bool) -> Result<Table> {
+    let mut rows = parse_csv(text);
+    if has_header && !rows.is_empty() {
+        let header = rows.remove(0);
+        if header.len() != schema.num_attrs() {
+            return Err(CoreError::ArityMismatch {
+                expected: schema.num_attrs(),
+                found: header.len(),
+            });
+        }
+        for (j, name) in header.iter().enumerate() {
+            if name.trim() != schema.attr(j).name() {
+                return Err(CoreError::UnknownLabel {
+                    attr: schema.attr(j).name().to_string(),
+                    label: name.trim().to_string(),
+                });
+            }
+        }
+    }
+    let mut records = Vec::with_capacity(rows.len());
+    for (row_idx, fields) in rows.iter().enumerate() {
+        if fields.len() == 1 && fields[0].trim().is_empty() {
+            continue; // blank line
+        }
+        if fields.len() != schema.num_attrs() {
+            return Err(CoreError::ArityMismatch {
+                expected: schema.num_attrs(),
+                found: fields.len(),
+            });
+        }
+        let mut values = Vec::with_capacity(fields.len());
+        for (j, f) in fields.iter().enumerate() {
+            // Add the data row number (1-based, after any header) to the
+            // lookup error so users can locate the offending cell.
+            let v = schema.attr(j).domain().value_of(f.trim()).map_err(|e| {
+                if let CoreError::UnknownLabel { attr, label } = e {
+                    CoreError::UnknownLabel {
+                        attr,
+                        label: format!("{label} (data row {})", row_idx + 1),
+                    }
+                } else {
+                    e
+                }
+            })?;
+            values.push(v);
+        }
+        records.push(Record::new(values));
+    }
+    Table::new(Arc::clone(schema), records)
+}
+
+/// Serializes a [`Table`] as CSV (with a header row of attribute names).
+pub fn table_to_csv(table: &Table) -> String {
+    let schema = table.schema();
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(table.num_rows() + 1);
+    rows.push(schema.attrs().map(|(_, a)| a.name().to_string()).collect());
+    for rec in table.rows() {
+        rows.push(
+            rec.values()
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| schema.attr(j).domain().label(v).to_string())
+                .collect(),
+        );
+    }
+    write_csv(&rows)
+}
+
+/// Serializes a [`GeneralizedTable`] as CSV; generalized entries render as
+/// `{v1,v2,…}` and fully suppressed entries as `*`.
+pub fn generalized_to_csv(gtable: &GeneralizedTable) -> String {
+    let schema = gtable.schema();
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(gtable.num_rows() + 1);
+    rows.push(schema.attrs().map(|(_, a)| a.name().to_string()).collect());
+    for rec in gtable.rows() {
+        rows.push(
+            rec.nodes()
+                .iter()
+                .enumerate()
+                .map(|(j, &n)| {
+                    let a = schema.attr(j);
+                    a.hierarchy().format_node(n, |v| a.domain().label(v))
+                })
+                .collect(),
+        );
+    }
+    write_csv(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::schema::SchemaBuilder;
+
+    #[test]
+    fn parse_simple() {
+        let rows = parse_csv("a,b,c\n1,2,3\n");
+        assert_eq!(rows, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn parse_quotes_and_commas() {
+        let rows = parse_csv("\"a,b\",\"say \"\"hi\"\"\"\nplain,\"multi\nline\"\n");
+        assert_eq!(rows[0], vec!["a,b", "say \"hi\""]);
+        assert_eq!(rows[1], vec!["plain", "multi\nline"]);
+    }
+
+    #[test]
+    fn parse_missing_trailing_newline() {
+        let rows = parse_csv("x,y");
+        assert_eq!(rows, vec![vec!["x", "y"]]);
+    }
+
+    #[test]
+    fn parse_crlf() {
+        let rows = parse_csv("a,b\r\nc,d\r\n");
+        assert_eq!(rows, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn parse_empty_text() {
+        assert!(parse_csv("").is_empty());
+    }
+
+    #[test]
+    fn roundtrip_with_escapes() {
+        let rows = vec![
+            vec!["plain".to_string(), "with,comma".to_string()],
+            vec!["with\"quote".to_string(), "multi\nline".to_string()],
+        ];
+        let text = write_csv(&rows);
+        assert_eq!(parse_csv(&text), rows);
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let s = SchemaBuilder::new()
+            .categorical("gender", ["M", "F"])
+            .categorical("color", ["red", "green"])
+            .build_shared()
+            .unwrap();
+        let csv = "gender,color\nM,red\nF,green\nM,green\n";
+        let t = table_from_csv(&s, csv, true).unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(table_to_csv(&t), csv);
+    }
+
+    #[test]
+    fn table_from_csv_trims_whitespace() {
+        let s = SchemaBuilder::new()
+            .categorical("g", ["M", "F"])
+            .build_shared()
+            .unwrap();
+        let t = table_from_csv(&s, "g\n M \nF\n", true).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn table_from_csv_rejects_bad_header_and_arity() {
+        let s = SchemaBuilder::new()
+            .categorical("g", ["M", "F"])
+            .categorical("c", ["r", "b"])
+            .build_shared()
+            .unwrap();
+        assert!(table_from_csv(&s, "g,wrong\nM,r\n", true).is_err());
+        assert!(table_from_csv(&s, "M\n", false).is_err());
+        assert!(table_from_csv(&s, "M,purple\n", false).is_err());
+    }
+
+    #[test]
+    fn generalized_csv_renders_stars() {
+        use kanon_core::cluster::Clustering;
+        use kanon_core::record::Record;
+        use kanon_core::table::Table;
+        use std::sync::Arc;
+        let s = SchemaBuilder::new()
+            .categorical("c", ["a", "b"])
+            .build_shared()
+            .unwrap();
+        let t = Table::new(
+            Arc::clone(&s),
+            vec![Record::from_raw([0]), Record::from_raw([1])],
+        )
+        .unwrap();
+        let cl = Clustering::from_assignment(vec![0, 0]).unwrap();
+        let g = cl.to_generalized_table(&t).unwrap();
+        let csv = generalized_to_csv(&g);
+        assert_eq!(csv, "c\n*\n*\n");
+    }
+}

@@ -1,0 +1,31 @@
+//! # kanon-data
+//!
+//! Workloads for *"k-Anonymization Revisited"* (ICDE 2008), Sec. VI:
+//!
+//! * [`art`] — the paper's artificial dataset, generated from the exact
+//!   distributions and generalization collections it specifies;
+//! * [`adult`] — Adult (ADT): a synthetic look-alike generator matching
+//!   the published marginals of the UCI Adult dataset, plus a loader for
+//!   the real `adult.data` file (see DESIGN.md §2 for the substitution
+//!   rationale);
+//! * [`cmc`] — Contraceptive Method Choice: same treatment, labels
+//!   included for the CM measure;
+//! * [`csv`] — dependency-free CSV I/O for tables and generalized tables;
+//! * [`sampling`] — seeded categorical sampling shared by the generators.
+//!
+//! All generators take explicit seeds and are fully deterministic.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adult;
+pub mod art;
+pub mod cmc;
+pub mod csv;
+pub mod reconstruct;
+pub mod sampling;
+pub mod schema_text;
+
+pub use csv::{generalized_to_csv, parse_csv, table_from_csv, table_to_csv, write_csv};
+pub use reconstruct::{reconstruct, ReconstructionModel};
+pub use schema_text::{parse_schema, schema_to_text};

@@ -1,0 +1,127 @@
+//! Seeded categorical sampling helpers shared by the dataset generators.
+
+use rand::Rng;
+
+/// A categorical distribution sampled by inverse CDF (binary search).
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds a distribution from (not necessarily normalized) weights.
+    /// Panics on empty or non-positive-total weights.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cumulative.last_mut().unwrap() = 1.0;
+        Categorical { cumulative }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there is exactly one category.
+    pub fn is_empty(&self) -> bool {
+        false // by construction: never empty
+    }
+
+    /// Draws one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+        .min(self.cumulative.len() - 1)
+    }
+}
+
+/// Expands `(count, weight)` runs into a flat weight vector — the paper's
+/// shorthand `{6 × 0.07, 10 × 0.04, 9 × 0.02}`.
+pub fn runs(spec: &[(usize, f64)]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for &(count, w) in spec {
+        out.extend(std::iter::repeat_n(w, count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampling_respects_weights() {
+        let dist = Categorical::new(&[0.7, 0.3]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 2];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        let p0 = counts[0] as f64 / n as f64;
+        assert!((p0 - 0.7).abs() < 0.01, "p0 = {p0}");
+    }
+
+    #[test]
+    fn unnormalized_weights_are_normalized() {
+        let dist = Categorical::new(&[7.0, 3.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut c0 = 0usize;
+        for _ in 0..50_000 {
+            if dist.sample(&mut rng) == 0 {
+                c0 += 1;
+            }
+        }
+        assert!((c0 as f64 / 50_000.0 - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let dist = Categorical::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert_eq!(dist.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn runs_expand() {
+        let w = runs(&[(2, 0.1), (3, 0.2)]);
+        assert_eq!(w, vec![0.1, 0.1, 0.2, 0.2, 0.2]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let dist = Categorical::new(&[0.25, 0.25, 0.5]);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| dist.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| dist.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,270 @@
+//! A small text format for declaring schemas (domains + generalization
+//! hierarchies) outside Rust code, so the CLI can anonymize arbitrary
+//! CSVs:
+//!
+//! ```text
+//! # one attribute per `attr` line
+//! attr gender = M, F
+//! # numeric domains: LO..HI, optional interval-ladder widths after '/'
+//! attr age = 17..90 / 5, 10
+//! attr education = hs, some-college, ba, ms, phd
+//! # extra permissible subsets (one `group` line each; laminar overall)
+//! group education = ba, ms, phd
+//! group education = hs, some-college
+//! ```
+//!
+//! Singletons and the full domain are always permissible, as in the paper;
+//! `group` lines add the non-trivial subsets. Lines starting with `#` and
+//! blank lines are ignored. Values containing commas are not supported
+//! (they could not appear in the CSVs either).
+
+use kanon_core::domain::AttributeDomain;
+use kanon_core::error::{CoreError, Result};
+use kanon_core::hierarchy::Hierarchy;
+use kanon_core::schema::{Attribute, Schema, SharedSchema};
+
+/// Parses the schema text format described in the module docs.
+pub fn parse_schema(text: &str) -> Result<SharedSchema> {
+    struct Pending {
+        domain: AttributeDomain,
+        subsets: Vec<Vec<kanon_core::ValueId>>,
+        interval_widths: Vec<usize>,
+    }
+    let mut pending: Vec<Pending> = Vec::new();
+
+    let syntax_err = |line_no: usize, msg: &str| -> CoreError {
+        CoreError::InvalidClustering(format!("schema line {line_no}: {msg}"))
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (keyword, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| syntax_err(line_no, "expected 'attr NAME = …' or 'group NAME = …'"))?;
+        let (name, spec) = rest
+            .split_once('=')
+            .ok_or_else(|| syntax_err(line_no, "missing '='"))?;
+        let name = name.trim();
+        let spec = spec.trim();
+        match keyword {
+            "attr" => {
+                // numeric range?
+                let (values_part, widths_part) = match spec.split_once('/') {
+                    Some((v, w)) => (v.trim(), Some(w.trim())),
+                    None => (spec, None),
+                };
+                let domain = if let Some((lo, hi)) = values_part.split_once("..") {
+                    let lo: i64 = lo.trim().parse().map_err(|_| {
+                        syntax_err(line_no, "numeric range bounds must be integers")
+                    })?;
+                    let hi: i64 = hi.trim().parse().map_err(|_| {
+                        syntax_err(line_no, "numeric range bounds must be integers")
+                    })?;
+                    AttributeDomain::numeric(name, lo, hi)?
+                } else {
+                    let labels: Vec<&str> = values_part.split(',').map(str::trim).collect();
+                    if widths_part.is_some() {
+                        return Err(syntax_err(
+                            line_no,
+                            "interval widths are only valid for numeric ranges",
+                        ));
+                    }
+                    AttributeDomain::new(name, labels)?
+                };
+                let interval_widths = match widths_part {
+                    Some(w) => w
+                        .split(',')
+                        .map(|x| {
+                            x.trim().parse::<usize>().map_err(|_| {
+                                syntax_err(line_no, "interval widths must be integers")
+                            })
+                        })
+                        .collect::<std::result::Result<Vec<_>, _>>()?,
+                    None => Vec::new(),
+                };
+                pending.push(Pending {
+                    domain,
+                    subsets: Vec::new(),
+                    interval_widths,
+                });
+            }
+            "group" => {
+                let p = pending
+                    .iter_mut()
+                    .find(|p| p.domain.name() == name)
+                    .ok_or_else(|| {
+                        syntax_err(line_no, "group refers to an undeclared attribute")
+                    })?;
+                let mut subset = Vec::new();
+                for label in spec.split(',') {
+                    subset.push(p.domain.value_of(label.trim())?);
+                }
+                p.subsets.push(subset);
+            }
+            other => {
+                return Err(syntax_err(
+                    line_no,
+                    &format!("unknown keyword {other:?} (expected attr|group)"),
+                ))
+            }
+        }
+    }
+
+    let mut attrs = Vec::with_capacity(pending.len());
+    for p in pending {
+        let size = p.domain.size();
+        let hierarchy = if !p.interval_widths.is_empty() {
+            if !p.subsets.is_empty() {
+                // Merge interval blocks with explicit groups.
+                let mut subsets = interval_subsets(size, &p.interval_widths)?;
+                subsets.extend(p.subsets);
+                Hierarchy::from_subsets(size, &subsets)?
+            } else {
+                Hierarchy::intervals(size, &p.interval_widths)?
+            }
+        } else {
+            Hierarchy::from_subsets(size, &p.subsets)?
+        };
+        attrs.push(Attribute::new(p.domain, hierarchy)?);
+    }
+    Ok(Schema::new(attrs)?.into_shared())
+}
+
+/// The interval blocks of [`Hierarchy::intervals`] as explicit subsets (so
+/// they can be merged with user groups).
+fn interval_subsets(size: usize, widths: &[usize]) -> Result<Vec<Vec<kanon_core::ValueId>>> {
+    // Validate by building once.
+    Hierarchy::intervals(size, widths)?;
+    let mut subsets = Vec::new();
+    for &w in widths {
+        if w >= size {
+            continue;
+        }
+        let mut start = 0;
+        while start < size {
+            let end = (start + w).min(size);
+            if end - start > 1 {
+                subsets.push(
+                    (start as u32..end as u32)
+                        .map(kanon_core::ValueId)
+                        .collect(),
+                );
+            }
+            start = end;
+        }
+    }
+    Ok(subsets)
+}
+
+/// Serializes a schema back into the text format (labels must not contain
+/// commas; numeric domains are emitted as plain categorical lists, which
+/// round-trips equivalently).
+pub fn schema_to_text(schema: &SharedSchema) -> String {
+    let mut out = String::new();
+    for (_, attr) in schema.attrs() {
+        let labels: Vec<&str> = attr.domain().entries().map(|(_, l)| l).collect();
+        out.push_str(&format!("attr {} = {}\n", attr.name(), labels.join(", ")));
+        let h = attr.hierarchy();
+        for node in h.node_ids() {
+            let sz = h.node_size(node);
+            if sz > 1 && sz < h.domain_size() {
+                let vals: Vec<&str> = h
+                    .values(node)
+                    .iter()
+                    .map(|&v| attr.domain().label(v))
+                    .collect();
+                out.push_str(&format!("group {} = {}\n", attr.name(), vals.join(", ")));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::ValueId;
+
+    const SAMPLE: &str = "\
+# demo schema
+attr gender = M, F
+attr age = 0..19 / 5, 10
+
+attr education = hs, some-college, ba, ms, phd
+group education = ba, ms, phd
+group education = hs, some-college
+";
+
+    #[test]
+    fn parses_sample() {
+        let s = parse_schema(SAMPLE).unwrap();
+        assert_eq!(s.num_attrs(), 3);
+        assert_eq!(s.attr(0).domain().size(), 2);
+        assert_eq!(s.attr(1).domain().size(), 20);
+        // Age hierarchy has 5- and 10-blocks.
+        let h = s.attr(1).hierarchy();
+        let c = h.closure([ValueId(0), ValueId(4)]).unwrap();
+        assert_eq!(h.node_size(c), 5);
+        // Education groups resolve.
+        let edu = s.attr(2);
+        let ba = edu.domain().value_of("ba").unwrap();
+        let phd = edu.domain().value_of("phd").unwrap();
+        let c = edu.hierarchy().closure([ba, phd]).unwrap();
+        assert_eq!(edu.hierarchy().node_size(c), 3);
+    }
+
+    #[test]
+    fn roundtrips_through_text() {
+        let s = parse_schema(SAMPLE).unwrap();
+        let text = schema_to_text(&s);
+        let s2 = parse_schema(&text).unwrap();
+        assert_eq!(s.num_attrs(), s2.num_attrs());
+        for j in 0..s.num_attrs() {
+            assert_eq!(s.attr(j).name(), s2.attr(j).name());
+            assert_eq!(s.attr(j).domain().size(), s2.attr(j).domain().size());
+            assert_eq!(
+                s.attr(j).hierarchy().num_nodes(),
+                s2.attr(j).hierarchy().num_nodes()
+            );
+        }
+    }
+
+    #[test]
+    fn numeric_with_groups_merges() {
+        let text = "attr age = 0..9 / 5\ngroup age = 0, 1\n";
+        let s = parse_schema(text).unwrap();
+        let h = s.attr(0).hierarchy();
+        // root + two 5-blocks + {0,1} + 10 singletons
+        assert_eq!(h.num_nodes(), 14);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = parse_schema("attr x = a, b\nbogus y = 1\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        let err = parse_schema("group ghost = a\n").unwrap_err();
+        assert!(err.to_string().contains("undeclared"), "{err}");
+        let err = parse_schema("attr x = a, b / 5\n").unwrap_err();
+        assert!(err.to_string().contains("numeric"), "{err}");
+        let err = parse_schema("attr x a, b\n").unwrap_err();
+        assert!(err.to_string().contains("missing '='"), "{err}");
+    }
+
+    #[test]
+    fn non_laminar_groups_rejected() {
+        let text = "attr x = a, b, c\ngroup x = a, b\ngroup x = b, c\n";
+        assert!(matches!(
+            parse_schema(text).unwrap_err(),
+            CoreError::NotLaminar { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_attr_values_rejected() {
+        assert!(parse_schema("attr x = a, a\n").is_err());
+    }
+}

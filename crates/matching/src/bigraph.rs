@@ -1,0 +1,162 @@
+//! Bipartite graphs in compressed sparse row form.
+//!
+//! Left vertices `0..n_left`, right vertices `0..n_right`; adjacency is
+//! stored left-to-right. For the paper's consistency graph `V_{D,g(D)}`
+//! (Sec. IV), left = original records, right = generalized records, and
+//! `n_left == n_right == n`.
+
+/// A bipartite graph with CSR adjacency from left to right vertices.
+#[derive(Debug, Clone)]
+pub struct BipartiteGraph {
+    n_left: usize,
+    n_right: usize,
+    /// CSR offsets: edges of left vertex `u` are
+    /// `targets[offsets[u]..offsets[u+1]]`.
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl BipartiteGraph {
+    /// Builds a graph from per-left-vertex adjacency lists.
+    pub fn from_adjacency(n_right: usize, adj: &[Vec<u32>]) -> Self {
+        let n_left = adj.len();
+        let mut offsets = Vec::with_capacity(n_left + 1);
+        let mut targets = Vec::with_capacity(adj.iter().map(Vec::len).sum());
+        offsets.push(0u32);
+        for list in adj {
+            for &v in list {
+                debug_assert!((v as usize) < n_right, "target out of range");
+                targets.push(v);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        BipartiteGraph {
+            n_left,
+            n_right,
+            offsets,
+            targets,
+        }
+    }
+
+    /// Builds a graph from an explicit edge list.
+    pub fn from_edges(n_left: usize, n_right: usize, edges: &[(u32, u32)]) -> Self {
+        let mut adj = vec![Vec::new(); n_left];
+        for &(u, v) in edges {
+            adj[u as usize].push(v);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut g = Self::from_adjacency(n_right, &adj);
+        g.n_right = n_right;
+        g
+    }
+
+    /// Number of left vertices.
+    #[inline]
+    pub fn n_left(&self) -> usize {
+        self.n_left
+    }
+
+    /// Number of right vertices.
+    #[inline]
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Right-neighbours of a left vertex.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+
+    /// Degree of a left vertex.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        (self.offsets[u + 1] - self.offsets[u]) as usize
+    }
+
+    /// Does the edge `(u, v)` exist? Binary search if the adjacency is
+    /// sorted (as produced by [`Self::from_edges`]); falls back to a scan.
+    pub fn has_edge(&self, u: usize, v: u32) -> bool {
+        let nb = self.neighbors(u);
+        if nb.windows(2).all(|w| w[0] <= w[1]) {
+            nb.binary_search(&v).is_ok()
+        } else {
+            nb.contains(&v)
+        }
+    }
+
+    /// Degrees of all right vertices.
+    pub fn right_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.n_right];
+        for &v in &self.targets {
+            deg[v as usize] += 1;
+        }
+        deg
+    }
+
+    /// Returns the graph with all edges removed that touch `skip_left` or
+    /// `skip_right` (used by the naive per-edge perfect-matching test).
+    pub fn without_pair(&self, skip_left: usize, skip_right: u32) -> BipartiteGraph {
+        let mut adj = vec![Vec::new(); self.n_left];
+        for (u, item) in adj.iter_mut().enumerate() {
+            if u == skip_left {
+                continue;
+            }
+            for &v in self.neighbors(u) {
+                if v != skip_right {
+                    item.push(v);
+                }
+            }
+        }
+        Self::from_adjacency(self.n_right, &adj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_adjacency_roundtrip() {
+        let g = BipartiteGraph::from_adjacency(3, &[vec![0, 2], vec![1], vec![]]);
+        assert_eq!(g.n_left(), 3);
+        assert_eq!(g.n_right(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+        assert_eq!(g.degree(0), 2);
+    }
+
+    #[test]
+    fn from_edges_dedups_and_sorts() {
+        let g = BipartiteGraph::from_edges(2, 3, &[(0, 2), (0, 0), (0, 2), (1, 1)]);
+        assert_eq!(g.neighbors(0), &[0, 2]);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn right_degrees_counted() {
+        let g = BipartiteGraph::from_edges(3, 2, &[(0, 0), (1, 0), (2, 1)]);
+        assert_eq!(g.right_degrees(), vec![2, 1]);
+    }
+
+    #[test]
+    fn without_pair_removes_both_endpoints() {
+        let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (0, 1), (1, 1), (2, 2), (2, 1)]);
+        let h = g.without_pair(0, 1);
+        assert_eq!(h.neighbors(0), &[] as &[u32]); // left 0 removed entirely
+        assert_eq!(h.neighbors(1), &[] as &[u32]); // its only edge hit right 1
+        assert_eq!(h.neighbors(2), &[2]); // edge to right 1 dropped
+    }
+}

@@ -1,0 +1,250 @@
+//! Hopcroft–Karp maximum bipartite matching, O(E·√V).
+//!
+//! This is the matching primitive the paper invokes for testing whether an
+//! edge of `V_{D,g(D)}` can be completed to a perfect matching (Sec. V-C).
+//! The implementation is iterative (no recursion) and allocation-reuses
+//! across phases.
+
+use crate::bigraph::BipartiteGraph;
+
+/// The result of a maximum-matching computation.
+#[derive(Debug, Clone)]
+pub struct Matching {
+    /// `pair_left[u]` = matched right vertex of left `u`, or `u32::MAX`.
+    pub pair_left: Vec<u32>,
+    /// `pair_right[v]` = matched left vertex of right `v`, or `u32::MAX`.
+    pub pair_right: Vec<u32>,
+    /// Number of matched pairs.
+    pub size: usize,
+}
+
+/// Sentinel for "unmatched".
+pub const UNMATCHED: u32 = u32::MAX;
+
+impl Matching {
+    /// Is every left **and** right vertex matched? (Requires
+    /// `n_left == n_right`.)
+    pub fn is_perfect(&self, g: &BipartiteGraph) -> bool {
+        g.n_left() == g.n_right() && self.size == g.n_left()
+    }
+}
+
+/// Computes a maximum matching with Hopcroft–Karp, optionally seeded with
+/// an initial greedy pass.
+pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
+    let n_left = g.n_left();
+    let n_right = g.n_right();
+    let mut pair_left = vec![UNMATCHED; n_left];
+    let mut pair_right = vec![UNMATCHED; n_right];
+    let mut size = 0usize;
+
+    // Greedy warm start: match each left vertex to its first free neighbour.
+    #[allow(clippy::needless_range_loop)] // u indexes graph, pair_left and pair_right
+    for u in 0..n_left {
+        for &v in g.neighbors(u) {
+            if pair_right[v as usize] == UNMATCHED {
+                pair_left[u] = v;
+                pair_right[v as usize] = u as u32;
+                size += 1;
+                break;
+            }
+        }
+    }
+
+    const INF: u32 = u32::MAX;
+    let mut dist = vec![INF; n_left];
+    let mut queue: Vec<u32> = Vec::with_capacity(n_left);
+    // Iterative DFS stack: (left vertex, index into its adjacency).
+    let mut stack: Vec<(u32, usize)> = Vec::new();
+
+    loop {
+        // BFS phase: layers of alternating paths from free left vertices.
+        queue.clear();
+        for u in 0..n_left {
+            if pair_left[u] == UNMATCHED {
+                dist[u] = 0;
+                queue.push(u as u32);
+            } else {
+                dist[u] = INF;
+            }
+        }
+        let mut found_free_right = false;
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head] as usize;
+            head += 1;
+            for &v in g.neighbors(u) {
+                let w = pair_right[v as usize];
+                if w == UNMATCHED {
+                    found_free_right = true;
+                } else if dist[w as usize] == INF {
+                    dist[w as usize] = dist[u] + 1;
+                    queue.push(w);
+                }
+            }
+        }
+        if !found_free_right {
+            break;
+        }
+
+        // DFS phase: vertex-disjoint shortest augmenting paths.
+        for start in 0..n_left {
+            if pair_left[start] != UNMATCHED {
+                continue;
+            }
+            // Iterative DFS from `start` along the BFS layering.
+            stack.clear();
+            stack.push((start as u32, 0));
+            while let Some(&(u, idx)) = stack.last() {
+                let u = u as usize;
+                let nb = g.neighbors(u);
+                if idx < nb.len() {
+                    stack.last_mut().unwrap().1 = idx + 1;
+                    let v = nb[idx];
+                    let w = pair_right[v as usize];
+                    if w == UNMATCHED {
+                        // Augment along the stack (top = deepest left vertex).
+                        let mut vv = v;
+                        for s in (0..stack.len()).rev() {
+                            let su = stack[s].0 as usize;
+                            let prev = pair_left[su];
+                            pair_left[su] = vv;
+                            pair_right[vv as usize] = su as u32;
+                            if prev == UNMATCHED {
+                                break;
+                            }
+                            vv = prev;
+                        }
+                        size += 1;
+                        // Dead-end the participating vertices for this phase
+                        // (paths must be vertex-disjoint).
+                        for &(su, _) in stack.iter() {
+                            dist[su as usize] = INF;
+                        }
+                        stack.clear();
+                    } else if dist[w as usize] == dist[u] + 1 {
+                        stack.push((w, 0));
+                    }
+                } else {
+                    // Exhausted this vertex.
+                    dist[u] = INF;
+                    stack.pop();
+                }
+            }
+        }
+    }
+
+    Matching {
+        pair_left,
+        pair_right,
+        size,
+    }
+}
+
+/// Does the graph admit a perfect matching that uses the edge `(u, v)`?
+/// Naive method from the paper: delete `u` and `v` and test whether the
+/// remainder has a perfect matching with a fresh Hopcroft–Karp run.
+/// O(√n · m) per call — kept as a cross-check for the SCC-based oracle in
+/// [`crate::allowed`].
+pub fn is_edge_in_some_perfect_matching_naive(g: &BipartiteGraph, u: usize, v: u32) -> bool {
+    if g.n_left() != g.n_right() || !g.has_edge(u, v) {
+        return false;
+    }
+    let rest = g.without_pair(u, v);
+    let m = hopcroft_karp(&rest);
+    m.size == g.n_left() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 1), (2, 2)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 3);
+        assert!(m.is_perfect(&g));
+        assert_eq!(m.pair_left, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // Greedy would match 0-0, leaving 1 unmatched; HK must augment.
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 2);
+        assert_eq!(m.pair_left[0], 1);
+        assert_eq!(m.pair_left[1], 0);
+    }
+
+    #[test]
+    fn maximum_but_not_perfect() {
+        // Right vertex 2 is isolated.
+        let g = BipartiteGraph::from_edges(3, 3, &[(0, 0), (1, 0), (1, 1), (2, 1)]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 2);
+        assert!(!m.is_perfect(&g));
+    }
+
+    #[test]
+    fn long_augmenting_chain() {
+        // A path graph requiring cascading augmentation:
+        // left i connects to right i and right i+1 (except the last).
+        let n = 50;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i as u32, i as u32));
+            if i + 1 < n {
+                edges.push((i as u32, i as u32 + 1));
+            }
+        }
+        let g = BipartiteGraph::from_edges(n, n, &edges);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, n);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::from_edges(2, 2, &[]);
+        let m = hopcroft_karp(&g);
+        assert_eq!(m.size, 0);
+    }
+
+    #[test]
+    fn matching_invariants_hold() {
+        let g = BipartiteGraph::from_edges(
+            4,
+            4,
+            &[(0, 1), (0, 2), (1, 0), (1, 3), (2, 2), (3, 3), (3, 0)],
+        );
+        let m = hopcroft_karp(&g);
+        // pair_left and pair_right are mutually consistent and edges exist.
+        for u in 0..4 {
+            let v = m.pair_left[u];
+            if v != UNMATCHED {
+                assert_eq!(m.pair_right[v as usize], u as u32);
+                assert!(g.has_edge(u, v));
+            }
+        }
+        assert_eq!(m.size, 4);
+    }
+
+    #[test]
+    fn naive_edge_test_basic() {
+        // Square: 0-{0,1}, 1-{0,1}. Every edge is in some perfect matching.
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        for u in 0..2 {
+            for v in 0..2u32 {
+                assert!(is_edge_in_some_perfect_matching_naive(&g, u, v));
+            }
+        }
+        // Path: 0-{0}, 1-{0,1}. Edge (1,0) is NOT in any perfect matching.
+        let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+        assert!(is_edge_in_some_perfect_matching_naive(&g, 0, 0));
+        assert!(is_edge_in_some_perfect_matching_naive(&g, 1, 1));
+        assert!(!is_edge_in_some_perfect_matching_naive(&g, 1, 0));
+        // Non-edges are never "in" a matching.
+        assert!(!is_edge_in_some_perfect_matching_naive(&g, 0, 1));
+    }
+}

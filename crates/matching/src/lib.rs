@@ -1,0 +1,47 @@
+//! # kanon-matching
+//!
+//! Bipartite-matching engine for *"k-Anonymization Revisited"* (ICDE 2008).
+//!
+//! The paper's strongest anonymity notion — global (1,k)-anonymity
+//! (Def. 4.6) — is defined through perfect matchings of the consistency
+//! graph `V_{D,g(D)}`: a generalized record is a *match* of an original
+//! record iff their edge can be completed to a perfect matching. This
+//! crate provides:
+//!
+//! * [`BipartiteGraph`] — CSR bipartite graphs;
+//! * [`hopcroft_karp`] — O(E·√V) maximum matching, plus the paper's naive
+//!   per-edge test [`is_edge_in_some_perfect_matching_naive`];
+//! * [`tarjan_scc`] — iterative strongly-connected components;
+//! * [`AllowedEdges`] — the all-edges-at-once oracle (matched edges +
+//!   alternating cycles via SCCs), answering every match query of a graph
+//!   in `O(n + m)` instead of the paper's `O(√n · m²)` loop.
+//!
+//! The crate is deliberately independent of the data model: `kanon-verify`
+//! and `kanon-algos` build consistency graphs and feed them here.
+//!
+//! ```
+//! use kanon_matching::{AllowedEdges, BipartiteGraph};
+//!
+//! // 0–{0}, 1–{0,1}: the edge (1,0) cannot be completed to a perfect
+//! // matching, so right 0 is *not* a match of left 1.
+//! let g = BipartiteGraph::from_edges(2, 2, &[(0, 0), (1, 0), (1, 1)]);
+//! let oracle = AllowedEdges::compute(&g);
+//! assert!(oracle.is_allowed(0, 0));
+//! assert!(!oracle.is_allowed(1, 0));
+//! assert_eq!(oracle.match_counts(), vec![1, 1]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod allowed;
+pub mod bigraph;
+pub mod hopcroft_karp;
+pub mod scc;
+
+pub use allowed::AllowedEdges;
+pub use bigraph::BipartiteGraph;
+pub use hopcroft_karp::{
+    hopcroft_karp, is_edge_in_some_perfect_matching_naive, Matching, UNMATCHED,
+};
+pub use scc::{tarjan_scc, Digraph};

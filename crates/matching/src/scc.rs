@@ -1,0 +1,173 @@
+//! Iterative Tarjan strongly-connected components over a generic directed
+//! graph given as CSR adjacency. Used by the perfect-matching edge oracle
+//! in [`crate::allowed`].
+
+/// A directed graph in CSR form.
+#[derive(Debug, Clone)]
+pub struct Digraph {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Digraph {
+    /// Builds a digraph from per-vertex adjacency lists.
+    pub fn from_adjacency(adj: &[Vec<u32>]) -> Self {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut targets = Vec::with_capacity(adj.iter().map(Vec::len).sum());
+        offsets.push(0u32);
+        for list in adj {
+            targets.extend_from_slice(list);
+            offsets.push(targets.len() as u32);
+        }
+        Digraph { offsets, targets }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Out-neighbours of a vertex.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        &self.targets[self.offsets[u] as usize..self.offsets[u + 1] as usize]
+    }
+}
+
+/// Computes strongly connected components with an iterative Tarjan scan.
+/// Returns `comp[v]` = component id; ids are dense in `0..num_components`
+/// (in reverse topological order of the condensation, per Tarjan).
+pub fn tarjan_scc(g: &Digraph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    const NONE: u32 = u32::MAX;
+    let mut index = vec![NONE; n]; // discovery index
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![NONE; n];
+    let mut scc_stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_comps = 0usize;
+
+    // Explicit DFS stack: (vertex, next-edge-index).
+    let mut call: Vec<(u32, u32)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != NONE {
+            continue;
+        }
+        call.push((root as u32, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        scc_stack.push(root as u32);
+        on_stack[root] = true;
+
+        while let Some(&(u, ei)) = call.last() {
+            let u = u as usize;
+            let nb = g.neighbors(u);
+            if (ei as usize) < nb.len() {
+                call.last_mut().unwrap().1 = ei + 1;
+                let w = nb[ei as usize] as usize;
+                if index[w] == NONE {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    scc_stack.push(w as u32);
+                    on_stack[w] = true;
+                    call.push((w as u32, 0));
+                } else if on_stack[w] {
+                    low[u] = low[u].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    let p = parent as usize;
+                    low[p] = low[p].min(low[u]);
+                }
+                if low[u] == index[u] {
+                    // u is the root of an SCC: pop it off.
+                    loop {
+                        let w = scc_stack.pop().expect("scc stack underflow") as usize;
+                        on_stack[w] = false;
+                        comp[w] = num_comps as u32;
+                        if w == u {
+                            break;
+                        }
+                    }
+                    num_comps += 1;
+                }
+            }
+        }
+    }
+    (comp, num_comps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comps(adj: &[Vec<u32>]) -> (Vec<u32>, usize) {
+        tarjan_scc(&Digraph::from_adjacency(adj))
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let (comp, n) = comps(&[vec![1], vec![2], vec![0]]);
+        assert_eq!(n, 1);
+        assert!(comp.iter().all(|&c| c == comp[0]));
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let (comp, n) = comps(&[vec![1], vec![2], vec![]]);
+        assert_eq!(n, 3);
+        assert_ne!(comp[0], comp[1]);
+        assert_ne!(comp[1], comp[2]);
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        // 0↔1 → 2↔3
+        let (comp, n) = comps(&[vec![1], vec![0, 2], vec![3], vec![2]]);
+        assert_eq!(n, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let (comp, n) = comps(&[vec![], vec![], vec![]]);
+        assert_eq!(n, 3);
+        let mut ids = comp.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn self_loop_is_component() {
+        let (_, n) = comps(&[vec![0], vec![]]);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn large_cycle_does_not_overflow_stack() {
+        // 100k-cycle: a recursive Tarjan would blow the stack.
+        let n = 100_000;
+        let adj: Vec<Vec<u32>> = (0..n).map(|i| vec![((i + 1) % n) as u32]).collect();
+        let (comp, c) = comps(&adj);
+        assert_eq!(c, 1);
+        assert!(comp.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn reverse_topological_numbering() {
+        // Tarjan numbers components in reverse topological order:
+        // sinks get smaller ids.
+        let (comp, n) = comps(&[vec![1], vec![]]);
+        assert_eq!(n, 2);
+        assert!(comp[1] < comp[0]);
+    }
+}

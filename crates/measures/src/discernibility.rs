@@ -1,0 +1,102 @@
+//! The discernibility measure (DM) of Bayardo & Agrawal (ICDE 2005),
+//! reviewed in Sec. II. Each record is charged the size of its
+//! equivalence class (the set of records sharing its generalized tuple),
+//! so DM = Σ_E |E|². Lower is better; the minimum for a k-anonymous table
+//! of n records is n·k when all classes have size exactly k.
+//!
+//! DM is defined on the *published* generalized table alone and is used
+//! here for evaluation (not as a clustering objective).
+
+use kanon_core::table::GeneralizedTable;
+use std::collections::HashMap;
+
+/// The discernibility penalty `Σ_E |E|²` over equivalence classes of
+/// identical generalized records.
+pub fn discernibility(gtable: &GeneralizedTable) -> u64 {
+    let mut classes: HashMap<&[kanon_core::NodeId], u64> = HashMap::new();
+    for row in gtable.rows() {
+        *classes.entry(row.nodes()).or_insert(0) += 1;
+    }
+    classes.values().map(|&c| c * c).sum()
+}
+
+/// DM normalized per record (`DM / n`), handy for comparing tables of
+/// different sizes. Returns 0 for an empty table.
+pub fn discernibility_per_record(gtable: &GeneralizedTable) -> f64 {
+    let n = gtable.num_rows();
+    if n == 0 {
+        return 0.0;
+    }
+    discernibility(gtable) as f64 / n as f64
+}
+
+/// Sizes of the equivalence classes of identical generalized records,
+/// descending. The minimum is the table's k-anonymity level.
+pub fn class_sizes(gtable: &GeneralizedTable) -> Vec<usize> {
+    let mut classes: HashMap<&[kanon_core::NodeId], usize> = HashMap::new();
+    for row in gtable.rows() {
+        *classes.entry(row.nodes()).or_insert(0) += 1;
+    }
+    let mut sizes: Vec<usize> = classes.into_values().collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::cluster::Clustering;
+    use kanon_core::record::Record;
+    use kanon_core::schema::SchemaBuilder;
+    use kanon_core::table::Table;
+    use std::sync::Arc;
+
+    fn table4() -> Table {
+        // Grouped hierarchy so that pairwise clusters {a,b} and {c,d}
+        // close to distinct nodes rather than both hitting the root.
+        let s = SchemaBuilder::new()
+            .categorical_with_groups("c", ["a", "b", "c", "d"], &[&["a", "b"], &["c", "d"]])
+            .build_shared()
+            .unwrap();
+        let rows = (0..4).map(|v| Record::from_raw([v])).collect();
+        Table::new(s, rows).unwrap()
+    }
+
+    #[test]
+    fn identity_table_dm_is_n() {
+        let t = table4();
+        let g = kanon_core::GeneralizedTable::identity_of(&t);
+        assert_eq!(discernibility(&g), 4); // four classes of size 1
+        assert_eq!(discernibility_per_record(&g), 1.0);
+    }
+
+    #[test]
+    fn pairwise_clusters_dm() {
+        let t = table4();
+        let cl = Clustering::from_assignment(vec![0, 0, 1, 1]).unwrap();
+        let g = cl.to_generalized_table(&t).unwrap();
+        assert_eq!(discernibility(&g), 8); // 2² + 2²
+        assert_eq!(class_sizes(&g), vec![2, 2]);
+    }
+
+    #[test]
+    fn one_big_cluster_dm_is_n_squared() {
+        let t = table4();
+        let cl = Clustering::from_assignment(vec![0, 0, 0, 0]).unwrap();
+        let g = cl.to_generalized_table(&t).unwrap();
+        assert_eq!(discernibility(&g), 16);
+        assert_eq!(class_sizes(&g), vec![4]);
+    }
+
+    #[test]
+    fn empty_table_is_zero() {
+        let s = SchemaBuilder::new()
+            .categorical("c", ["a"])
+            .build_shared()
+            .unwrap();
+        let g = kanon_core::GeneralizedTable::new_unchecked(Arc::clone(&s), vec![]);
+        assert_eq!(discernibility(&g), 0);
+        assert_eq!(discernibility_per_record(&g), 0.0);
+        assert!(class_sizes(&g).is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! The LM measure of Eq. (4) (Iyengar, KDD 2002; Nergiz & Clifton) — the
+//! paper's second experimental measure.
+//!
+//! Each generalized entry `B` of attribute `j` is charged
+//! `(|B| − 1) / (|A_j| − 1)`: 0 for no generalization, 1 for total
+//! suppression, linear in the subset size in between. The paper calls it
+//! "the most accurate measure" among the tree-style metrics.
+
+use crate::measure::{EntryMeasure, MeasureContext};
+use kanon_core::hierarchy::NodeId;
+
+/// The LM (loss metric) measure of Eq. (4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LmMeasure;
+
+impl EntryMeasure for LmMeasure {
+    fn name(&self) -> &'static str {
+        "LM"
+    }
+
+    fn node_cost(&self, ctx: &MeasureContext<'_>, attr: usize, node: NodeId) -> f64 {
+        let h = ctx.schema.attr(attr).hierarchy();
+        let m = h.domain_size();
+        if m <= 1 {
+            return 0.0; // a single-value domain cannot lose information
+        }
+        (h.node_size(node) - 1) as f64 / (m - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::NodeCostTable;
+    use kanon_core::domain::ValueId;
+    use kanon_core::record::Record;
+    use kanon_core::schema::SchemaBuilder;
+    use kanon_core::table::Table;
+    use std::sync::Arc;
+
+    fn costs_for(groups: &[&[&str]]) -> (kanon_core::SharedSchema, NodeCostTable) {
+        let s = SchemaBuilder::new()
+            .categorical_with_groups("c", ["a", "b", "c", "d", "e"], groups)
+            .build_shared()
+            .unwrap();
+        let t = Table::new(Arc::clone(&s), vec![Record::from_raw([0])]).unwrap();
+        let c = NodeCostTable::compute(&t, &LmMeasure);
+        (s, c)
+    }
+
+    #[test]
+    fn leaf_zero_root_one() {
+        let (s, costs) = costs_for(&[&["a", "b"]]);
+        let h = s.attr(0).hierarchy();
+        assert_eq!(costs.entry_cost(0, h.leaf(ValueId(0))), 0.0);
+        assert_eq!(costs.entry_cost(0, h.root()), 1.0);
+    }
+
+    #[test]
+    fn intermediate_is_proportional() {
+        let (s, costs) = costs_for(&[&["a", "b"], &["a", "b", "c"]]);
+        let h = s.attr(0).hierarchy();
+        let ab = h.closure([ValueId(0), ValueId(1)]).unwrap();
+        let abc = h.closure([ValueId(0), ValueId(2)]).unwrap();
+        assert!((costs.entry_cost(0, ab) - 1.0 / 4.0).abs() < 1e-12);
+        assert!((costs.entry_cost(0, abc) - 2.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lm_is_monotone() {
+        let (s, costs) = costs_for(&[&["a", "b"], &["c", "d"], &["a", "b", "c", "d"]]);
+        let h = s.attr(0).hierarchy();
+        for n in h.node_ids() {
+            if let Some(p) = h.parent(n) {
+                assert!(costs.entry_cost(0, p) >= costs.entry_cost(0, n));
+            }
+        }
+    }
+
+    #[test]
+    fn single_value_domain_costs_zero() {
+        let s = SchemaBuilder::new()
+            .categorical("only", ["x"])
+            .build_shared()
+            .unwrap();
+        let t = Table::new(Arc::clone(&s), vec![Record::from_raw([0])]).unwrap();
+        let costs = NodeCostTable::compute(&t, &LmMeasure);
+        let h = s.attr(0).hierarchy();
+        assert_eq!(costs.entry_cost(0, h.root()), 0.0);
+    }
+
+    #[test]
+    fn lm_is_distribution_independent() {
+        // LM ignores the data distribution: same costs for any table over
+        // the same schema.
+        let s = SchemaBuilder::new()
+            .categorical_with_groups("c", ["a", "b", "c"], &[&["a", "b"]])
+            .build_shared()
+            .unwrap();
+        let t1 = Table::new(Arc::clone(&s), vec![Record::from_raw([0])]).unwrap();
+        let mut rows = vec![];
+        rows.extend((0..50).map(|_| Record::from_raw([2])));
+        let t2 = Table::new(Arc::clone(&s), rows).unwrap();
+        let c1 = NodeCostTable::compute(&t1, &LmMeasure);
+        let c2 = NodeCostTable::compute(&t2, &LmMeasure);
+        let h = s.attr(0).hierarchy();
+        for n in h.node_ids() {
+            assert_eq!(c1.entry_cost(0, n), c2.entry_cost(0, n));
+        }
+    }
+}

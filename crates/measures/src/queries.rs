@@ -1,0 +1,269 @@
+//! **Query-answering utility**: how well does the anonymized table answer
+//! aggregate COUNT queries? This is the workload-aware utility lens used
+//! by the Sec. II related work (Kifer & Gehrke's marginals, Xiao & Tao's
+//! Anatomy evaluate exactly this way) — complementary to the entropy/LM
+//! penalties, which measure information loss per entry rather than per
+//! analysis task.
+//!
+//! A [`CountQuery`] selects a permissible subset per chosen attribute and
+//! asks how many records fall in all of them. On the original table the
+//! answer is exact; on a generalized table each record contributes its
+//! *expected* membership under the uniform-spread assumption — for a
+//! record published as `B` and a query range `Q`, the contribution on
+//! that attribute is `|B ∩ Q| / |B|` (laminar hierarchies make the
+//! intersection either ∅ or the smaller of the two sets).
+//!
+//! [`mean_relative_error`] then scores a generalization by the average
+//! relative error over a random query workload, with the customary
+//! sanity floor on tiny true counts.
+
+use kanon_core::error::{CoreError, Result};
+use kanon_core::hierarchy::NodeId;
+use kanon_core::schema::SharedSchema;
+use kanon_core::table::{GeneralizedTable, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One COUNT query: a conjunction of per-attribute range predicates.
+#[derive(Debug, Clone)]
+pub struct CountQuery {
+    /// `(attribute index, permissible subset)` conjuncts.
+    pub predicates: Vec<(usize, NodeId)>,
+}
+
+impl CountQuery {
+    /// Exact answer on the original table.
+    pub fn answer_original(&self, table: &Table) -> u64 {
+        let schema = table.schema();
+        table
+            .rows()
+            .iter()
+            .filter(|rec| {
+                self.predicates
+                    .iter()
+                    .all(|&(j, q)| schema.attr(j).hierarchy().contains(q, rec.get(j)))
+            })
+            .count() as u64
+    }
+
+    /// Estimated answer on a generalized table under uniform spread.
+    pub fn answer_generalized(&self, gtable: &GeneralizedTable) -> f64 {
+        let schema = gtable.schema();
+        gtable
+            .rows()
+            .iter()
+            .map(|grec| {
+                let mut p = 1.0;
+                for &(j, q) in &self.predicates {
+                    let h = schema.attr(j).hierarchy();
+                    let b = grec.get(j);
+                    // Laminar: the intersection of two permissible subsets
+                    // is ∅ unless one contains the other.
+                    let inter = if h.is_ancestor_or_eq(q, b) {
+                        h.node_size(b)
+                    } else if h.is_ancestor_or_eq(b, q) {
+                        h.node_size(q)
+                    } else {
+                        0
+                    };
+                    p *= inter as f64 / h.node_size(b) as f64;
+                    if p == 0.0 {
+                        break;
+                    }
+                }
+                p
+            })
+            .sum()
+    }
+}
+
+/// A reproducible random workload of COUNT queries.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// The queries.
+    pub queries: Vec<CountQuery>,
+}
+
+impl QueryWorkload {
+    /// Samples `count` random queries, each a conjunction over `dims`
+    /// distinct attributes; per attribute a random *non-root* hierarchy
+    /// node is drawn (roots make the predicate vacuous).
+    pub fn random(schema: &SharedSchema, count: usize, dims: usize, seed: u64) -> QueryWorkload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = schema.num_attrs();
+        let dims = dims.min(r).max(1);
+        let mut queries = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Choose `dims` distinct attributes.
+            let mut attrs: Vec<usize> = (0..r).collect();
+            for i in (1..attrs.len()).rev() {
+                attrs.swap(i, rng.gen_range(0..=i));
+            }
+            attrs.truncate(dims);
+            let mut predicates = Vec::with_capacity(dims);
+            for j in attrs {
+                let h = schema.attr(j).hierarchy();
+                // Rejection-sample a non-root node (every hierarchy has at
+                // least one: a singleton leaf).
+                let node = loop {
+                    let idx = rng.gen_range(0..h.num_nodes());
+                    let n = h.node_from_index(idx).expect("in range");
+                    if n != h.root() || h.num_nodes() == 1 {
+                        break n;
+                    }
+                };
+                predicates.push((j, node));
+            }
+            queries.push(CountQuery { predicates });
+        }
+        QueryWorkload { queries }
+    }
+}
+
+/// Mean relative error of the generalized table's answers over a
+/// workload: `|est − true| / max(true, floor)` averaged over queries,
+/// with `floor = max(1, 0.1 % of n)` — the customary guard against
+/// division by tiny counts.
+pub fn mean_relative_error(
+    table: &Table,
+    gtable: &GeneralizedTable,
+    workload: &QueryWorkload,
+) -> Result<f64> {
+    if table.num_rows() != gtable.num_rows() {
+        return Err(CoreError::RowCountMismatch {
+            left: table.num_rows(),
+            right: gtable.num_rows(),
+        });
+    }
+    if workload.queries.is_empty() {
+        return Ok(0.0);
+    }
+    let floor = (table.num_rows() as f64 * 0.001).max(1.0);
+    let mut sum = 0.0;
+    for q in &workload.queries {
+        let truth = q.answer_original(table) as f64;
+        let est = q.answer_generalized(gtable);
+        sum += (est - truth).abs() / truth.max(floor);
+    }
+    Ok(sum / workload.queries.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::cluster::Clustering;
+    use kanon_core::record::Record;
+    use kanon_core::schema::SchemaBuilder;
+    use std::sync::Arc;
+
+    fn setup() -> (SharedSchema, Table) {
+        let s = SchemaBuilder::new()
+            .categorical_with_groups("c", ["a", "b", "c", "d"], &[&["a", "b"], &["c", "d"]])
+            .categorical("x", ["p", "q"])
+            .build_shared()
+            .unwrap();
+        let rows = vec![
+            Record::from_raw([0, 0]),
+            Record::from_raw([1, 0]),
+            Record::from_raw([2, 1]),
+            Record::from_raw([3, 1]),
+        ];
+        let t = Table::new(Arc::clone(&s), rows).unwrap();
+        (s, t)
+    }
+
+    #[test]
+    fn exact_on_identity_tables() {
+        let (s, t) = setup();
+        let g = GeneralizedTable::identity_of(&t);
+        let workload = QueryWorkload::random(&s, 50, 2, 7);
+        for q in &workload.queries {
+            let truth = q.answer_original(&t) as f64;
+            let est = q.answer_generalized(&g);
+            assert!((truth - est).abs() < 1e-9, "identity must answer exactly");
+        }
+        assert_eq!(mean_relative_error(&t, &g, &workload).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn uniform_spread_on_pairs() {
+        let (s, t) = setup();
+        // Cluster {a,b} rows and {c,d} rows: each published as a pair.
+        let cl = Clustering::from_assignment(vec![0, 0, 1, 1]).unwrap();
+        let g = cl.to_generalized_table(&t).unwrap();
+        let h = s.attr(0).hierarchy();
+        // Query: c == "a" → truth 1; estimate: two records in {a,b},
+        // each contributing 1/2 → 1.0 (spread happens to be exact here).
+        let q = CountQuery {
+            predicates: vec![(0, h.leaf(kanon_core::ValueId(0)))],
+        };
+        assert_eq!(q.answer_original(&t), 1);
+        assert!((q.answer_generalized(&g) - 1.0).abs() < 1e-12);
+        // Query: c ∈ {a,b} → truth 2; estimate 2 (both pair records).
+        let pair = h
+            .closure([kanon_core::ValueId(0), kanon_core::ValueId(1)])
+            .unwrap();
+        let q = CountQuery {
+            predicates: vec![(0, pair)],
+        };
+        assert_eq!(q.answer_original(&t), 2);
+        assert!((q.answer_generalized(&g) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_ranges_contribute_zero() {
+        let (s, t) = setup();
+        let cl = Clustering::from_assignment(vec![0, 0, 1, 1]).unwrap();
+        let g = cl.to_generalized_table(&t).unwrap();
+        let h = s.attr(0).hierarchy();
+        let cd = h
+            .closure([kanon_core::ValueId(2), kanon_core::ValueId(3)])
+            .unwrap();
+        let q = CountQuery {
+            predicates: vec![(0, cd)],
+        };
+        // Records published as {a,b} contribute 0 to a {c,d} query.
+        assert!((q.answer_generalized(&g) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_grows_with_generalization() {
+        let (s, t) = setup();
+        let workload = QueryWorkload::random(&s, 100, 2, 3);
+        let id = GeneralizedTable::identity_of(&t);
+        let pairs = Clustering::from_assignment(vec![0, 0, 1, 1])
+            .unwrap()
+            .to_generalized_table(&t)
+            .unwrap();
+        let all = Clustering::from_assignment(vec![0, 0, 0, 0])
+            .unwrap()
+            .to_generalized_table(&t)
+            .unwrap();
+        let e_id = mean_relative_error(&t, &id, &workload).unwrap();
+        let e_pairs = mean_relative_error(&t, &pairs, &workload).unwrap();
+        let e_all = mean_relative_error(&t, &all, &workload).unwrap();
+        assert!(e_id <= e_pairs + 1e-12);
+        assert!(e_pairs <= e_all + 1e-12);
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_nonroot() {
+        let (s, _) = setup();
+        let a = QueryWorkload::random(&s, 20, 2, 5);
+        let b = QueryWorkload::random(&s, 20, 2, 5);
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa.predicates, qb.predicates);
+            for &(j, n) in &qa.predicates {
+                assert_ne!(n, s.attr(j).hierarchy().root(), "roots are vacuous");
+            }
+        }
+    }
+
+    #[test]
+    fn row_count_mismatch_rejected() {
+        let (s, t) = setup();
+        let g = GeneralizedTable::new_unchecked(Arc::clone(&s), vec![]);
+        let w = QueryWorkload::random(&s, 5, 1, 1);
+        assert!(mean_relative_error(&t, &g, &w).is_err());
+    }
+}

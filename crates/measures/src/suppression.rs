@@ -1,0 +1,108 @@
+//! The suppression-count measure of Meyerson & Williams (PODS 2004) —
+//! the original k-anonymity cost model the paper reviews in Sec. II/IV:
+//! "their measure simply counted the number of suppressed entries."
+//!
+//! An entry costs 1 when fully suppressed (generalized to the hierarchy
+//! root) and 0 otherwise. With the workspace's `1/r`-normalized record
+//! costs, the table loss is the *fraction* of suppressed entries.
+//! Meaningful primarily for suppression-only (flat) hierarchies, where it
+//! coincides with LM; on deeper hierarchies it ignores partial
+//! generalization entirely — which is exactly the imprecision that
+//! motivated the tree, LM and entropy measures.
+
+use crate::measure::{EntryMeasure, MeasureContext};
+use kanon_core::hierarchy::NodeId;
+
+/// The Meyerson–Williams suppression-count measure.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuppressionMeasure;
+
+impl EntryMeasure for SuppressionMeasure {
+    fn name(&self) -> &'static str {
+        "SUP"
+    }
+
+    fn node_cost(&self, ctx: &MeasureContext<'_>, attr: usize, node: NodeId) -> f64 {
+        let h = ctx.schema.attr(attr).hierarchy();
+        // Single-value domains cannot be "suppressed" meaningfully.
+        if h.domain_size() <= 1 {
+            return 0.0;
+        }
+        if node == h.root() {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lm::LmMeasure;
+    use crate::measure::NodeCostTable;
+    use kanon_core::cluster::Clustering;
+    use kanon_core::record::Record;
+    use kanon_core::schema::SchemaBuilder;
+    use kanon_core::table::Table;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_only_full_suppression() {
+        let s = SchemaBuilder::new()
+            .categorical_with_groups("c", ["a", "b", "c", "d"], &[&["a", "b"]])
+            .build_shared()
+            .unwrap();
+        let t = Table::new(Arc::clone(&s), vec![Record::from_raw([0])]).unwrap();
+        let costs = NodeCostTable::compute(&t, &SuppressionMeasure);
+        let h = s.attr(0).hierarchy();
+        assert_eq!(costs.entry_cost(0, h.leaf(kanon_core::ValueId(0))), 0.0);
+        let pair = h
+            .closure([kanon_core::ValueId(0), kanon_core::ValueId(1)])
+            .unwrap();
+        assert_eq!(costs.entry_cost(0, pair), 0.0); // partial ⇒ free (the flaw)
+        assert_eq!(costs.entry_cost(0, h.root()), 1.0);
+    }
+
+    #[test]
+    fn equals_lm_on_flat_hierarchies() {
+        let s = SchemaBuilder::new()
+            .categorical("c", ["a", "b", "c"])
+            .categorical("x", ["p", "q"])
+            .build_shared()
+            .unwrap();
+        let rows = vec![
+            Record::from_raw([0, 0]),
+            Record::from_raw([1, 0]),
+            Record::from_raw([2, 1]),
+        ];
+        let t = Table::new(Arc::clone(&s), rows).unwrap();
+        let sup = NodeCostTable::compute(&t, &SuppressionMeasure);
+        let lm = NodeCostTable::compute(&t, &LmMeasure);
+        let cl = Clustering::from_assignment(vec![0, 0, 1]).unwrap();
+        let g = cl.to_generalized_table(&t).unwrap();
+        assert!((sup.table_loss(&g) - lm.table_loss(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_is_suppressed_fraction() {
+        let s = SchemaBuilder::new()
+            .categorical("c", ["a", "b"])
+            .categorical("x", ["p", "q"])
+            .build_shared()
+            .unwrap();
+        let t = Table::new(
+            Arc::clone(&s),
+            vec![Record::from_raw([0, 0]), Record::from_raw([1, 1])],
+        )
+        .unwrap();
+        let costs = NodeCostTable::compute(&t, &SuppressionMeasure);
+        // Suppress both rows entirely on attribute 0 only:
+        let h0 = s.attr(0).hierarchy();
+        let mut g = kanon_core::GeneralizedTable::identity_of(&t);
+        g.row_mut(0).set(0, h0.root());
+        g.row_mut(1).set(0, h0.root());
+        // 2 suppressed of 4 entries → 0.5.
+        assert!((costs.table_loss(&g) - 0.5).abs() < 1e-12);
+    }
+}

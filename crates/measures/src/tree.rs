@@ -1,0 +1,71 @@
+//! The tree measure of Aggarwal et al. (ICDT 2005): generalizing an entry
+//! to a node at level `ℓ` of a hierarchy of height `H` costs `ℓ / H`.
+//! The paper reviews it in Sec. II as the predecessor of LM ("the LM
+//! measure is a more precise version of the tree measure"). It is the
+//! natural cost model for the forest baseline.
+
+use crate::measure::{EntryMeasure, MeasureContext};
+use kanon_core::hierarchy::NodeId;
+
+/// The hierarchy-level ("tree") measure of Aggarwal et al.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TreeMeasure;
+
+impl EntryMeasure for TreeMeasure {
+    fn name(&self) -> &'static str {
+        "TM"
+    }
+
+    fn node_cost(&self, ctx: &MeasureContext<'_>, attr: usize, node: NodeId) -> f64 {
+        let h = ctx.schema.attr(attr).hierarchy();
+        let height = h.height();
+        if height == 0 {
+            return 0.0;
+        }
+        h.level(node) as f64 / height as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::NodeCostTable;
+    use kanon_core::domain::ValueId;
+    use kanon_core::record::Record;
+    use kanon_core::schema::SchemaBuilder;
+    use kanon_core::table::Table;
+    use std::sync::Arc;
+
+    #[test]
+    fn levels_scale_linearly() {
+        let s = SchemaBuilder::new()
+            .numeric_with_intervals("age", 0, 19, &[5, 10])
+            .build_shared()
+            .unwrap();
+        let t = Table::new(Arc::clone(&s), vec![Record::from_raw([0])]).unwrap();
+        let costs = NodeCostTable::compute(&t, &TreeMeasure);
+        let h = s.attr(0).hierarchy();
+        assert_eq!(costs.entry_cost(0, h.leaf(ValueId(0))), 0.0);
+        let five = h.closure([ValueId(0), ValueId(4)]).unwrap();
+        let ten = h.closure([ValueId(0), ValueId(9)]).unwrap();
+        assert!((costs.entry_cost(0, five) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((costs.entry_cost(0, ten) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(costs.entry_cost(0, h.root()), 1.0);
+    }
+
+    #[test]
+    fn tree_is_monotone() {
+        let s = SchemaBuilder::new()
+            .numeric_with_intervals("age", 0, 19, &[5, 10])
+            .build_shared()
+            .unwrap();
+        let t = Table::new(Arc::clone(&s), vec![Record::from_raw([3])]).unwrap();
+        let costs = NodeCostTable::compute(&t, &TreeMeasure);
+        let h = s.attr(0).hierarchy();
+        for n in h.node_ids() {
+            if let Some(p) = h.parent(n) {
+                assert!(costs.entry_cost(0, p) >= costs.entry_cost(0, n));
+            }
+        }
+    }
+}

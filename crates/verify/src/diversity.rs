@@ -1,0 +1,132 @@
+//! ℓ-diversity checking (Machanavajjhala et al., ICDE 2006) — the
+//! enhancement the paper names as future work ("we believe ℓ-diversity
+//! fits also in our framework", Sec. II).
+//!
+//! A published table is distinct-ℓ-diverse when every equivalence class
+//! of identical generalized records contains at least ℓ *distinct* values
+//! of the sensitive attribute, so linking an individual to her class
+//! still leaves ℓ possible sensitive values.
+
+use kanon_core::error::{CoreError, Result};
+use kanon_core::table::GeneralizedTable;
+use std::collections::{HashMap, HashSet};
+
+/// The largest ℓ for which the table is distinct-ℓ-diverse with respect
+/// to the given sensitive values (`sensitive[i]` belongs to row `i`).
+/// Returns 0 for an empty table.
+pub fn l_diversity_level(gtable: &GeneralizedTable, sensitive: &[u32]) -> Result<usize> {
+    if sensitive.len() != gtable.num_rows() {
+        return Err(CoreError::RowCountMismatch {
+            left: gtable.num_rows(),
+            right: sensitive.len(),
+        });
+    }
+    let mut classes: HashMap<&[kanon_core::NodeId], HashSet<u32>> = HashMap::new();
+    for (i, row) in gtable.rows().iter().enumerate() {
+        classes.entry(row.nodes()).or_default().insert(sensitive[i]);
+    }
+    Ok(classes.values().map(HashSet::len).min().unwrap_or(0))
+}
+
+/// Is every equivalence class distinct-ℓ-diverse?
+pub fn is_l_diverse(gtable: &GeneralizedTable, sensitive: &[u32], l: usize) -> Result<bool> {
+    Ok(l_diversity_level(gtable, sensitive)? >= l)
+}
+
+/// Entropy ℓ-diversity: every class's sensitive-value distribution must
+/// have entropy at least `log2(l)`. Stricter than distinct ℓ-diversity.
+/// Returns the largest ℓ satisfied (as `2^{min class entropy}`, floored).
+pub fn entropy_l_diversity_level(gtable: &GeneralizedTable, sensitive: &[u32]) -> Result<f64> {
+    if sensitive.len() != gtable.num_rows() {
+        return Err(CoreError::RowCountMismatch {
+            left: gtable.num_rows(),
+            right: sensitive.len(),
+        });
+    }
+    if gtable.num_rows() == 0 {
+        return Ok(0.0);
+    }
+    let mut classes: HashMap<&[kanon_core::NodeId], HashMap<u32, usize>> = HashMap::new();
+    for (i, row) in gtable.rows().iter().enumerate() {
+        *classes
+            .entry(row.nodes())
+            .or_default()
+            .entry(sensitive[i])
+            .or_insert(0) += 1;
+    }
+    let mut min_exp_entropy = f64::INFINITY;
+    for counts in classes.values() {
+        let total: usize = counts.values().sum();
+        let mut h = 0.0;
+        for &c in counts.values() {
+            let p = c as f64 / total as f64;
+            h -= p * p.log2();
+        }
+        min_exp_entropy = min_exp_entropy.min(h.exp2());
+    }
+    Ok(min_exp_entropy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::cluster::Clustering;
+    use kanon_core::record::Record;
+    use kanon_core::schema::SchemaBuilder;
+    use kanon_core::table::Table;
+    use std::sync::Arc;
+
+    fn clustered(assignments: Vec<u32>) -> GeneralizedTable {
+        let n = assignments.len();
+        let s = SchemaBuilder::new()
+            .categorical_with_groups(
+                "c",
+                ["a", "b", "c", "d", "e", "f"],
+                &[&["a", "b", "c"], &["d", "e", "f"]],
+            )
+            .build_shared()
+            .unwrap();
+        let rows = (0..n).map(|i| Record::from_raw([(i % 6) as u32])).collect();
+        let t = Table::new(Arc::clone(&s), rows).unwrap();
+        Clustering::from_assignment(assignments)
+            .unwrap()
+            .to_generalized_table(&t)
+            .unwrap()
+    }
+
+    #[test]
+    fn distinct_diversity_level() {
+        // Two classes of 3 rows each.
+        let g = clustered(vec![0, 0, 0, 1, 1, 1]);
+        // Class 0 has sensitive {1,2,3}; class 1 has {1,1,2}.
+        let level = l_diversity_level(&g, &[1, 2, 3, 1, 1, 2]).unwrap();
+        assert_eq!(level, 2);
+        assert!(is_l_diverse(&g, &[1, 2, 3, 1, 1, 2], 2).unwrap());
+        assert!(!is_l_diverse(&g, &[1, 2, 3, 1, 1, 2], 3).unwrap());
+    }
+
+    #[test]
+    fn homogeneous_class_is_1_diverse() {
+        let g = clustered(vec![0, 0, 0, 1, 1, 1]);
+        let level = l_diversity_level(&g, &[7, 7, 7, 1, 2, 3]).unwrap();
+        assert_eq!(level, 1);
+    }
+
+    #[test]
+    fn entropy_diversity_is_stricter() {
+        let g = clustered(vec![0, 0, 0, 1, 1, 1]);
+        // Class 0: {1,1,2} → H ≈ 0.918 bits → 2^H ≈ 1.89 < 2.
+        // Class 1: {1,2,3} → H = log2(3) → 3.
+        let e = entropy_l_diversity_level(&g, &[1, 1, 2, 1, 2, 3]).unwrap();
+        assert!(e < 2.0 && e > 1.5, "e = {e}");
+        // Distinct diversity would report 2 — entropy is stricter.
+        assert_eq!(l_diversity_level(&g, &[1, 1, 2, 1, 2, 3]).unwrap(), 2);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let g = clustered(vec![0, 0, 1, 1]);
+        assert!(l_diversity_level(&g, &[1, 2]).is_err());
+        assert!(entropy_l_diversity_level(&g, &[1]).is_err());
+    }
+}

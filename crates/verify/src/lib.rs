@@ -1,0 +1,55 @@
+//! # kanon-verify
+//!
+//! Anonymity checkers and adversary simulations for *"k-Anonymization
+//! Revisited"* (ICDE 2008).
+//!
+//! * [`checks`] — deciders and level computations for all five notions of
+//!   Sec. IV: k-anonymity, (1,k), (k,1), (k,k) and global (1,k);
+//!   [`AnonymityProfile`] computes them all at once.
+//! * [`adversary`] — the two adversaries of Sec. IV-A: consistency-based
+//!   linkage ([`Adversary1`]) and perfect-matching pruning
+//!   ([`Adversary2`], the attack that motivates global (1,k)-anonymity).
+//! * [`graph`] — construction of the consistency graph `V_{D,g(D)}`.
+//!
+//! Every algorithm output in `kanon-algos` is validated against these
+//! checkers in the integration tests.
+//!
+//! ```
+//! use kanon_core::{Record, SchemaBuilder, Table, Clustering};
+//! use kanon_verify::AnonymityProfile;
+//! use std::sync::Arc;
+//!
+//! let schema = SchemaBuilder::new()
+//!     .categorical_with_groups("c", ["a", "b", "c", "d"], &[&["a", "b"], &["c", "d"]])
+//!     .build_shared()
+//!     .unwrap();
+//! let table = Table::new(
+//!     Arc::clone(&schema),
+//!     (0..4).map(|v| Record::from_raw([v])).collect(),
+//! )
+//! .unwrap();
+//! let clustering = Clustering::from_assignment(vec![0, 0, 1, 1]).unwrap();
+//! let published = clustering.to_generalized_table(&table).unwrap();
+//!
+//! let profile = AnonymityProfile::compute(&table, &published).unwrap();
+//! assert_eq!(profile.k_anonymity, 2);
+//! assert!(profile.global_1k >= 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversary;
+pub mod checks;
+pub mod diversity;
+pub mod graph;
+pub mod risk;
+
+pub use adversary::{Adversary1, Adversary2, AttackReport, LinkageResult};
+pub use checks::{
+    global_1k_level, is_1k_anonymous, is_global_1k_anonymous, is_k1_anonymous, is_k_anonymous,
+    is_kk_anonymous, k_anonymity_level, k_one_level, one_k_level, AnonymityProfile,
+};
+pub use diversity::{entropy_l_diversity_level, is_l_diverse, l_diversity_level};
+pub use graph::consistency_graph;
+pub use risk::{journalist_risk, prosecutor_risk, RiskReport};

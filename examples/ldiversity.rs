@@ -1,0 +1,52 @@
+//! ℓ-diversity inside the paper's framework — the future-work item of
+//! Sec. II ("we believe ℓ-diversity fits also in our framework"),
+//! implemented: the agglomerative algorithm with a diversity-aware
+//! maturity condition, demonstrated on the CMC workload whose sensitive
+//! attribute is the contraceptive-method choice.
+//!
+//! Run with: `cargo run --release --example ldiversity`
+
+use kanon::algos::{l_diverse_k_anonymize, LDiverseConfig};
+use kanon::prelude::*;
+use kanon::verify::{is_l_diverse, l_diversity_level};
+
+fn main() {
+    let labeled = kanon::data::cmc::generate(300, 21);
+    let table = &labeled.table;
+    let sensitive = &labeled.labels; // 1 = no use, 2 = long-term, 3 = short-term
+    let costs = NodeCostTable::compute(table, &EntropyMeasure);
+    let k = 4;
+
+    // Plain k-anonymity: private *identities*, but a homogeneous cluster
+    // still leaks everyone's sensitive value.
+    let plain = agglomerative_k_anonymize(table, &costs, &AgglomerativeConfig::new(k)).unwrap();
+    let plain_l = l_diversity_level(&plain.table, sensitive).unwrap();
+    println!(
+        "plain {k}-anonymization: loss = {:.4}, but distinct ℓ-diversity level = {plain_l}",
+        plain.loss
+    );
+    if plain_l == 1 {
+        println!("  → some equivalence class is sensitively homogeneous: full disclosure!");
+    }
+
+    // Diversity-aware anonymization: clusters must also mix ≥ ℓ methods.
+    for l in [2, 3] {
+        let out =
+            l_diverse_k_anonymize(table, &costs, sensitive, &LDiverseConfig::new(k, l)).unwrap();
+        assert!(is_l_diverse(&out.table, sensitive, l).unwrap());
+        assert!(kanon::verify::is_k_anonymous(&out.table, k));
+        println!(
+            "{k}-anonymous + distinct-{l}-diverse: loss = {:.4} \
+             ({:+.1}% vs plain), {} clusters",
+            out.loss,
+            100.0 * (out.loss / plain.loss - 1.0),
+            out.clustering.num_clusters()
+        );
+    }
+
+    println!(
+        "\nthe diversity premium is the price of protecting the sensitive value\n\
+         itself, not just the identity — exactly the gap ℓ-diversity was\n\
+         designed to close (Machanavajjhala et al., ICDE 2006)."
+    );
+}
