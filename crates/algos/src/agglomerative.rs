@@ -204,10 +204,27 @@ impl<'a> State<'a> {
         // Let existing actives insert the newcomer into their top-2, so
         // that later fallbacks (repair) remain exact without rescans.
         let new_ref = self.slots[slot].as_ref().unwrap().clone();
-        for idx in 0..self.active.len() {
-            let other = self.active[idx];
-            let oc = self.slots[other].as_ref().unwrap();
-            let d = self.dist_between(oc, &new_ref);
+        // The O(active) distance evaluations are pure reads — computed in
+        // parallel; the cache updates below are applied serially in active
+        // order, so the bookkeeping is identical to the serial pass. Each
+        // evaluation is only a handful of joins, so fan out later than the
+        // generic threshold: below ~512 actives the spawns cost more than
+        // the pass.
+        const PAR_DIST_THRESHOLD: usize = 512;
+        let dists: Vec<f64> = {
+            let this = &*self;
+            let new_ref = &new_ref;
+            let eval = move |idx: usize| {
+                let oc = this.slots[this.active[idx]].as_ref().unwrap();
+                this.dist_between(oc, new_ref)
+            };
+            if this.active.len() >= PAR_DIST_THRESHOLD {
+                kanon_parallel::map(this.active.len(), eval)
+            } else {
+                (0..this.active.len()).map(eval).collect()
+            }
+        };
+        for (&other, &d) in self.active.iter().zip(&dists) {
             let cand = Nearest {
                 dist: d,
                 target: slot,
@@ -255,8 +272,36 @@ impl<'a> State<'a> {
                 }
             }
         }
+        // The newcomer's own top-2 reuses the distances just computed —
+        // `dist_between` is symmetric (eval_symmetric takes the min over
+        // both orientations) — inserted under the same `closer` total
+        // order as scan_nearest, so no join is evaluated twice.
+        let mut best: Option<Nearest> = None;
+        let mut second: Option<Nearest> = None;
+        for (idx, &d) in dists.iter().enumerate() {
+            let other = self.active[idx];
+            let cand = Nearest {
+                dist: d,
+                target: other,
+            };
+            match best {
+                None => best = Some(cand),
+                Some(b) if closer(d, other, b.dist, b.target) => {
+                    second = best;
+                    best = Some(cand);
+                }
+                Some(_) => match second {
+                    None => second = Some(cand),
+                    Some(sn) if closer(d, other, sn.dist, sn.target) => second = Some(cand),
+                    Some(_) => {}
+                },
+            }
+        }
         self.active.push(slot);
-        self.nearest[slot] = self.scan_nearest(slot);
+        self.nearest[slot] = best.map(|b| NearestPair {
+            best: b,
+            second: Runner::Exact(second),
+        });
         slot
     }
 
@@ -271,6 +316,10 @@ impl<'a> State<'a> {
     /// runner-up when it is still alive (sound — see [`Runner`]),
     /// otherwise do a full top-2 rescan.
     fn repair_caches(&mut self) {
+        // Cheap serial pass: keep fresh entries, fall back to an exact
+        // live runner-up, and collect the slots that need a full rescan
+        // (typically zero or a handful per merge — not worth threads).
+        let mut need: Vec<usize> = Vec::new();
         for idx in 0..self.active.len() {
             let slot = self.active[idx];
             let repaired = match self.nearest[slot] {
@@ -291,10 +340,27 @@ impl<'a> State<'a> {
                     }
                 }
             };
-            self.nearest[slot] = match repaired {
-                Some(p) => Some(p),
-                None => self.scan_nearest(slot),
+            match repaired {
+                Some(p) => self.nearest[slot] = Some(p),
+                None => need.push(slot),
+            }
+        }
+        if need.is_empty() {
+            return;
+        }
+        // Full rescans are O(active) distance evaluations each — the
+        // expensive, pure part. Few in number, so the per-item threshold
+        // of `map` never triggers; gate on the *scan* size instead and
+        // use the coarse variant.
+        let rescanned: Vec<Option<NearestPair>> =
+            if self.active.len() >= kanon_parallel::MIN_PARALLEL_ITEMS {
+                let this = &*self;
+                kanon_parallel::map_coarse(need.len(), |i| this.scan_nearest(need[i]))
+            } else {
+                need.iter().map(|&s| self.scan_nearest(s)).collect()
             };
+        for (&slot, r) in need.iter().zip(rescanned) {
+            self.nearest[slot] = r;
         }
     }
 
@@ -366,18 +432,21 @@ pub fn agglomerative_k_anonymize(
         });
     }
 
+    let slots: Vec<Option<Cluster>> = (0..n)
+        .map(|i| Some(Cluster::singleton(&ctx, i as u32)))
+        .collect();
     let mut st = State {
         ctx,
         distance: cfg.distance,
-        slots: (0..n)
-            .map(|i| Some(Cluster::singleton(&ctx, i as u32)))
-            .collect(),
+        slots,
         active: (0..n).collect(),
         nearest: vec![None; n],
     };
-    for slot in 0..n {
-        st.nearest[slot] = st.scan_nearest(slot);
-    }
+    // Initial full nearest-neighbour scan: O(n²) distance evaluations,
+    // pure per-slot — parallelized across slots. scan_nearest orders
+    // candidates by the total order of `closer`, so the result is
+    // identical at any thread count.
+    st.nearest = kanon_parallel::map(n, |slot| st.scan_nearest(slot));
 
     let mut done: Vec<Cluster> = Vec::with_capacity(n / cfg.k);
 
@@ -505,6 +574,42 @@ fn shrink_to_k(
         evicted.push(row);
     }
     evicted
+}
+
+/// One full nearest-neighbour rescan pass over the singleton clustering:
+/// for every row, the closest *other* row under `distance` (ties broken
+/// toward the smaller row index). This is exactly the initial scan of
+/// Algorithm 1 — exposed so the scan (the per-pass unit of the O(n²)
+/// startup cost) can be benchmarked in isolation. Parallelized over rows;
+/// identical at any thread count. Requires `n ≥ 2`.
+pub fn nn_rescan_pass(
+    table: &Table,
+    costs: &NodeCostTable,
+    distance: ClusterDistance,
+) -> Vec<(usize, f64)> {
+    let n = table.num_rows();
+    assert!(n >= 2, "nearest-neighbour scan needs at least two rows");
+    let ctx = CostContext::new(table, costs);
+    let singles: Vec<Cluster> = (0..n).map(|i| Cluster::singleton(&ctx, i as u32)).collect();
+    kanon_parallel::map(n, |i| {
+        let me = &singles[i];
+        let mut best: Option<(usize, f64)> = None;
+        for (j, other) in singles.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let cost_u = ctx.join_cost(&me.nodes, &other.nodes);
+            let d = distance.eval_symmetric(1, me.cost, 1, other.cost, 2, cost_u);
+            let take = match best {
+                None => true,
+                Some((bt, bd)) => closer(d, j, bd, bt),
+            };
+            if take {
+                best = Some((j, d));
+            }
+        }
+        best.expect("n ≥ 2 leaves at least one candidate")
+    })
 }
 
 /// Converts the final cluster list into the output triple.

@@ -3,20 +3,60 @@
 //! `d(S) = c(closure(S))` (Eq. 7) backed by a precomputed
 //! [`NodeCostTable`].
 
-use kanon_core::hierarchy::NodeId;
+use kanon_core::hierarchy::{Hierarchy, NodeId};
 use kanon_core::record::GeneralizedRecord;
 use kanon_core::table::Table;
 use kanon_measures::NodeCostTable;
 
+/// Per-attribute join/cost kernel: the hierarchy, its dense pairwise join
+/// table (when built under the node budget — see
+/// [`Hierarchy::rebuild_join_table`]), and the measure's dense cost row.
+/// With the table present, `join ∘ cost` for one attribute is two array
+/// loads; without it, the join falls back to the parent-pointer climb.
+#[derive(Clone, Copy)]
+struct AttrKernel<'a> {
+    hierarchy: &'a Hierarchy,
+    /// Dense `num_nodes × num_nodes` LCA table, row-major, or `None`
+    /// when the hierarchy exceeded its join-table node budget.
+    join_table: Option<&'a [u32]>,
+    /// Stride of `join_table` rows (= the hierarchy's node count).
+    num_nodes: usize,
+    /// `cost_row[node.index()]` = measure cost of that node.
+    cost_row: &'a [f64],
+}
+
+impl<'a> AttrKernel<'a> {
+    #[inline]
+    fn join(&self, a: NodeId, b: NodeId) -> NodeId {
+        match self.join_table {
+            Some(t) => NodeId(t[a.index() * self.num_nodes + b.index()]),
+            None => self.hierarchy.join_uncached(a, b),
+        }
+    }
+
+    #[inline]
+    fn leaf(&self, v: kanon_core::domain::ValueId) -> NodeId {
+        self.hierarchy.leaf(v)
+    }
+
+    #[inline]
+    fn cost(&self, n: NodeId) -> f64 {
+        self.cost_row[n.index()]
+    }
+}
+
 /// Borrowed bundle of everything the algorithms need to evaluate cluster
 /// costs: the original table (for record values), its schema, and the
-/// measure's node costs.
-#[derive(Clone, Copy)]
+/// measure's node costs — plus a per-attribute [`AttrKernel`] cache that
+/// turns the hot `join`/`cost` pair into O(1) array loads.
+#[derive(Clone)]
 pub struct CostContext<'a> {
     /// The original table `D`.
     pub table: &'a Table,
     /// Precomputed per-node measure costs over `D`.
     pub costs: &'a NodeCostTable,
+    /// One kernel per attribute, resolved once at construction.
+    attrs: Vec<AttrKernel<'a>>,
 }
 
 impl<'a> CostContext<'a> {
@@ -28,7 +68,23 @@ impl<'a> CostContext<'a> {
             costs.num_attrs(),
             "cost table and table disagree on attribute count"
         );
-        CostContext { table, costs }
+        let schema = table.schema();
+        let attrs = (0..schema.num_attrs())
+            .map(|j| {
+                let h = schema.attr(j).hierarchy();
+                AttrKernel {
+                    hierarchy: h,
+                    join_table: h.join_table_slice(),
+                    num_nodes: h.num_nodes(),
+                    cost_row: costs.attr_costs(j),
+                }
+            })
+            .collect();
+        CostContext {
+            table,
+            costs,
+            attrs,
+        }
     }
 
     /// Number of attributes `r`.
@@ -45,28 +101,26 @@ impl<'a> CostContext<'a> {
 
     /// Leaf nodes of a row (the closure of a singleton cluster).
     pub fn leaf_nodes(&self, row: usize) -> Vec<NodeId> {
-        let schema = self.table.schema();
         let rec = self.table.row(row);
-        (0..self.num_attrs())
-            .map(|j| schema.attr(j).hierarchy().leaf(rec.get(j)))
+        self.attrs
+            .iter()
+            .enumerate()
+            .map(|(j, k)| k.leaf(rec.get(j)))
             .collect()
     }
 
     /// Joins row `row` into the closure `acc` in place.
     pub fn join_row_into(&self, acc: &mut [NodeId], row: usize) {
-        let schema = self.table.schema();
         let rec = self.table.row(row);
-        for (j, slot) in acc.iter_mut().enumerate() {
-            let h = schema.attr(j).hierarchy();
-            *slot = h.join(*slot, h.leaf(rec.get(j)));
+        for (j, (slot, k)) in acc.iter_mut().zip(&self.attrs).enumerate() {
+            *slot = k.join(*slot, k.leaf(rec.get(j)));
         }
     }
 
     /// Joins closure `other` into `acc` in place.
     pub fn join_nodes_into(&self, acc: &mut [NodeId], other: &[NodeId]) {
-        let schema = self.table.schema();
-        for (j, slot) in acc.iter_mut().enumerate() {
-            *slot = schema.attr(j).hierarchy().join(*slot, other[j]);
+        for ((slot, &o), k) in acc.iter_mut().zip(other).zip(&self.attrs) {
+            *slot = k.join(*slot, o);
         }
     }
 
@@ -78,23 +132,19 @@ impl<'a> CostContext<'a> {
 
     /// Cost of the join of two closures without materializing it.
     pub fn join_cost(&self, a: &[NodeId], b: &[NodeId]) -> f64 {
-        let schema = self.table.schema();
         let mut sum = 0.0;
-        for (j, (&na, &nb)) in a.iter().zip(b).enumerate() {
-            let h = schema.attr(j).hierarchy();
-            sum += self.costs.entry_cost(j, h.join(na, nb));
+        for ((&na, &nb), k) in a.iter().zip(b).zip(&self.attrs) {
+            sum += k.cost(k.join(na, nb));
         }
         sum / self.num_attrs() as f64
     }
 
     /// Cost of the join of a closure with one row without materializing it.
     pub fn join_row_cost(&self, a: &[NodeId], row: usize) -> f64 {
-        let schema = self.table.schema();
         let rec = self.table.row(row);
         let mut sum = 0.0;
-        for (j, &na) in a.iter().enumerate() {
-            let h = schema.attr(j).hierarchy();
-            sum += self.costs.entry_cost(j, h.join(na, h.leaf(rec.get(j))));
+        for (j, (&na, k)) in a.iter().zip(&self.attrs).enumerate() {
+            sum += k.cost(k.join(na, k.leaf(rec.get(j))));
         }
         sum / self.num_attrs() as f64
     }
@@ -102,13 +152,11 @@ impl<'a> CostContext<'a> {
     /// Pairwise record cost `d({R_i, R_j})` — the edge weight used by
     /// Algorithm 3 and the forest baseline.
     pub fn pair_cost(&self, i: usize, j: usize) -> f64 {
-        let schema = self.table.schema();
         let (ri, rj) = (self.table.row(i), self.table.row(j));
         let mut sum = 0.0;
-        for a in 0..self.num_attrs() {
-            let h = schema.attr(a).hierarchy();
-            let n = h.join(h.leaf(ri.get(a)), h.leaf(rj.get(a)));
-            sum += self.costs.entry_cost(a, n);
+        for (a, k) in self.attrs.iter().enumerate() {
+            let n = k.join(k.leaf(ri.get(a)), k.leaf(rj.get(a)));
+            sum += k.cost(n);
         }
         sum / self.num_attrs() as f64
     }

@@ -115,40 +115,72 @@ pub fn forest_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Res
         if !small_any {
             break;
         }
+        // Snapshot component roots and smallness once per round so the
+        // pair scan below is a pure read (find() path-compresses).
+        let mut root_of = vec![0u32; n];
+        for u in 0..n as u32 {
+            root_of[u as usize] = uf.find(u);
+        }
+        let small_root: Vec<bool> = (0..n).map(|x| uf.size[x] < k as u32).collect();
         // Best outgoing edge per small component root:
-        // best[root] = (weight, u, v).
-        let mut best: Vec<Option<(f64, u32, u32)>> = vec![None; n];
-        for u in 0..n {
-            let ru = uf.find(u as u32);
-            let small_u = uf.size[ru as usize] < k as u32;
-            for v in (u + 1)..n {
-                let rv = uf.find(v as u32);
+        // best[root] = (weight, u, v). The `better` predicate is a strict
+        // total order on (weight, (u, v)), so per-root argmins merge
+        // identically in any order — which lets the O(n²) pair-cost scan
+        // run as a parallel chunked fold with per-chunk best tables.
+        let better = |w: f64, u: u32, v: u32, e: &Option<(f64, u32, u32)>| -> bool {
+            match e {
+                None => true,
+                Some((bw, bu, bv)) => w.total_cmp(bw).is_lt() || (w == *bw && (u, v) < (*bu, *bv)),
+            }
+        };
+        let scan_row = |acc: &mut Vec<Option<(f64, u32, u32)>>, u: usize| {
+            let ru = root_of[u];
+            let small_u = small_root[ru as usize];
+            for (v, &rv) in root_of.iter().enumerate().skip(u + 1) {
                 if ru == rv {
                     continue;
                 }
-                let small_v = uf.size[rv as usize] < k as u32;
+                let small_v = small_root[rv as usize];
                 if !small_u && !small_v {
                     continue;
                 }
                 let w = ctx.pair_cost(u, v);
                 for root in [ru, rv] {
-                    if uf.size[root as usize] >= k as u32 {
+                    if !small_root[root as usize] {
                         continue;
                     }
-                    let e = &mut best[root as usize];
-                    let better = match e {
-                        None => true,
-                        Some((bw, bu, bv)) => {
-                            w.total_cmp(bw).is_lt()
-                                || (w == *bw && (u as u32, v as u32) < (*bu, *bv))
-                        }
-                    };
-                    if better {
+                    let e = &mut acc[root as usize];
+                    if better(w, u as u32, v as u32, e) {
                         *e = Some((w, u as u32, v as u32));
                     }
                 }
             }
-        }
+        };
+        // Row u costs O(n − u) pair evaluations; pairing row s with row
+        // n−1−s gives every fold index the same O(n) work, so contiguous
+        // chunks stay balanced across workers.
+        let half = n.div_ceil(2);
+        let best: Vec<Option<(f64, u32, u32)>> = kanon_parallel::fold_chunks(
+            half,
+            || vec![None; n],
+            |acc, s| {
+                scan_row(acc, s);
+                let mirror = n - 1 - s;
+                if mirror != s {
+                    scan_row(acc, mirror);
+                }
+            },
+            |mut a, b| {
+                for (ea, eb) in a.iter_mut().zip(b) {
+                    if let Some((w, u, v)) = eb {
+                        if better(w, u, v, ea) {
+                            *ea = Some((w, u, v));
+                        }
+                    }
+                }
+                a
+            },
+        );
         // Merge every small component along its chosen edge.
         let mut merged_any = false;
         for entry in best.iter().take(n) {

@@ -12,12 +12,11 @@
 //!   perform much better in practice.
 //!
 //! Both run in O(k·n²) and are embarrassingly parallel across rows; the
-//! row loop is chunked over `std::thread::scope` threads (the per-row
-//! computation is pure).
+//! row loop runs on `kanon_parallel::map` (the per-row computation is
+//! pure, so results are identical at any thread count).
 
 use crate::cost::CostContext;
 use kanon_core::error::{CoreError, Result};
-use kanon_core::record::GeneralizedRecord;
 use kanon_core::table::{GeneralizedTable, Table};
 use kanon_measures::NodeCostTable;
 use std::sync::Arc;
@@ -32,48 +31,6 @@ pub struct GenOutput {
     pub loss: f64,
 }
 
-/// Picks the number of worker threads for the row-parallel loops.
-fn num_threads(n_rows: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
-    // Small inputs are cheaper sequentially.
-    if n_rows < 256 {
-        1
-    } else {
-        hw.min(n_rows)
-    }
-}
-
-/// Runs `per_row` for every row index, parallelized over chunks, and
-/// collects results in row order.
-fn map_rows<F>(n: usize, per_row: F) -> Vec<GeneralizedRecord>
-where
-    F: Fn(usize) -> GeneralizedRecord + Sync,
-{
-    let threads = num_threads(n);
-    if threads <= 1 {
-        return (0..n).map(per_row).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let mut results: Vec<Option<GeneralizedRecord>> = vec![None; n];
-    std::thread::scope(|scope| {
-        for (t, slice) in results.chunks_mut(chunk).enumerate() {
-            let per_row = &per_row;
-            scope.spawn(move || {
-                let base = t * chunk;
-                for (off, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(per_row(base + off));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("row computed"))
-        .collect()
-}
-
 /// Algorithm 3: (k,1)-anonymization by nearest neighbours.
 ///
 /// For each record `R_i`, finds the `k−1` records minimizing
@@ -86,7 +43,7 @@ pub fn k1_nearest_neighbors(table: &Table, costs: &NodeCostTable, k: usize) -> R
     }
     let ctx = CostContext::new(table, costs);
 
-    let rows = map_rows(n, |i| {
+    let rows = kanon_parallel::map(n, |i| {
         if k == 1 {
             return ctx.to_record(&ctx.leaf_nodes(i));
         }
@@ -124,7 +81,7 @@ pub fn k1_expansion(table: &Table, costs: &NodeCostTable, k: usize) -> Result<Ge
     }
     let ctx = CostContext::new(table, costs);
 
-    let rows = map_rows(n, |i| {
+    let rows = kanon_parallel::map(n, |i| {
         let mut nodes = ctx.leaf_nodes(i);
         if k == 1 {
             return ctx.to_record(&nodes);

@@ -59,7 +59,9 @@ pub mod optimal;
 pub mod pipeline;
 pub mod samarati;
 
-pub use agglomerative::{agglomerative_k_anonymize, AgglomerativeConfig, KAnonOutput};
+pub use agglomerative::{
+    agglomerative_k_anonymize, nn_rescan_pass, AgglomerativeConfig, KAnonOutput,
+};
 pub use cost::CostContext;
 pub use distance::{ClusterDistance, DEFAULT_EPSILON};
 pub use forest::forest_k_anonymize;

@@ -137,27 +137,41 @@ pub fn best_k_anonymize(
     include_modified: bool,
 ) -> Result<(KAnonOutput, AgglomerativeConfig)> {
     assert!(!distances.is_empty(), "need at least one distance function");
-    let mut best: Option<(KAnonOutput, AgglomerativeConfig)> = None;
-    for &d in distances {
-        let variants: &[bool] = if include_modified {
-            &[false, true]
-        } else {
-            &[false]
-        };
-        for &modified in variants {
-            let cfg = AgglomerativeConfig {
+    let variants: &[bool] = if include_modified {
+        &[false, true]
+    } else {
+        &[false]
+    };
+    let configs: Vec<AgglomerativeConfig> = distances
+        .iter()
+        .flat_map(|&d| {
+            variants.iter().map(move |&modified| AgglomerativeConfig {
                 k,
                 distance: d,
                 modified,
-            };
-            let out = agglomerative_k_anonymize(table, costs, &cfg)?;
-            let better = match &best {
-                None => true,
-                Some((b, _)) => out.loss < b.loss,
-            };
-            if better {
-                best = Some((out, cfg));
-            }
+            })
+        })
+        .collect();
+    // The protocol's variants are independent whole runs — a coarse grid.
+    // Each run keeps a fair share of the workers for its own inner
+    // parallelism; the winner is picked serially in config order (strict
+    // `<`, so the earliest of equal-loss variants wins, as in the serial
+    // sweep).
+    let inner = (kanon_parallel::num_threads() / configs.len()).max(1);
+    let outputs = kanon_parallel::map_coarse(configs.len(), |i| {
+        kanon_parallel::with_threads(inner, || {
+            agglomerative_k_anonymize(table, costs, &configs[i])
+        })
+    });
+    let mut best: Option<(KAnonOutput, AgglomerativeConfig)> = None;
+    for (out, &cfg) in outputs.into_iter().zip(&configs) {
+        let out = out?;
+        let better = match &best {
+            None => true,
+            Some((b, _)) => out.loss < b.loss,
+        };
+        if better {
+            best = Some((out, cfg));
         }
     }
     Ok(best.expect("at least one variant ran"))

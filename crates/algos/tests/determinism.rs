@@ -1,0 +1,88 @@
+//! Determinism guarantees of the parallel execution layer and the join
+//! kernel:
+//!
+//! 1. Every anonymizer produces **byte-identical** output at any worker
+//!    count (`kanon_parallel::with_threads(1)` vs `with_threads(4)`) —
+//!    the primitives in `kanon-parallel` combine per-index results in
+//!    index order, and all argmin/top-2 selections use total orders with
+//!    index tie-breaks.
+//! 2. The dense pairwise join table is a **pure speed knob**: rebuilding
+//!    every hierarchy with a budget of `0` (climb-only joins) changes no
+//!    clustering and no loss.
+
+use kanon_algos::{
+    agglomerative_k_anonymize, forest_k_anonymize, k1_expansion, k1_nearest_neighbors,
+    AgglomerativeConfig,
+};
+use kanon_core::table::Table;
+use kanon_data::art;
+use kanon_measures::{EntropyMeasure, NodeCostTable};
+use kanon_parallel::with_threads;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Runs every algorithm family once and returns a comparable fingerprint:
+/// per-algorithm loss plus the full generalized tables' debug rendering
+/// (node ids per row — stricter than loss equality).
+fn fingerprint(table: &Table, costs: &NodeCostTable, k: usize) -> Vec<(String, f64, String)> {
+    let mut out = Vec::new();
+    for modified in [false, true] {
+        let cfg = AgglomerativeConfig::new(k).with_modified(modified);
+        let r = agglomerative_k_anonymize(table, costs, &cfg).unwrap();
+        out.push((
+            format!("agglo-mod={modified}"),
+            r.loss,
+            format!("{:?}", r.clustering),
+        ));
+    }
+    let r = forest_k_anonymize(table, costs, k).unwrap();
+    out.push(("forest".into(), r.loss, format!("{:?}", r.clustering)));
+    let r = k1_nearest_neighbors(table, costs, k).unwrap();
+    out.push(("k1-nn".into(), r.loss, format!("{:?}", r.table.rows())));
+    let r = k1_expansion(table, costs, k).unwrap();
+    out.push(("k1-exp".into(), r.loss, format!("{:?}", r.table.rows())));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn all_algorithms_are_thread_count_invariant(seed in 0u64..1_000_000, k in 2usize..6) {
+        // Large enough that every parallel primitive actually splits work
+        // (above MIN_PARALLEL_ITEMS) yet small enough to run in CI.
+        let table = art::generate(96, seed);
+        let costs = NodeCostTable::compute(&table, &EntropyMeasure);
+        let serial = with_threads(1, || fingerprint(&table, &costs, k));
+        let parallel = with_threads(4, || fingerprint(&table, &costs, k));
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(&s.0, &p.0);
+            prop_assert!(
+                s.1.to_bits() == p.1.to_bits(),
+                "{}: loss differs across thread counts: {} vs {}", s.0, s.1, p.1
+            );
+            prop_assert_eq!(&s.2, &p.2, "{}: output differs across thread counts", s.0);
+        }
+    }
+
+    #[test]
+    fn join_table_is_a_pure_speed_knob(seed in 0u64..1_000_000, k in 2usize..6) {
+        let with_table = art::generate(72, seed);
+        // Same rows under a schema whose hierarchies were rebuilt with a
+        // zero node budget: every join falls back to the parent-pointer
+        // climb.
+        let climb_schema = Arc::new(with_table.schema().with_join_table_budget(0));
+        let climb_only = Table::new(climb_schema, with_table.rows().to_vec()).unwrap();
+        let costs_t = NodeCostTable::compute(&with_table, &EntropyMeasure);
+        let costs_c = NodeCostTable::compute(&climb_only, &EntropyMeasure);
+        let a = fingerprint(&with_table, &costs_t, k);
+        let b = fingerprint(&climb_only, &costs_c, k);
+        for (s, p) in a.iter().zip(&b) {
+            prop_assert!(
+                s.1.to_bits() == p.1.to_bits(),
+                "{}: loss differs with join table on/off: {} vs {}", s.0, s.1, p.1
+            );
+            prop_assert_eq!(&s.2, &p.2, "{}: output differs with join table on/off", s.0);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the O(1) join kernel and the
+//! nearest-neighbour rescan pass it accelerates.
+//!
+//! * `hierarchy_join`: `Hierarchy::join` (dense LCA-table lookup, the
+//!   default below the node budget) against `Hierarchy::join_uncached`
+//!   (the parent-pointer climb fallback) on the same hierarchy and the
+//!   same pseudo-random node pairs.
+//! * `nn_rescan`: one full nearest-neighbour scan over the singleton
+//!   clustering — the per-pass unit of Algorithm 1's O(n²) startup cost —
+//!   at 1 worker vs all workers.
+//!
+//! Run with: `cargo bench -p kanon-bench --bench join_kernel`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kanon_algos::{nn_rescan_pass, ClusterDistance};
+use kanon_core::hierarchy::NodeId;
+use kanon_data::art;
+use kanon_measures::{EntropyMeasure, NodeCostTable};
+use std::hint::black_box;
+
+fn bench_hierarchy_join(c: &mut Criterion) {
+    let table = art::generate(64, 42);
+    let schema = table.schema();
+    // The widest hierarchy of the ART schema gives the deepest climbs.
+    let h = (0..schema.num_attrs())
+        .map(|j| schema.attr(j).hierarchy())
+        .max_by_key(|h| h.num_nodes())
+        .unwrap();
+    assert!(h.has_join_table(), "ART hierarchies fit the default budget");
+    let m = h.num_nodes() as u64;
+    // Fixed pseudo-random pair stream (splitmix-style), identical for
+    // both variants.
+    let pairs: Vec<(NodeId, NodeId)> = (0..1024u64)
+        .map(|i| {
+            let mut x = i.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+            (NodeId((x % m) as u32), NodeId(((x >> 32) % m) as u32))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("hierarchy_join");
+    group.bench_function(BenchmarkId::new("table", h.num_nodes()), |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(x, y) in &pairs {
+                acc ^= h.join(black_box(x), black_box(y)).0;
+            }
+            acc
+        })
+    });
+    group.bench_function(BenchmarkId::new("climb", h.num_nodes()), |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(x, y) in &pairs {
+                acc ^= h.join_uncached(black_box(x), black_box(y)).0;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_nn_rescan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_rescan");
+    group.sample_size(10);
+    for n in [500usize, 1000] {
+        let table = art::generate(n, 42);
+        let costs = NodeCostTable::compute(&table, &EntropyMeasure);
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| {
+                kanon_parallel::with_threads(1, || {
+                    nn_rescan_pass(black_box(&table), &costs, ClusterDistance::default())
+                })
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            b.iter(|| nn_rescan_pass(black_box(&table), &costs, ClusterDistance::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy_join, bench_nn_rescan);
+criterion_main!(benches);

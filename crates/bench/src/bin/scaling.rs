@@ -1,57 +1,152 @@
-//! Experiment E-S1 — runtime scaling of the main algorithms in n,
-//! supporting the complexity claims of Sec. V: O(n²) for the
-//! agglomerative algorithm, O(k·n²) for the (k,k) pipeline, and the gap
-//! between the paper's O(√n·m²) match-testing and our O(n+m) oracle.
+//! Experiment E-S1 — runtime scaling of the main algorithms in `n` and in
+//! the worker-thread count, supporting the complexity claims of Sec. V
+//! (O(n²) agglomerative, O(k·n²) for the (k,k) pipeline) and measuring
+//! the speedup of the `kanon-parallel` execution layer.
 //!
-//! Usage: `cargo run --release -p kanon-bench --bin scaling -- [--seed S]`
+//! Emits one JSON row per (algo, n, threads) cell to `BENCH_scaling.json`
+//! (see EXPERIMENTS.md for the format) and a human-readable summary to
+//! stdout. Losses are printed so a reader can verify that thread count
+//! changes wall time only — never the output.
+//!
+//! Usage:
+//! `cargo run --release -p kanon-bench --bin scaling -- \
+//!    [--n 1000,2000,5000] [--k 10] [--seed 42] [--threads 1,8] \
+//!    [--algos agglom,forest,kk] [--out BENCH_scaling.json]`
 
 use kanon_algos::{
     agglomerative_k_anonymize, forest_k_anonymize, kk_anonymize, AgglomerativeConfig, KkConfig,
 };
-use kanon_bench::{measure_costs, render_table, Measure, TextTable};
+use kanon_bench::{measure_costs, Measure};
 use kanon_data::art;
 use std::time::Instant;
 
-fn timed<F: FnOnce() -> T, T>(f: F) -> (T, f64) {
-    let start = Instant::now();
-    let out = f();
-    (out, start.elapsed().as_secs_f64())
+struct Row {
+    algo: &'static str,
+    n: usize,
+    k: usize,
+    threads: usize,
+    wall_ms: f64,
+    loss: f64,
+}
+
+fn parse_list(s: &str) -> Vec<usize> {
+    s.split(',')
+        .map(|p| p.trim().parse().expect("numeric list argument"))
+        .collect()
 }
 
 fn main() {
-    let seed = 42;
-    let k = 10;
-    println!("SCALING — wall time vs n (ART, k = {k}, entropy measure)\n");
-    let mut table = TextTable::new([
-        "n",
-        "agglom (s)",
-        "forest (s)",
-        "(k,k) (s)",
-        "ratio vs prev",
-    ]);
-    let mut prev_agg: Option<f64> = None;
-    for n in [250usize, 500, 1000, 2000] {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ns = vec![1000usize, 2000, 5000];
+    let mut k = 10usize;
+    let mut seed = 42u64;
+    let mut threads = vec![
+        1usize,
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+    ];
+    let mut algos = vec!["agglom".to_string(), "forest".to_string(), "kk".to_string()];
+    let mut out_path = "BENCH_scaling.json".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let val = |it: &mut std::slice::Iter<String>| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        };
+        match flag.as_str() {
+            "--n" => ns = parse_list(&val(&mut it)),
+            "--k" => k = val(&mut it).parse().expect("--k"),
+            "--seed" => seed = val(&mut it).parse().expect("--seed"),
+            "--threads" => threads = parse_list(&val(&mut it)),
+            "--algos" => {
+                algos = val(&mut it)
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect()
+            }
+            "--out" => out_path = val(&mut it),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    threads.sort_unstable();
+    threads.dedup();
+
+    println!("SCALING — ART, k = {k}, entropy measure, D3 (seed {seed})");
+    println!(
+        "{:<8} {:>7} {:>8} {:>12} {:>12}",
+        "algo", "n", "threads", "wall_ms", "loss"
+    );
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in &ns {
         let t = art::generate(n, seed);
         let costs = measure_costs(&t, Measure::Em);
-        let (_, agg) =
-            timed(|| agglomerative_k_anonymize(&t, &costs, &AgglomerativeConfig::new(k)).unwrap());
-        let (_, forest) = timed(|| forest_k_anonymize(&t, &costs, k).unwrap());
-        let (_, kk) = timed(|| kk_anonymize(&t, &costs, &KkConfig::new(k)).unwrap());
-        let ratio = prev_agg
-            .map(|p| format!("{:.1}x", agg / p))
-            .unwrap_or_else(|| "-".into());
-        prev_agg = Some(agg);
-        table.row([
-            n.to_string(),
-            format!("{agg:.3}"),
-            format!("{forest:.3}"),
-            format!("{kk:.3}"),
-            ratio,
-        ]);
+        for algo in &algos {
+            for &tc in &threads {
+                let (loss, wall_ms) = kanon_parallel::with_threads(tc, || {
+                    let start = Instant::now();
+                    let loss = match algo.as_str() {
+                        "agglom" => {
+                            agglomerative_k_anonymize(&t, &costs, &AgglomerativeConfig::new(k))
+                                .unwrap()
+                                .loss
+                        }
+                        "forest" => forest_k_anonymize(&t, &costs, k).unwrap().loss,
+                        "kk" => kk_anonymize(&t, &costs, &KkConfig::new(k)).unwrap().loss,
+                        other => panic!("unknown algo {other} (agglom|forest|kk)"),
+                    };
+                    (loss, start.elapsed().as_secs_f64() * 1e3)
+                });
+                println!("{algo:<8} {n:>7} {tc:>8} {wall_ms:>12.1} {loss:>12.6}");
+                rows.push(Row {
+                    algo: match algo.as_str() {
+                        "agglom" => "agglom",
+                        "forest" => "forest",
+                        _ => "kk",
+                    },
+                    n,
+                    k,
+                    threads: tc,
+                    wall_ms,
+                    loss,
+                });
+            }
+        }
     }
-    println!("{}", render_table(&table));
-    println!(
-        "expected shape: doubling n multiplies the agglomerative time by ≈4\n\
-         (O(n²)); the (k,k) pipeline follows O(k·n²) and parallelizes across rows."
-    );
+
+    // Serial-vs-max speedup summary per (algo, n).
+    if threads.len() >= 2 {
+        let (lo, hi) = (threads[0], *threads.last().unwrap());
+        println!("\nspeedup ({lo} → {hi} threads):");
+        for &n in &ns {
+            for algo in &algos {
+                let ms = |tc: usize| {
+                    rows.iter()
+                        .find(|r| r.algo == algo.as_str() && r.n == n && r.threads == tc)
+                        .map(|r| r.wall_ms)
+                };
+                if let (Some(a), Some(b)) = (ms(lo), ms(hi)) {
+                    println!("  {algo:<8} n={n:<6} {:.2}x", a / b);
+                }
+            }
+        }
+    }
+
+    let mut json = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"algo\": \"{}\", \"n\": {}, \"k\": {}, \"threads\": {}, \"wall_ms\": {:.3}, \"loss\": {:.12}}}{}\n",
+            r.algo,
+            r.n,
+            r.k,
+            r.threads,
+            r.wall_ms,
+            r.loss,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::write(&out_path, json).expect("write scaling rows");
+    println!("\nwrote {} rows to {out_path}", rows.len());
 }

@@ -76,9 +76,27 @@ pub fn run_forest(table: &Table, costs: &NodeCostTable, k: usize) -> CompetitorR
 /// "(k,k)-anon": the better of the two couplings Alg.3+5 and Alg.4+5
 /// (third row of each Table I block).
 pub fn run_kk_best(table: &Table, costs: &NodeCostTable, k: usize) -> CompetitorResult {
+    // Two independent whole runs — a coarse grid: run both couplings
+    // concurrently, each with half the workers for its row-parallel inner
+    // loops, then pick the winner in method order (strict `<`, matching
+    // the serial sweep's tie-break).
+    let methods = [K1Method::NearestNeighbors, K1Method::Expansion];
+    let inner = (kanon_parallel::num_threads() / methods.len()).max(1);
+    let outputs = kanon_parallel::map_coarse(methods.len(), |i| {
+        kanon_parallel::with_threads(inner, || {
+            kk_anonymize(
+                table,
+                costs,
+                &KkConfig {
+                    k,
+                    method: methods[i],
+                },
+            )
+            .expect("valid k")
+        })
+    });
     let mut best: Option<CompetitorResult> = None;
-    for method in [K1Method::NearestNeighbors, K1Method::Expansion] {
-        let out = kk_anonymize(table, costs, &KkConfig { k, method }).expect("valid k");
+    for (out, method) in outputs.into_iter().zip(methods) {
         let better = best.as_ref().is_none_or(|b| out.loss < b.loss);
         if better {
             best = Some(CompetitorResult {

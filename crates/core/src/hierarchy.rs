@@ -72,9 +72,27 @@ pub struct Hierarchy {
     join_table: Option<Vec<u32>>,
 }
 
-/// Hierarchies with at most this many nodes precompute the dense join
-/// table (memory: `limit²` × 4 bytes = 1 MiB worst case per attribute).
+/// Default node budget for the dense join table: hierarchies with at most
+/// this many nodes precompute it (memory: `limit²` × 4 bytes = 1 MiB worst
+/// case per attribute). Override per process with the
+/// `KANON_JOIN_TABLE_LIMIT` environment variable (`0` disables the table
+/// everywhere), or per hierarchy with
+/// [`Hierarchy::with_join_table_budget`].
 pub const JOIN_TABLE_LIMIT: usize = 512;
+
+/// The effective default join-table node budget:
+/// `KANON_JOIN_TABLE_LIMIT` if set and parseable, else
+/// [`JOIN_TABLE_LIMIT`]. Read once per process.
+pub fn default_join_table_budget() -> usize {
+    use std::sync::OnceLock;
+    static BUDGET: OnceLock<usize> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("KANON_JOIN_TABLE_LIMIT")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(JOIN_TABLE_LIMIT)
+    })
+}
 
 impl Hierarchy {
     // ------------------------------------------------------------------
@@ -216,19 +234,53 @@ impl Hierarchy {
             domain_size,
             join_table: None,
         };
-        if h.nodes.len() <= JOIN_TABLE_LIMIT {
-            let m = h.nodes.len();
-            let mut table = vec![0u32; m * m];
-            for a in 0..m {
-                for b in a..m {
-                    let j = h.join_by_walk(NodeId(a as u32), NodeId(b as u32)).0;
-                    table[a * m + b] = j;
-                    table[b * m + a] = j;
-                }
-            }
-            h.join_table = Some(table);
-        }
+        h.rebuild_join_table(default_join_table_budget());
         Ok(h)
+    }
+
+    /// (Re)builds or drops the dense join table against a node budget:
+    /// hierarchies with more than `budget` nodes fall back to the
+    /// parent-pointer climb. Joins are identical either way — the table is
+    /// precomputed *from* the climb — so this is purely a memory/speed
+    /// trade-off.
+    pub fn rebuild_join_table(&mut self, budget: usize) {
+        let m = self.nodes.len();
+        if m > budget {
+            self.join_table = None;
+            return;
+        }
+        let mut table = vec![0u32; m * m];
+        for a in 0..m {
+            for b in a..m {
+                let j = self.join_uncached(NodeId(a as u32), NodeId(b as u32)).0;
+                table[a * m + b] = j;
+                table[b * m + a] = j;
+            }
+        }
+        self.join_table = Some(table);
+    }
+
+    /// A copy of this hierarchy with the join table rebuilt under a
+    /// different node budget (`0` = climb-only).
+    pub fn with_join_table_budget(&self, budget: usize) -> Self {
+        let mut h = self.clone();
+        h.rebuild_join_table(budget);
+        h
+    }
+
+    /// Is the dense join table materialized?
+    #[inline]
+    pub fn has_join_table(&self) -> bool {
+        self.join_table.is_some()
+    }
+
+    /// The dense join table as a flat row-major slice
+    /// (`table[a * num_nodes + b]` = join of `a` and `b`), if
+    /// materialized. Exposed so cost kernels can hoist the per-attribute
+    /// lookup out of their inner loops.
+    #[inline]
+    pub fn join_table_slice(&self) -> Option<&[u32]> {
+        self.join_table.as_deref()
     }
 
     /// Interval ladder for ordered (numeric) domains: level `l` partitions
@@ -406,12 +458,13 @@ impl Hierarchy {
         if let Some(table) = &self.join_table {
             return NodeId(table[a.index() * self.nodes.len() + b.index()]);
         }
-        self.join_by_walk(a, b)
+        self.join_uncached(a, b)
     }
 
-    /// LCA by parent-pointer walk (the fallback for very large
-    /// hierarchies and the generator of the precomputed table).
-    fn join_by_walk(&self, a: NodeId, b: NodeId) -> NodeId {
+    /// LCA by parent-pointer walk — the fallback for hierarchies over the
+    /// join-table budget and the generator of the precomputed table.
+    /// Public so benches can compare the climb against the O(1) lookup.
+    pub fn join_uncached(&self, a: NodeId, b: NodeId) -> NodeId {
         let (mut a, mut b) = (a, b);
         let (mut da, mut db) = (self.depth(a), self.depth(b));
         while da > db {
@@ -701,6 +754,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn join_table_budget_is_a_pure_speed_knob() {
+        let subs = vec![
+            vec![v(0), v(1)],
+            vec![v(2), v(3)],
+            vec![v(0), v(1), v(2), v(3)],
+        ];
+        let with_table = Hierarchy::from_subsets(6, &subs).unwrap();
+        assert!(with_table.has_join_table());
+        assert!(with_table.join_table_slice().is_some());
+        let climb_only = with_table.with_join_table_budget(0);
+        assert!(!climb_only.has_join_table());
+        assert!(climb_only.join_table_slice().is_none());
+        for a in with_table.node_ids() {
+            for b in with_table.node_ids() {
+                assert_eq!(with_table.join(a, b), climb_only.join(a, b));
+                assert_eq!(with_table.join(a, b), climb_only.join_uncached(a, b));
+            }
+        }
+        // Restoring a generous budget rebuilds the table.
+        let restored = climb_only.with_join_table_budget(JOIN_TABLE_LIMIT);
+        assert!(restored.has_join_table());
+        assert_eq!(
+            restored.join_table_slice(),
+            with_table.join_table_slice(),
+            "rebuilt table must be identical"
+        );
     }
 
     #[test]

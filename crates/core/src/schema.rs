@@ -53,6 +53,15 @@ impl Attribute {
     pub fn name(&self) -> &str {
         self.domain.name()
     }
+
+    /// A copy of this attribute with the hierarchy's join table rebuilt
+    /// under a different node budget (`0` = climb-only joins).
+    pub fn with_join_table_budget(&self, budget: usize) -> Self {
+        Attribute {
+            domain: self.domain.clone(),
+            hierarchy: self.hierarchy.with_join_table_budget(budget),
+        }
+    }
 }
 
 /// An ordered collection of public attributes (quasi-identifiers).
@@ -80,6 +89,20 @@ impl Schema {
     /// Wraps the schema in an [`Arc`] for sharing.
     pub fn into_shared(self) -> SharedSchema {
         Arc::new(self)
+    }
+
+    /// A copy of this schema with every hierarchy's join table rebuilt
+    /// under a different node budget (`0` = climb-only joins). Joins —
+    /// and therefore every anonymization decision — are identical under
+    /// any budget; only speed and memory change.
+    pub fn with_join_table_budget(&self, budget: usize) -> Self {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .map(|a| a.with_join_table_budget(budget))
+                .collect(),
+        }
     }
 
     /// Number of public attributes `r`.

@@ -67,7 +67,11 @@ pub struct NodeCostTable {
 
 impl NodeCostTable {
     /// Precomputes all node costs of `measure` over `table`.
-    pub fn compute<M: EntryMeasure>(table: &Table, measure: &M) -> Self {
+    ///
+    /// Node costs within each attribute are computed in parallel via
+    /// `kanon-parallel` (entry measures are pure per-node functions, so
+    /// the result is identical to the serial pass at any thread count).
+    pub fn compute<M: EntryMeasure + Sync>(table: &Table, measure: &M) -> Self {
         let schema = table.schema();
         let stats = TableStats::compute(table);
         let ctx = MeasureContext {
@@ -77,9 +81,9 @@ impl NodeCostTable {
         let costs = (0..schema.num_attrs())
             .map(|j| {
                 let h = schema.attr(j).hierarchy();
-                h.node_ids()
-                    .map(|n| measure.node_cost(&ctx, j, n))
-                    .collect()
+                kanon_parallel::map(h.num_nodes(), |ni| {
+                    measure.node_cost(&ctx, j, NodeId(ni as u32))
+                })
             })
             .collect();
         NodeCostTable {
@@ -105,6 +109,14 @@ impl NodeCostTable {
     #[inline]
     pub fn entry_cost(&self, attr: usize, node: NodeId) -> f64 {
         self.costs[attr][node.index()]
+    }
+
+    /// The dense per-node cost row of one attribute, indexed by
+    /// `NodeId::index()`. This is the flat view the clustering kernels
+    /// hold on to so an entry cost is a single slice load.
+    #[inline]
+    pub fn attr_costs(&self, attr: usize) -> &[f64] {
+        &self.costs[attr]
     }
 
     /// The generalization cost `c(R̄)` of a generalized record: the average

@@ -1,0 +1,450 @@
+//! # kanon-parallel
+//!
+//! The workspace's parallel execution layer: a scoped-thread parallel-for /
+//! map-reduce built directly on `std::thread::scope` and
+//! `available_parallelism` — no external dependencies, per the workspace's
+//! from-scratch policy (DESIGN.md).
+//!
+//! Every primitive is **deterministic**: results are byte-identical to a
+//! serial run at any thread count. `map` writes each index's result into
+//! its own slot; `reduce` combines per-index values in strictly ascending
+//! index order (work is split into contiguous chunks, each chunk folds
+//! left-to-right, and chunk results combine in chunk order); `min_by_key`
+//! breaks key ties by the smaller index. Algorithms built on these
+//! primitives therefore make identical decisions whether they run on 1
+//! thread or 64 — which is what lets the hot loops of `kanon-algos`,
+//! `kanon-measures`, and `kanon-bench` parallelize without perturbing a
+//! single merge decision.
+//!
+//! ## Thread-count control
+//!
+//! The worker count is, in order of precedence:
+//!
+//! 1. a scoped override installed by [`with_threads`] (used by tests and
+//!    the scaling bench to pin the count),
+//! 2. the `KANON_THREADS` environment variable (a positive integer),
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! Jobs smaller than [`MIN_PARALLEL_ITEMS`] items run inline on the caller
+//! thread: spawning threads costs more than small scans save.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Below this many items, primitives run serially on the caller thread.
+pub const MIN_PARALLEL_ITEMS: usize = 64;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("KANON_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
+
+/// The worker-thread count currently in effect (override → `KANON_THREADS`
+/// → hardware parallelism).
+pub fn num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|c| c.get()) {
+        return n;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread (parallel
+/// primitives called from `f` — including deep inside the algorithm crates
+/// — use `n` workers). The previous override is restored on exit, panic
+/// included.
+pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Effective worker count for a job of `n` items.
+fn workers_for(n: usize) -> usize {
+    if n < MIN_PARALLEL_ITEMS {
+        1
+    } else {
+        num_threads().min(n).max(1)
+    }
+}
+
+/// Maps `f` over `0..n`, returning results in index order. `f` runs
+/// concurrently across contiguous index chunks; the output is identical to
+/// `(0..n).map(f).collect()` for any thread count.
+pub fn map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = workers_for(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for (t, slice) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = t * chunk;
+                for (off, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index computed"))
+        .collect()
+}
+
+/// Runs `f` over contiguous, disjoint chunks of `data`, in parallel.
+/// `f(chunk_start, chunk)` may mutate its chunk freely; chunk boundaries
+/// depend only on `data.len()` and the thread count, and since each index
+/// is processed exactly once by a pure-per-index `f`, results are
+/// identical to the serial pass.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let threads = workers_for(n);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, slice) in data.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(t * chunk, slice));
+        }
+    });
+}
+
+/// Map-reduce over `0..n`: computes `map(i)` for every index and folds the
+/// values with `reduce` in **strictly ascending index order** (left fold
+/// within each chunk, chunk results combined in chunk order), starting
+/// from `identity`. For an associative `reduce` this equals the serial
+/// fold; for a non-commutative but associative operator the order
+/// guarantee is what keeps results thread-count-independent.
+pub fn map_reduce<T, M, R>(n: usize, identity: T, map_fn: M, reduce: R) -> T
+where
+    T: Send + Clone,
+    M: Fn(usize) -> T + Sync,
+    R: Fn(T, T) -> T + Sync,
+{
+    let threads = workers_for(n);
+    if threads <= 1 {
+        return (0..n).fold(identity, |acc, i| reduce(acc, map_fn(i)));
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials: Vec<Option<T>> = Vec::new();
+    partials.resize_with(threads.min(n.div_ceil(chunk)), || None);
+    std::thread::scope(|scope| {
+        for (t, slot) in partials.iter_mut().enumerate() {
+            let map_fn = &map_fn;
+            let reduce = &reduce;
+            let identity = identity.clone();
+            scope.spawn(move || {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                *slot = Some((lo..hi).fold(identity, |acc, i| reduce(acc, map_fn(i))));
+            });
+        }
+    });
+    partials
+        .into_iter()
+        .map(|p| p.expect("chunk folded"))
+        .fold(identity, reduce)
+}
+
+/// Like [`map`], but parallelizes even below [`MIN_PARALLEL_ITEMS`]:
+/// intended for **coarse-grained** jobs (whole algorithm runs, experiment
+/// grid cells) where each of a handful of items is worth milliseconds or
+/// more and the per-thread spawn cost is noise. Results are in index
+/// order, identical to the serial map.
+pub fn map_coarse<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = num_threads().min(n).max(1);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for (t, slice) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = t * chunk;
+                for (off, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index computed"))
+        .collect()
+}
+
+/// Chunked fold over `0..n` with per-chunk accumulators: each worker folds
+/// its contiguous index chunk left-to-right into a fresh `identity()`
+/// accumulator via `fold`, and the per-chunk accumulators are merged in
+/// chunk order with `merge`. For a `merge` consistent with `fold` (i.e.
+/// the fold is a homomorphism, as with per-slot argmin tables under a
+/// total order) the result is identical to the serial fold at any thread
+/// count.
+///
+/// Use this instead of [`map_reduce`] when the accumulator is large (e.g.
+/// a per-component best-edge table) and allocating one per *index* would
+/// dominate.
+pub fn fold_chunks<T, I, F, R>(n: usize, identity: I, fold: F, merge: R) -> T
+where
+    T: Send,
+    I: Fn() -> T + Sync,
+    F: Fn(&mut T, usize) + Sync,
+    R: Fn(T, T) -> T,
+{
+    let threads = workers_for(n);
+    if threads <= 1 {
+        let mut acc = identity();
+        for i in 0..n {
+            fold(&mut acc, i);
+        }
+        return acc;
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials: Vec<Option<T>> = Vec::new();
+    partials.resize_with(n.div_ceil(chunk), || None);
+    std::thread::scope(|scope| {
+        for (t, slot) in partials.iter_mut().enumerate() {
+            let identity = &identity;
+            let fold = &fold;
+            scope.spawn(move || {
+                let mut acc = identity();
+                for i in t * chunk..((t + 1) * chunk).min(n) {
+                    fold(&mut acc, i);
+                }
+                *slot = Some(acc);
+            });
+        }
+    });
+    let mut iter = partials.into_iter().map(|p| p.expect("chunk folded"));
+    let first = iter.next().unwrap_or_else(&identity);
+    iter.fold(first, merge)
+}
+
+/// Parallel argmin over `0..n`: returns the index minimizing `key(i)`
+/// together with its key, breaking key ties toward the **smaller index**
+/// (so the winner is thread-count-independent). Returns `None` for
+/// `n == 0`. Keys are compared with `f64::total_cmp`.
+pub fn min_by_key<F>(n: usize, key: F) -> Option<(usize, f64)>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let better = |cand: (usize, f64), cur: (usize, f64)| -> (usize, f64) {
+        // Strictly smaller key wins; equal keys keep the smaller index
+        // (the left/current one, since candidates arrive in index order).
+        if cand.1.total_cmp(&cur.1).is_lt() {
+            cand
+        } else {
+            cur
+        }
+    };
+    map_reduce(
+        n,
+        None::<(usize, f64)>,
+        |i| Some((i, key(i))),
+        move |acc, item| match (acc, item) {
+            (None, x) | (x, None) => x,
+            (Some(cur), Some(cand)) => Some(better(cand, cur)),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_serial_at_any_thread_count() {
+        let n = 1000;
+        let serial: Vec<u64> = (0..n)
+            .map(|i| (i as u64).wrapping_mul(2654435761))
+            .collect();
+        for t in [1, 2, 3, 4, 7, 16] {
+            let par = with_threads(t, || map(n, |i| (i as u64).wrapping_mul(2654435761)));
+            assert_eq!(par, serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn small_jobs_run_inline() {
+        // Below the threshold the caller thread does all the work; verify
+        // via a non-Sync-hostile side effect ordering proxy: results only.
+        let out = with_threads(8, || map(MIN_PARALLEL_ITEMS - 1, |i| i * i));
+        assert_eq!(
+            out,
+            (0..MIN_PARALLEL_ITEMS - 1)
+                .map(|i| i * i)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn map_reduce_respects_index_order() {
+        // Non-commutative but associative: string concatenation.
+        let n = 500;
+        let serial = (0..n).fold(String::new(), |acc, i| acc + &i.to_string());
+        for t in [1, 2, 5, 8] {
+            let par = with_threads(t, || {
+                map_reduce(n, String::new(), |i| i.to_string(), |a, b| a + &b)
+            });
+            assert_eq!(par, serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn min_by_key_breaks_ties_by_index() {
+        // Keys collide in pairs; the smaller index must always win.
+        let key = |i: usize| (i / 2) as f64;
+        for t in [1, 2, 3, 8] {
+            let got = with_threads(t, || min_by_key(1000, key));
+            assert_eq!(got, Some((0, 0.0)), "threads={t}");
+        }
+        assert_eq!(min_by_key(0, |_| 0.0), None);
+        // NaN keys are ordered by total_cmp (NaN sorts above all reals).
+        let got = min_by_key(100, |i| if i == 7 { f64::NAN } else { 1.0 });
+        assert_eq!(got.map(|g| g.0), Some(0));
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_every_index_once() {
+        let n = 777;
+        let mut data = vec![0u32; n];
+        for t in [1, 2, 4, 9] {
+            data.iter_mut().for_each(|x| *x = 0);
+            with_threads(t, || {
+                for_each_chunk_mut(&mut data, |base, chunk| {
+                    for (off, slot) in chunk.iter_mut().enumerate() {
+                        *slot += (base + off) as u32 + 1;
+                    }
+                })
+            });
+            assert!(
+                data.iter().enumerate().all(|(i, &v)| v == i as u32 + 1),
+                "threads={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_coarse_parallelizes_small_jobs_deterministically() {
+        let serial: Vec<usize> = (0..8).map(|i| i * 3).collect();
+        for t in [1, 2, 4, 16] {
+            let par = with_threads(t, || map_coarse(8, |i| i * 3));
+            assert_eq!(par, serial, "threads={t}");
+        }
+        assert!(map_coarse(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn fold_chunks_matches_serial_argmin_table() {
+        // Per-slot argmin table: the canonical forest-round accumulator.
+        let n = 900;
+        let slots = 7;
+        let key = |i: usize| ((i as u64).wrapping_mul(2654435761) % 1000) as f64;
+        let run = || {
+            fold_chunks(
+                n,
+                || vec![None::<(f64, usize)>; slots],
+                |acc, i| {
+                    let s = i % slots;
+                    let cand = (key(i), i);
+                    let better = match acc[s] {
+                        None => true,
+                        Some(cur) => {
+                            cand.0.total_cmp(&cur.0).is_lt() || (cand.0 == cur.0 && cand.1 < cur.1)
+                        }
+                    };
+                    if better {
+                        acc[s] = Some(cand);
+                    }
+                },
+                |mut a, b| {
+                    for (sa, sb) in a.iter_mut().zip(b) {
+                        let take = match (&sa, &sb) {
+                            (_, None) => false,
+                            (None, Some(_)) => true,
+                            (Some(cur), Some(cand)) => {
+                                cand.0.total_cmp(&cur.0).is_lt()
+                                    || (cand.0 == cur.0 && cand.1 < cur.1)
+                            }
+                        };
+                        if take {
+                            *sa = sb;
+                        }
+                    }
+                    a
+                },
+            )
+        };
+        let serial = with_threads(1, run);
+        for t in [2, 3, 8] {
+            assert_eq!(with_threads(t, run), serial, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit_and_panic() {
+        let outer = num_threads();
+        with_threads(3, || assert_eq!(num_threads(), 3));
+        assert_eq!(num_threads(), outer);
+        let res = std::panic::catch_unwind(|| with_threads(2, || panic!("boom")));
+        assert!(res.is_err());
+        assert_eq!(num_threads(), outer);
+        // Nested overrides: innermost wins, then unwinds correctly.
+        with_threads(4, || {
+            assert_eq!(num_threads(), 4);
+            with_threads(2, || assert_eq!(num_threads(), 2));
+            assert_eq!(num_threads(), 4);
+        });
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+        with_threads(0, || assert_eq!(num_threads(), 1)); // clamped
+    }
+}

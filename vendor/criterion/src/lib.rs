@@ -1,0 +1,292 @@
+//! Offline stand-in for the `criterion` crate, covering the API subset the
+//! workspace's benches use: `Criterion`, `benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! this minimal harness instead (see `vendor/README.md`). It measures each
+//! benchmark by timing batches whose size is auto-calibrated to the
+//! target's runtime, reports median / mean / max nanoseconds per iteration
+//! on stdout, and honours the `--bench` flag cargo passes. There are no
+//! statistical comparisons against saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name and/or a
+/// parameter, printed as `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function_name` with parameter `parameter`.
+    pub fn new<S: Into<String>, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives the iteration loop of one benchmark.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Calibrates a batch size for `routine`, then collects
+    /// `sample_count` timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibration: grow the batch until one batch takes ≥ ~5 ms, so
+        // the timer resolution stays negligible.
+        let mut batch: u64 = 1;
+        let batch_floor = Duration::from_millis(5);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= batch_floor || batch >= 1 << 20 {
+                break;
+            }
+            // Aim directly for the floor instead of doubling blindly.
+            let scale = (batch_floor.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                .ceil()
+                .min(1024.0) as u64;
+            batch = (batch * scale.max(2)).min(1 << 20);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+}
+
+/// Top-level harness handle, one per bench binary.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line arguments (supports a name substring filter;
+    /// ignores harness flags such as `--bench`).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--profile-time" | "--save-baseline" | "--baseline" => {
+                    // Flags (with possible values) from cargo/criterion CLIs.
+                    if a != "--bench" {
+                        let _ = args.next();
+                    }
+                }
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self.filter.as_deref(), id, 20, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(self.criterion.filter.as_deref(), &full, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(
+            self.criterion.filter.as_deref(),
+            &full,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(filter: Option<&str>, id: &str, sample_count: usize, mut f: F) {
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_count,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<48} (no samples — routine never called iter)");
+        return;
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(|a, c| a.total_cmp(c));
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let max = *sorted.last().unwrap();
+    println!(
+        "{id:<48} median {} | mean {} | max {}",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1e6 {
+        format!("{:8.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:8.2} ms", ns / 1e6)
+    } else {
+        format!("{:8.3} s ", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_count: 3,
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+
+    #[test]
+    fn groups_run_and_filter() {
+        let mut c = Criterion { filter: None };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::from_parameter(1), &1u32, |b, &x| {
+                b.iter(|| x + 1)
+            });
+            g.finish();
+            ran += 1;
+        }
+        let mut c2 = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut g2 = c2.benchmark_group("g");
+        g2.bench_function("skipped", |_b| {
+            ran += 100; // filtered out: must not run
+        });
+        g2.finish();
+        assert_eq!(ran, 1);
+    }
+}

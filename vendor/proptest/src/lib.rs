@@ -1,0 +1,234 @@
+//! Offline stand-in for the `proptest` crate, covering the API subset this
+//! workspace uses: the `proptest!` macro with `#![proptest_config(...)]`,
+//! integer-range strategies (`lo..hi`, `lo..=hi`), `any::<T>()` for
+//! primitive types, and the `prop_assert*` macros.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! this minimal implementation instead (see `vendor/README.md`).
+//!
+//! Semantics: each test body runs for `ProptestConfig::cases` cases with
+//! inputs drawn deterministically from a per-test seeded RNG (seed =
+//! FNV-1a of the test's module path and name, mixed with the case index),
+//! so failures are reproducible run-to-run. On a failing case the shim
+//! reports the concrete inputs before propagating the panic. There is no
+//! shrinking — the reported inputs are the raw failing case.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration; only `cases` is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic per-case RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for case `case` of the test identified by `path` (stable across
+    /// runs; distinct per test and per case).
+    pub fn for_case(path: &str, case: u32) -> Self {
+        // FNV-1a over the test path keeps seeds stable and distinct.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in path.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ ((case as u64) << 32 | case as u64),
+        ))
+    }
+}
+
+/// A value generator. Unlike upstream proptest there is no shrinking tree;
+/// `generate` directly yields a value.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.0.gen()
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.0.gen()
+    }
+}
+
+/// The `any::<T>()` strategy over the type's full domain.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// The commonly-glob-imported names, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Arbitrary, ProptestConfig,
+        Strategy, TestRng,
+    };
+}
+
+/// Property assertion; panics (fails the case) like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property equality assertion; panics like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property inequality assertion; panics like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(path, case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let inputs = {
+                    let mut s = String::new();
+                    $(
+                        if !s.is_empty() { s.push_str(", "); }
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}", $arg));
+                    )+
+                    s
+                };
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body })
+                );
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest case {case}/{} of {path} failed with inputs: {inputs}",
+                        config.cases
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respected(a in 0u64..100, b in 2usize..=9) {
+            prop_assert!(a < 100);
+            prop_assert!((2..=9).contains(&b));
+        }
+
+        #[test]
+        fn multiple_args_vary(x in 0u32..1000, y in 0u32..1000) {
+            // Not a tautology for a broken generator that reuses one draw.
+            prop_assert!(x < 1000 && y < 1000);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let draw = |case| {
+            let mut rng = TestRng::for_case("demo::test", case);
+            (0u64..1_000_000).generate(&mut rng)
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!(draw(3), draw(4)); // overwhelmingly likely distinct
+    }
+
+    #[test]
+    fn any_draws_full_domain() {
+        let mut rng = TestRng::for_case("demo::any", 0);
+        let _: u64 = any::<u64>().generate(&mut rng);
+        let _: bool = any::<bool>().generate(&mut rng);
+    }
+}
