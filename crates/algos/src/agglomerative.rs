@@ -163,6 +163,7 @@ impl<'a> State<'a> {
     /// Scans all active slots (except `slot`) for the two nearest
     /// neighbours of `slot`. Deterministic tie-break on slot index.
     fn scan_nearest(&self, slot: usize) -> Option<NearestPair> {
+        kanon_obs::count(kanon_obs::Counter::NnRescans, 1);
         let me = self.slots[slot].as_ref().expect("slot must be live");
         let mut best: Option<Nearest> = None;
         let mut second: Option<Nearest> = None;
@@ -418,6 +419,7 @@ pub fn agglomerative_k_anonymize(
     if cfg.k == 0 || cfg.k > n {
         return Err(CoreError::InvalidK { k: cfg.k, n });
     }
+    let _span = kanon_obs::span("agglomerative");
     let ctx = CostContext::new(table, costs);
 
     // k = 1: the identity generalization is optimal (zero loss).
@@ -462,6 +464,7 @@ pub fn agglomerative_k_anonymize(
         let b = st.slots[j].take().expect("slot j live");
         st.deactivate(i);
         st.deactivate(j);
+        kanon_obs::count(kanon_obs::Counter::MergesPerformed, 1);
 
         let mut merged = {
             let mut members = a.members;
@@ -592,6 +595,7 @@ pub fn nn_rescan_pass(
     let ctx = CostContext::new(table, costs);
     let singles: Vec<Cluster> = (0..n).map(|i| Cluster::singleton(&ctx, i as u32)).collect();
     kanon_parallel::map(n, |i| {
+        kanon_obs::count(kanon_obs::Counter::NnRescans, 1);
         let me = &singles[i];
         let mut best: Option<(usize, f64)> = None;
         for (j, other) in singles.iter().enumerate() {

@@ -29,8 +29,14 @@ impl<'a> AttrKernel<'a> {
     #[inline]
     fn join(&self, a: NodeId, b: NodeId) -> NodeId {
         match self.join_table {
-            Some(t) => NodeId(t[a.index() * self.num_nodes + b.index()]),
-            None => self.hierarchy.join_uncached(a, b),
+            Some(t) => {
+                kanon_obs::count(kanon_obs::Counter::JoinTableHits, 1);
+                NodeId(t[a.index() * self.num_nodes + b.index()])
+            }
+            None => {
+                kanon_obs::count(kanon_obs::Counter::ClimbFallbackHits, 1);
+                self.hierarchy.join_uncached(a, b)
+            }
         }
     }
 
@@ -152,6 +158,7 @@ impl<'a> CostContext<'a> {
     /// Pairwise record cost `d({R_i, R_j})` — the edge weight used by
     /// Algorithm 3 and the forest baseline.
     pub fn pair_cost(&self, i: usize, j: usize) -> f64 {
+        kanon_obs::count(kanon_obs::Counter::PairCostEvals, 1);
         let (ri, rj) = (self.table.row(i), self.table.row(j));
         let mut sum = 0.0;
         for (a, k) in self.attrs.iter().enumerate() {

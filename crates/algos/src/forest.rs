@@ -86,6 +86,7 @@ pub fn forest_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Res
     if k == 0 || k > n {
         return Err(CoreError::InvalidK { k, n });
     }
+    let _span = kanon_obs::span("forest");
     let ctx = CostContext::new(table, costs);
 
     if k == 1 {
@@ -115,6 +116,7 @@ pub fn forest_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Res
         if !small_any {
             break;
         }
+        kanon_obs::count(kanon_obs::Counter::ForestRounds, 1);
         // Snapshot component roots and smallness once per round so the
         // pair scan below is a pure read (find() path-compresses).
         let mut root_of = vec![0u32; n];

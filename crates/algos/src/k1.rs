@@ -41,9 +41,11 @@ pub fn k1_nearest_neighbors(table: &Table, costs: &NodeCostTable, k: usize) -> R
     if k == 0 || k > n {
         return Err(CoreError::InvalidK { k, n });
     }
+    let _span = kanon_obs::span("k1_nearest_neighbors");
     let ctx = CostContext::new(table, costs);
 
     let rows = kanon_parallel::map(n, |i| {
+        kanon_obs::count(kanon_obs::Counter::K1RowsExpanded, 1);
         if k == 1 {
             return ctx.to_record(&ctx.leaf_nodes(i));
         }
@@ -79,9 +81,11 @@ pub fn k1_expansion(table: &Table, costs: &NodeCostTable, k: usize) -> Result<Ge
     if k == 0 || k > n {
         return Err(CoreError::InvalidK { k, n });
     }
+    let _span = kanon_obs::span("k1_expansion");
     let ctx = CostContext::new(table, costs);
 
     let rows = kanon_parallel::map(n, |i| {
+        kanon_obs::count(kanon_obs::Counter::K1RowsExpanded, 1);
         let mut nodes = ctx.leaf_nodes(i);
         if k == 1 {
             return ctx.to_record(&nodes);

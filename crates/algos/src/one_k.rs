@@ -35,6 +35,7 @@ pub fn one_k_anonymize(
         return Err(CoreError::InvalidK { k, n });
     }
     check_aligned(table, gtable)?;
+    let _span = kanon_obs::span("one_k_anonymize");
     let _ctx = CostContext::new(table, costs); // validates attr counts
     let schema = table.schema();
     let mut out = gtable.clone();
@@ -59,6 +60,7 @@ pub fn one_k_anonymize(
             })
             .collect();
         let need = k - ell;
+        kanon_obs::count(kanon_obs::Counter::OneKUpgrades, need as u64);
         debug_assert!(cand.len() >= need, "n ≥ k guarantees enough candidates");
         cand.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         for &(_, j) in &cand[..need] {

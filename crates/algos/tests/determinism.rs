@@ -9,6 +9,10 @@
 //! 2. The dense pairwise join table is a **pure speed knob**: rebuilding
 //!    every hierarchy with a budget of `0` (climb-only joins) changes no
 //!    clustering and no loss.
+//! 3. The `kanon-obs` **work counters** are byte-identical at any worker
+//!    count: per-index work is thread-count invariant (point 1) and
+//!    counter addition commutes, so the deterministic counters section of
+//!    a stats report must not change between 1 and N workers.
 
 use kanon_algos::{
     agglomerative_k_anonymize, forest_k_anonymize, k1_expansion, k1_nearest_neighbors,
@@ -63,6 +67,49 @@ proptest! {
             );
             prop_assert_eq!(&s.2, &p.2, "{}: output differs across thread counts", s.0);
         }
+    }
+
+    #[test]
+    fn work_counters_are_thread_count_invariant(seed in 0u64..1_000_000, k in 2usize..6) {
+        // The full pipeline — every algorithm family plus the cost-table
+        // precompute and the Algorithm 5/6 chain — must report the exact
+        // same deterministic counters at 1 and 8 workers. (Timers and
+        // parallel-job tallies live outside counters_json by design.)
+        use kanon_algos::{global_1k_from_kk, one_k_anonymize};
+        use kanon_obs::Collector;
+        let table = art::generate(96, seed);
+        let run = |threads: usize| {
+            let c = Collector::new();
+            {
+                let _g = c.install();
+                with_threads(threads, || {
+                    let costs = NodeCostTable::compute(&table, &EntropyMeasure);
+                    fingerprint(&table, &costs, k);
+                    let k1 = k1_expansion(&table, &costs, k).unwrap();
+                    let kk = one_k_anonymize(&table, &k1.table, &costs, k).unwrap();
+                    global_1k_from_kk(&table, &kk.table, &costs, k).unwrap();
+                });
+            }
+            c.report()
+        };
+        let serial = run(1);
+        let parallel = run(8);
+        prop_assert_eq!(
+            serial.counters_json(),
+            parallel.counters_json(),
+            "deterministic counters differ across thread counts"
+        );
+        // Sanity: the pipeline actually exercised the instrumented paths.
+        use kanon_obs::Counter;
+        prop_assert!(serial.counter(Counter::MergesPerformed) > 0);
+        prop_assert!(serial.counter(Counter::PairCostEvals) > 0);
+        prop_assert!(serial.counter(Counter::K1RowsExpanded) > 0);
+        prop_assert!(serial.counter(Counter::SccPasses) > 0);
+        prop_assert!(serial.counter(Counter::NodeCostTables) > 0);
+        prop_assert!(
+            serial.counter(Counter::OracleRecomputes)
+                <= serial.counter(Counter::UpgradeSteps) + 1
+        );
     }
 
     #[test]

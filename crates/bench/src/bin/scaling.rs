@@ -27,6 +27,11 @@ struct Row {
     threads: usize,
     wall_ms: f64,
     loss: f64,
+    /// Deterministic work counters of the run, pre-rendered as a JSON
+    /// object (`kanon_obs::Report::counters_json` — fixed key order, so
+    /// rows for the same cell at different thread counts must be
+    /// byte-identical here).
+    counters: String,
 }
 
 fn parse_list(s: &str) -> Vec<usize> {
@@ -84,20 +89,24 @@ fn main() {
         let costs = measure_costs(&t, Measure::Em);
         for algo in &algos {
             for &tc in &threads {
-                let (loss, wall_ms) = kanon_parallel::with_threads(tc, || {
-                    let start = Instant::now();
-                    let loss = match algo.as_str() {
-                        "agglom" => {
-                            agglomerative_k_anonymize(&t, &costs, &AgglomerativeConfig::new(k))
-                                .unwrap()
-                                .loss
-                        }
-                        "forest" => forest_k_anonymize(&t, &costs, k).unwrap().loss,
-                        "kk" => kk_anonymize(&t, &costs, &KkConfig::new(k)).unwrap().loss,
-                        other => panic!("unknown algo {other} (agglom|forest|kk)"),
-                    };
-                    (loss, start.elapsed().as_secs_f64() * 1e3)
-                });
+                let collector = kanon_obs::Collector::new();
+                let (loss, wall_ms) = {
+                    let _obs = collector.install();
+                    kanon_parallel::with_threads(tc, || {
+                        let start = Instant::now();
+                        let loss = match algo.as_str() {
+                            "agglom" => {
+                                agglomerative_k_anonymize(&t, &costs, &AgglomerativeConfig::new(k))
+                                    .unwrap()
+                                    .loss
+                            }
+                            "forest" => forest_k_anonymize(&t, &costs, k).unwrap().loss,
+                            "kk" => kk_anonymize(&t, &costs, &KkConfig::new(k)).unwrap().loss,
+                            other => panic!("unknown algo {other} (agglom|forest|kk)"),
+                        };
+                        (loss, start.elapsed().as_secs_f64() * 1e3)
+                    })
+                };
                 println!("{algo:<8} {n:>7} {tc:>8} {wall_ms:>12.1} {loss:>12.6}");
                 rows.push(Row {
                     algo: match algo.as_str() {
@@ -110,6 +119,7 @@ fn main() {
                     threads: tc,
                     wall_ms,
                     loss,
+                    counters: collector.report().counters_json(),
                 });
             }
         }
@@ -136,13 +146,14 @@ fn main() {
     let mut json = String::from("[\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "  {{\"algo\": \"{}\", \"n\": {}, \"k\": {}, \"threads\": {}, \"wall_ms\": {:.3}, \"loss\": {:.12}}}{}\n",
+            "  {{\"algo\": \"{}\", \"n\": {}, \"k\": {}, \"threads\": {}, \"wall_ms\": {:.3}, \"loss\": {:.12}, \"counters\": {}}}{}\n",
             r.algo,
             r.n,
             r.k,
             r.threads,
             r.wall_ms,
             r.loss,
+            r.counters,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -37,15 +37,24 @@ fn usage() -> ! {
          kanon measure   <DATASET> [--in FILE] [--n N] [--seed S]\n\n\
          DATASET is art|adult|cmc (built-in schemas) or custom;\n\
          custom requires --schema SCHEMA.txt (see kanon_data::schema_text)\n\
-         and --in DATA.csv."
+         and --in DATA.csv.\n\n\
+         Every command accepts --stats[=json] (or KANON_STATS=1|json) to\n\
+         report work counters and phase timers on stderr when done, and\n\
+         --stats-out FILE to write the report to a file instead. The JSON\n\
+         form is emitted as a single line (the last line of stderr)."
     );
     exit(2)
 }
 
-/// Parsed `--flag value` pairs after the positional arguments.
+/// Parsed flags after the positional arguments. Accepts `--flag value`
+/// and `--flag=value`; the flags in [`Flags::VALUELESS`] may also appear
+/// bare (`--stats`), in which case they map to the empty string.
 struct Flags(HashMap<String, String>);
 
 impl Flags {
+    /// Flags that never consume the following argument as their value.
+    const VALUELESS: &'static [&'static str] = &["stats"];
+
     fn parse(args: &[String]) -> Flags {
         let mut map = HashMap::new();
         let mut it = args.iter();
@@ -54,11 +63,22 @@ impl Flags {
                 eprintln!("unexpected argument {flag:?}");
                 usage();
             }
-            let value = it.next().unwrap_or_else(|| {
-                eprintln!("flag {flag} needs a value");
-                usage()
-            });
-            map.insert(flag.trim_start_matches("--").to_string(), value.clone());
+            let (key, value) = match flag.split_once('=') {
+                Some((k, v)) => (k.trim_start_matches("--").to_string(), v.to_string()),
+                None => {
+                    let key = flag.trim_start_matches("--").to_string();
+                    if Self::VALUELESS.contains(&key.as_str()) {
+                        (key, String::new())
+                    } else {
+                        let value = it.next().unwrap_or_else(|| {
+                            eprintln!("flag {flag} needs a value");
+                            usage()
+                        });
+                        (key, value.clone())
+                    }
+                }
+            };
+            map.insert(key, value);
         }
         Flags(map)
     }
@@ -364,6 +384,33 @@ fn cmd_measure(name: &str, flags: &Flags) {
     }
 }
 
+/// The stats format requested for this invocation: the `--stats[=…]` flag
+/// wins over the `KANON_STATS` environment variable (`--stats=off`
+/// explicitly disables even when the variable is set).
+fn stats_format(flags: &Flags) -> Option<kanon_obs::StatsFormat> {
+    match flags.get("stats") {
+        Some(v) => kanon_obs::parse_stats_format(v),
+        None => kanon_obs::env_stats_format(),
+    }
+}
+
+/// Emits the stats report to `--stats-out FILE` or stderr. The JSON form
+/// is a single line — when on stderr, always the last line — so scripts
+/// can `tail -n 1` it.
+fn emit_stats(flags: &Flags, fmt: kanon_obs::StatsFormat, report: &kanon_obs::Report) {
+    let text = match fmt {
+        kanon_obs::StatsFormat::Json => format!("{}\n", report.to_json()),
+        kanon_obs::StatsFormat::Table => report.render_table(),
+    };
+    match flags.get("stats-out") {
+        Some(path) => std::fs::write(path, &text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        }),
+        None => eprint!("{text}"),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() < 2 {
@@ -372,12 +419,20 @@ fn main() {
     let cmd = args[0].as_str();
     let dataset = args[1].as_str();
     let flags = Flags::parse(&args[2..]);
-    match cmd {
-        "generate" => cmd_generate(dataset, &flags),
-        "anonymize" => cmd_anonymize(dataset, &flags),
-        "verify" => cmd_verify(dataset, &flags),
-        "measure" => cmd_measure(dataset, &flags),
-        _ => usage(),
+    let fmt = stats_format(&flags);
+    let collector = fmt.map(|_| kanon_obs::Collector::new());
+    {
+        let _guard = collector.as_ref().map(|c| c.install());
+        match cmd {
+            "generate" => cmd_generate(dataset, &flags),
+            "anonymize" => cmd_anonymize(dataset, &flags),
+            "verify" => cmd_verify(dataset, &flags),
+            "measure" => cmd_measure(dataset, &flags),
+            _ => usage(),
+        }
+    }
+    if let (Some(c), Some(fmt)) = (&collector, fmt) {
+        emit_stats(&flags, fmt, &c.report());
     }
 }
 
@@ -398,6 +453,20 @@ mod tests {
         assert_eq!(f.usize_or("k", 1), 5);
         assert_eq!(f.usize_or("absent", 7), 7);
         assert_eq!(f.u64_or("absent", 9), 9);
+    }
+
+    #[test]
+    fn flags_parse_inline_and_bare_forms() {
+        // --flag=value, bare --stats, and --stats=json all parse.
+        let f = flags(&["--k=5", "--stats", "--out", "x.csv"]);
+        assert_eq!(f.get("k"), Some("5"));
+        assert_eq!(f.get("stats"), Some(""));
+        assert_eq!(f.get("out"), Some("x.csv"));
+        assert_eq!(stats_format(&f), Some(kanon_obs::StatsFormat::Table));
+        let f = flags(&["--stats=json"]);
+        assert_eq!(stats_format(&f), Some(kanon_obs::StatsFormat::Json));
+        let f = flags(&["--stats=off"]);
+        assert_eq!(stats_format(&f), None);
     }
 
     #[test]

@@ -83,6 +83,50 @@ impl AllowedEdges {
         }
     }
 
+    /// Computes the oracle directly from per-left-vertex adjacency lists
+    /// under the **identity matching** `u ↔ u`, which every list is
+    /// required to contain (the situation of Algorithm 6, where left
+    /// vertex `i` is record `R_i`, right vertex `i` is its generalization
+    /// `R̄_i`, and `R̄_i ⊒ R_i` by construction).
+    ///
+    /// Skips both the CSR [`BipartiteGraph`] materialization and the
+    /// Hopcroft–Karp run of [`AllowedEdges::compute`] — this is the form
+    /// Algorithm 6's upgrade loop calls each time the oracle goes stale,
+    /// so the recompute is a single `O(n + m)` SCC pass and nothing else.
+    pub fn compute_identity_from_adjacency(adj_left: &[Vec<u32>]) -> Self {
+        let n = adj_left.len();
+        debug_assert!(adj_left
+            .iter()
+            .enumerate()
+            .all(|(u, list)| list.binary_search(&(u as u32)).is_ok()));
+        // Residual digraph under the identity matching:
+        // unmatched edge (u, v), v ≠ u: u → n + v
+        // matched edge (u, u):          n + u → u
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); 2 * n];
+        for (u, list) in adj_left.iter().enumerate() {
+            adj[n + u].push(u as u32);
+            for &v in list {
+                if v as usize != u {
+                    adj[u].push(n as u32 + v);
+                }
+            }
+        }
+        let (comp, _) = tarjan_scc(&Digraph::from_adjacency(&adj));
+        let mut matches: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, item) in matches.iter_mut().enumerate() {
+            for &v in &adj_left[u] {
+                if v as usize == u || comp[u] == comp[n + v as usize] {
+                    item.push(v);
+                }
+            }
+            debug_assert!(item.windows(2).all(|w| w[0] < w[1]));
+        }
+        AllowedEdges {
+            matches,
+            has_perfect_matching: true,
+        }
+    }
+
     /// Does the graph have a perfect matching?
     #[inline]
     pub fn has_perfect_matching(&self) -> bool {
@@ -159,6 +203,53 @@ mod tests {
         assert_eq!(a.matches_of(0), &[0, 1]);
         assert_eq!(a.matches_of(1), &[0, 1]);
         assert_eq!(a.matches_of(2), &[2]);
+    }
+
+    #[test]
+    fn adjacency_identity_form_agrees_with_graph_form() {
+        // Random graphs containing the identity matching: the direct
+        // adjacency constructor must agree edge-for-edge with the
+        // CSR-graph + explicit-matching path.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..30 {
+            let n = 2 + (trial % 7);
+            let mut adj_left: Vec<Vec<u32>> = (0..n).map(|i| vec![i as u32]).collect();
+            for (u, list) in adj_left.iter_mut().enumerate() {
+                for v in 0..n {
+                    if v != u && next() % 3 == 0 {
+                        list.push(v as u32);
+                    }
+                }
+                list.sort_unstable();
+            }
+            let edges: Vec<(u32, u32)> = adj_left
+                .iter()
+                .enumerate()
+                .flat_map(|(u, list)| list.iter().map(move |&v| (u as u32, v)))
+                .collect();
+            let g = BipartiteGraph::from_edges(n, n, &edges);
+            let identity = Matching {
+                pair_left: (0..n as u32).collect(),
+                pair_right: (0..n as u32).collect(),
+                size: n,
+            };
+            let via_graph = AllowedEdges::compute_with_matching(&g, &identity);
+            let direct = AllowedEdges::compute_identity_from_adjacency(&adj_left);
+            assert!(direct.has_perfect_matching());
+            for u in 0..n {
+                assert_eq!(
+                    direct.matches_of(u),
+                    via_graph.matches_of(u),
+                    "trial {trial}, vertex {u}"
+                );
+            }
+        }
     }
 
     #[test]

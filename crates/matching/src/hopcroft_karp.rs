@@ -58,6 +58,8 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
     let mut stack: Vec<(u32, usize)> = Vec::new();
 
     loop {
+        // One BFS+DFS augmenting phase (counted as such, not per path).
+        kanon_obs::count(kanon_obs::Counter::HkAugmentingPasses, 1);
         // BFS phase: layers of alternating paths from free left vertices.
         queue.clear();
         for u in 0..n_left {

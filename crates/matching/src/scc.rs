@@ -39,6 +39,7 @@ impl Digraph {
 /// Returns `comp[v]` = component id; ids are dense in `0..num_components`
 /// (in reverse topological order of the condensation, per Tarjan).
 pub fn tarjan_scc(g: &Digraph) -> (Vec<u32>, usize) {
+    kanon_obs::count(kanon_obs::Counter::SccPasses, 1);
     let n = g.num_vertices();
     const NONE: u32 = u32::MAX;
     let mut index = vec![NONE; n]; // discovery index

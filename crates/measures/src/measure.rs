@@ -72,6 +72,8 @@ impl NodeCostTable {
     /// `kanon-parallel` (entry measures are pure per-node functions, so
     /// the result is identical to the serial pass at any thread count).
     pub fn compute<M: EntryMeasure + Sync>(table: &Table, measure: &M) -> Self {
+        let _span = kanon_obs::span("node_cost_table");
+        kanon_obs::count(kanon_obs::Counter::NodeCostTables, 1);
         let schema = table.schema();
         let stats = TableStats::compute(table);
         let ctx = MeasureContext {

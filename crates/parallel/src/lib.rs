@@ -22,11 +22,31 @@
 //!
 //! 1. a scoped override installed by [`with_threads`] (used by tests and
 //!    the scaling bench to pin the count),
-//! 2. the `KANON_THREADS` environment variable (a positive integer),
+//! 2. the `KANON_THREADS` environment variable (a positive integer,
+//!    **snapshotted once per process** — see below),
 //! 3. `std::thread::available_parallelism()`.
+//!
+//! `KANON_THREADS` is read exactly once, on the first call into any
+//! primitive, and cached for the life of the process; mutating the
+//! variable afterwards (e.g. via `std::env::set_var`) has **no effect**.
+//! This is deliberate: a mid-process env flip could change chunk
+//! boundaries between two halves of one algorithm run, and env access from
+//! concurrently running workers is a data race in spirit even where it is
+//! not one in fact. [`with_threads`] is the only supported in-process
+//! override. A regression test pins this snapshot behavior.
 //!
 //! Jobs smaller than [`MIN_PARALLEL_ITEMS`] items run inline on the caller
 //! thread: spawning threads costs more than small scans save.
+//!
+//! ## Observability
+//!
+//! Every parallel dispatch captures the caller's `kanon-obs` collector and
+//! re-installs it on each scoped worker, so deterministic work counters
+//! incremented inside worker closures land in the same collector as the
+//! caller's — totals stay byte-identical at any thread count because the
+//! per-index work is identical and counter addition commutes. Each
+//! dispatch also records its effective worker count into the collector's
+//! runtime (non-deterministic) section.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -41,6 +61,12 @@ thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
+/// The `KANON_THREADS` setting, snapshotted on first use.
+///
+/// The environment is consulted exactly once per process and the parsed
+/// value cached in a `OnceLock`; later changes to the variable are
+/// silently ignored. Use [`with_threads`] to change the worker count
+/// within a process — it is the only supported in-process override.
 fn env_threads() -> Option<usize> {
     static ENV: OnceLock<Option<usize>> = OnceLock::new();
     *ENV.get_or_init(|| {
@@ -102,13 +128,17 @@ where
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
+    kanon_obs::record_parallel_job(threads);
+    let obs = kanon_obs::current();
     let chunk = n.div_ceil(threads);
     let mut results: Vec<Option<T>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
     std::thread::scope(|scope| {
         for (t, slice) in results.chunks_mut(chunk).enumerate() {
             let f = &f;
+            let obs = obs.clone();
             scope.spawn(move || {
+                let _obs = kanon_obs::install_current(obs);
                 let base = t * chunk;
                 for (off, slot) in slice.iter_mut().enumerate() {
                     *slot = Some(f(base + off));
@@ -138,11 +168,17 @@ where
         f(0, data);
         return;
     }
+    kanon_obs::record_parallel_job(threads);
+    let obs = kanon_obs::current();
     let chunk = n.div_ceil(threads);
     std::thread::scope(|scope| {
         for (t, slice) in data.chunks_mut(chunk).enumerate() {
             let f = &f;
-            scope.spawn(move || f(t * chunk, slice));
+            let obs = obs.clone();
+            scope.spawn(move || {
+                let _obs = kanon_obs::install_current(obs);
+                f(t * chunk, slice)
+            });
         }
     });
 }
@@ -163,6 +199,8 @@ where
     if threads <= 1 {
         return (0..n).fold(identity, |acc, i| reduce(acc, map_fn(i)));
     }
+    kanon_obs::record_parallel_job(threads);
+    let obs = kanon_obs::current();
     let chunk = n.div_ceil(threads);
     let mut partials: Vec<Option<T>> = Vec::new();
     partials.resize_with(threads.min(n.div_ceil(chunk)), || None);
@@ -171,7 +209,9 @@ where
             let map_fn = &map_fn;
             let reduce = &reduce;
             let identity = identity.clone();
+            let obs = obs.clone();
             scope.spawn(move || {
+                let _obs = kanon_obs::install_current(obs);
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(n);
                 *slot = Some((lo..hi).fold(identity, |acc, i| reduce(acc, map_fn(i))));
@@ -198,13 +238,17 @@ where
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
+    kanon_obs::record_parallel_job(threads);
+    let obs = kanon_obs::current();
     let chunk = n.div_ceil(threads);
     let mut results: Vec<Option<T>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
     std::thread::scope(|scope| {
         for (t, slice) in results.chunks_mut(chunk).enumerate() {
             let f = &f;
+            let obs = obs.clone();
             scope.spawn(move || {
+                let _obs = kanon_obs::install_current(obs);
                 let base = t * chunk;
                 for (off, slot) in slice.iter_mut().enumerate() {
                     *slot = Some(f(base + off));
@@ -244,6 +288,8 @@ where
         }
         return acc;
     }
+    kanon_obs::record_parallel_job(threads);
+    let obs = kanon_obs::current();
     let chunk = n.div_ceil(threads);
     let mut partials: Vec<Option<T>> = Vec::new();
     partials.resize_with(n.div_ceil(chunk), || None);
@@ -251,7 +297,9 @@ where
         for (t, slot) in partials.iter_mut().enumerate() {
             let identity = &identity;
             let fold = &fold;
+            let obs = obs.clone();
             scope.spawn(move || {
+                let _obs = kanon_obs::install_current(obs);
                 let mut acc = identity();
                 for i in t * chunk..((t + 1) * chunk).min(n) {
                     fold(&mut acc, i);
@@ -446,5 +494,59 @@ mod tests {
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
         with_threads(0, || assert_eq!(num_threads(), 1)); // clamped
+    }
+
+    #[test]
+    fn env_threads_is_snapshotted_once_per_process() {
+        // Regression test for the documented KANON_THREADS snapshot
+        // semantics: the variable is read on first use and cached; later
+        // mutations are ignored and `with_threads` is the only supported
+        // in-process override.
+        //
+        // Prime the cache first so this test races with nothing — every
+        // other test in this binary also goes through num_threads().
+        let before = num_threads();
+        let saved = std::env::var("KANON_THREADS").ok();
+        std::env::set_var("KANON_THREADS", (before + 7).to_string());
+        assert_eq!(
+            num_threads(),
+            before,
+            "KANON_THREADS changes after first use must be ignored"
+        );
+        // with_threads still works, and unwinds back to the snapshot.
+        with_threads(before + 7, || assert_eq!(num_threads(), before + 7));
+        assert_eq!(num_threads(), before);
+        match saved {
+            Some(v) => std::env::set_var("KANON_THREADS", v),
+            None => std::env::remove_var("KANON_THREADS"),
+        }
+    }
+
+    #[test]
+    fn obs_counters_propagate_into_workers() {
+        // Counts made inside worker closures must land in the caller's
+        // collector, and totals must be thread-count invariant.
+        use kanon_obs::{count, Collector, Counter};
+        let n = 1000;
+        let run = |threads: usize| {
+            let c = Collector::new();
+            {
+                let _g = c.install();
+                with_threads(threads, || {
+                    map(n, |i| {
+                        count(Counter::PairCostEvals, 1);
+                        i
+                    })
+                });
+            }
+            c.report()
+        };
+        let serial = run(1);
+        assert_eq!(serial.counter(Counter::PairCostEvals), n as u64);
+        for t in [2, 4, 8] {
+            let par = run(t);
+            assert_eq!(par.counters_json(), serial.counters_json(), "threads={t}");
+            assert!(par.max_workers >= 2, "threads={t}");
+        }
     }
 }
