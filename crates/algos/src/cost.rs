@@ -53,7 +53,7 @@ impl<'a> AttrKernel<'a> {
 
 /// Borrowed bundle of everything the algorithms need to evaluate cluster
 /// costs: the original table (for record values), its schema, and the
-/// measure's node costs — plus a per-attribute [`AttrKernel`] cache that
+/// measure's node costs — plus a per-attribute `AttrKernel` cache that
 /// turns the hot `join`/`cost` pair into O(1) array loads.
 #[derive(Clone)]
 pub struct CostContext<'a> {

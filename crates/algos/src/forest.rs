@@ -132,7 +132,11 @@ pub fn forest_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Res
         let better = |w: f64, u: u32, v: u32, e: &Option<(f64, u32, u32)>| -> bool {
             match e {
                 None => true,
-                Some((bw, bu, bv)) => w.total_cmp(bw).is_lt() || (w == *bw && (u, v) < (*bu, *bv)),
+                Some((bw, bu, bv)) => match w.total_cmp(bw) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Equal => (u, v) < (*bu, *bv),
+                    std::cmp::Ordering::Greater => false,
+                },
             }
         };
         let scan_row = |acc: &mut Vec<Option<(f64, u32, u32)>>, u: usize| {
@@ -210,18 +214,17 @@ pub fn forest_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Res
         adj[u as usize].push(v);
         adj[v as usize].push(u);
     }
-    let mut comp_members: std::collections::HashMap<u32, Vec<u32>> =
-        std::collections::HashMap::new();
+    // BTreeMap: components are drained in sorted root order, so cluster
+    // numbering is a pure function of the input (L001 discipline).
+    let mut comp_members: std::collections::BTreeMap<u32, Vec<u32>> =
+        std::collections::BTreeMap::new();
     for u in 0..n as u32 {
         comp_members.entry(comp_of[u as usize]).or_default().push(u);
     }
 
     let max_size = 3 * k - 3;
     let mut clusters: Vec<Vec<u32>> = Vec::new();
-    let mut roots: Vec<u32> = comp_members.keys().copied().collect();
-    roots.sort_unstable();
-    for root in roots {
-        let members = comp_members.remove(&root).expect("component exists");
+    for (_, members) in comp_members {
         split_tree(members, &adj, k, max_size, &mut clusters);
     }
 
@@ -251,12 +254,14 @@ fn split_tree(
             return;
         }
         // Root the tree at its first member and compute parents, orders
-        // and subtree sizes restricted to `members`.
-        let in_tree: std::collections::HashSet<u32> = members.iter().copied().collect();
+        // and subtree sizes restricted to `members`. Ordered maps keep the
+        // whole splitter iteration-order free (L001): the DFS `order`
+        // vector drives every traversal, the maps are lookups only.
+        let in_tree: std::collections::BTreeSet<u32> = members.iter().copied().collect();
         let root = members[0];
-        let mut parent: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut parent: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
         let mut order: Vec<u32> = Vec::with_capacity(members.len());
-        let mut depth: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut depth: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
         parent.insert(root, root);
         depth.insert(root, 0);
         let mut stack = vec![root];
@@ -271,7 +276,7 @@ fn split_tree(
             }
         }
         debug_assert_eq!(order.len(), members.len(), "component must be a tree");
-        let mut subtree: std::collections::HashMap<u32, usize> =
+        let mut subtree: std::collections::BTreeMap<u32, usize> =
             members.iter().map(|&u| (u, 1usize)).collect();
         for &u in order.iter().rev() {
             if u != root {
@@ -328,7 +333,7 @@ fn split_tree(
             debug_assert_eq!(sub.len(), k);
             sub
         };
-        let cut_set: std::collections::HashSet<u32> = cut.iter().copied().collect();
+        let cut_set: std::collections::BTreeSet<u32> = cut.iter().copied().collect();
         members.retain(|u| !cut_set.contains(u));
         debug_assert!(members.len() >= k, "remainder must stay ≥ k");
         out.push(cut);
@@ -437,6 +442,35 @@ mod tests {
         let a = forest_k_anonymize(&t, &costs, 3).unwrap();
         let b = forest_k_anonymize(&t, &costs, 3).unwrap();
         assert_eq!(a.clustering, b.clustering);
+    }
+
+    #[test]
+    fn forest_output_is_pinned() {
+        // Golden output: the exact cluster family, not just re-run
+        // equality. Re-running in-process cannot catch platform- or
+        // hasher-seed-dependent iteration orders; a pinned expectation
+        // can. If an intentional algorithm change breaks this, re-pin by
+        // printing `out.clustering.clusters()`.
+        let s = schema();
+        let t = table(&s, 2); // rows 0..8 and 8..16, value v = row % 8
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let out = forest_k_anonymize(&t, &costs, 2).unwrap();
+        let mut clusters: Vec<Vec<u32>> = out
+            .clustering
+            .clusters()
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        clusters.sort();
+        // Duplicate pairs (v, v+8) share a value, so the forest joins
+        // exactly those zero-cost edges.
+        let expected: Vec<Vec<u32>> = (0..8).map(|v| vec![v, v + 8]).collect();
+        assert_eq!(clusters, expected);
+        assert_eq!(out.loss, 0.0);
     }
 
     #[test]

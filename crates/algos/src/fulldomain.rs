@@ -23,7 +23,7 @@ use kanon_core::error::{CoreError, Result};
 use kanon_core::hierarchy::{Hierarchy, NodeId};
 use kanon_core::table::Table;
 use kanon_measures::NodeCostTable;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A full-domain recoding: one generalization level per attribute.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,7 +135,7 @@ pub fn fulldomain_k_anonymize(
         } else {
             nodes_tested += 1;
             // Group rows by recoded tuple.
-            let mut classes: HashMap<Vec<NodeId>, usize> = HashMap::new();
+            let mut classes: BTreeMap<Vec<NodeId>, usize> = BTreeMap::new();
             for rec in table.rows() {
                 for j in 0..r {
                     recoded[j] = recode[j][levels[j] as usize][rec.get(j).index()];
@@ -176,7 +176,7 @@ pub fn fulldomain_k_anonymize(
     // be strictly finer than the chosen lattice node and would make the
     // published loss disagree with the loss that ranked the nodes
     // (breaking the optimality contract and full-domain uniformity).
-    let mut class_of: HashMap<Vec<NodeId>, u32> = HashMap::new();
+    let mut class_of: BTreeMap<Vec<NodeId>, u32> = BTreeMap::new();
     let mut assignment = Vec::with_capacity(n);
     let mut grows = Vec::with_capacity(n);
     for rec in table.rows() {
@@ -247,7 +247,7 @@ mod tests {
         let schema = t.schema();
         for j in 0..schema.num_attrs() {
             let h = schema.attr(j).hierarchy();
-            let levels: std::collections::HashSet<u32> = out
+            let levels: std::collections::BTreeSet<u32> = out
                 .output
                 .table
                 .rows()

@@ -18,7 +18,7 @@ use kanon_core::error::{CoreError, Result};
 use kanon_core::hierarchy::NodeId;
 use kanon_core::table::Table;
 use kanon_measures::NodeCostTable;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration for [`l_diverse_k_anonymize`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,14 +49,14 @@ struct Cluster {
     nodes: Vec<NodeId>,
     cost: f64,
     /// Sensitive value → count within the cluster.
-    sensitive: HashMap<u32, u32>,
+    sensitive: BTreeMap<u32, u32>,
 }
 
 impl Cluster {
     fn singleton(ctx: &CostContext<'_>, row: u32, sensitive: &[u32]) -> Self {
         let nodes = ctx.leaf_nodes(row as usize);
         let cost = ctx.cost(&nodes);
-        let mut map = HashMap::with_capacity(1);
+        let mut map = BTreeMap::new();
         map.insert(sensitive[row as usize], 1);
         Cluster {
             members: vec![row],

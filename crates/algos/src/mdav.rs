@@ -64,7 +64,7 @@ pub fn mdav_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Resul
         for &(_, r) in dists.iter().take(k - 1) {
             cluster.push(r);
         }
-        let taken: std::collections::HashSet<u32> = cluster.iter().copied().collect();
+        let taken: std::collections::BTreeSet<u32> = cluster.iter().copied().collect();
         remaining.retain(|r| !taken.contains(r));
         cluster.sort_unstable();
         cluster

@@ -1,5 +1,5 @@
 //! **Samarati's algorithm** (TKDE 2001) — the original k-anonymization
-//! algorithm, cited by the paper as reference [18]: full-domain
+//! algorithm, cited by the paper as reference \[18\]: full-domain
 //! generalization plus a budget of at most `max_sup` *suppressed*
 //! records. Included as the historical baseline (experiment E-A8).
 //!
@@ -20,7 +20,11 @@ use kanon_core::error::{CoreError, Result};
 use kanon_core::hierarchy::NodeId;
 use kanon_core::table::Table;
 use kanon_measures::NodeCostTable;
-use std::collections::HashMap;
+// BTreeMap keyed by recoded tuples: `evaluate` accumulates the float loss
+// while iterating the classes, so the iteration order must be a function
+// of the data alone (float addition is not associative — a HashMap here
+// made the published loss hasher-seed dependent in the last ulp).
+use std::collections::BTreeMap;
 
 /// Output of Samarati's algorithm.
 #[derive(Debug, Clone)]
@@ -110,7 +114,7 @@ pub fn samarati_k_anonymize(
     // Feasibility of a node: number of records in classes smaller than k
     // must be ≤ max_sup. Returns (feasible, suppressed rows, loss).
     let evaluate = |levels: &[u8]| -> (bool, Vec<u32>, f64) {
-        let mut classes: HashMap<Vec<NodeId>, Vec<u32>> = HashMap::new();
+        let mut classes: BTreeMap<Vec<NodeId>, Vec<u32>> = BTreeMap::new();
         let mut recoded = vec![NodeId(0); r];
         for (i, rec) in table.rows().iter().enumerate() {
             for j in 0..r {
@@ -173,8 +177,8 @@ pub fn samarati_k_anonymize(
     // k-anonymous *outside* the suppressed records, which is the accepted
     // semantics of record suppression (those individuals are removed from
     // the linkage game entirely).
-    let sup_set: std::collections::HashSet<u32> = suppressed.iter().copied().collect();
-    let mut class_of: HashMap<Vec<NodeId>, u32> = HashMap::new();
+    let sup_set: std::collections::BTreeSet<u32> = suppressed.iter().copied().collect();
+    let mut class_of: BTreeMap<Vec<NodeId>, u32> = BTreeMap::new();
     let mut assignment = Vec::with_capacity(n);
     let all_root: Vec<NodeId> = schema.suppressed_nodes();
     let mut recoded = vec![NodeId(0); r];
@@ -270,7 +274,7 @@ mod tests {
         let t = table();
         let costs = NodeCostTable::compute(&t, &LmMeasure);
         let out = samarati_k_anonymize(&t, &costs, 3, 2).unwrap();
-        let sup: std::collections::HashSet<u32> = out.suppressed.iter().copied().collect();
+        let sup: std::collections::BTreeSet<u32> = out.suppressed.iter().copied().collect();
         for cluster in out.output.clustering.clusters() {
             let unsuppressed = cluster.iter().filter(|r| !sup.contains(r)).count();
             // Either an all-suppressed class, or a k-sized class (possibly

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo bench -p kanon-bench`
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kanon_algos::{
     agglomerative_k_anonymize, forest_k_anonymize, global_1k_from_kk, k1_expansion,

@@ -11,6 +11,8 @@
 //!
 //! Run with: `cargo bench -p kanon-bench --bench join_kernel`
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kanon_algos::{nn_rescan_pass, ClusterDistance};
 use kanon_core::hierarchy::NodeId;

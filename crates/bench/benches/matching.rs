@@ -2,6 +2,8 @@
 //! match oracle, and the paper's naive per-edge method — quantifying the
 //! O(√n·m²) → O(n+m) gap that makes Algorithm 6 practical.
 
+#![forbid(unsafe_code)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kanon_matching::{
     hopcroft_karp, is_edge_in_some_perfect_matching_naive, AllowedEdges, BipartiteGraph,

@@ -12,6 +12,8 @@
 //!
 //! Usage: `cargo run --release -p kanon-bench --bin ablation_baselines -- [--n N]`
 
+#![forbid(unsafe_code)]
+
 use kanon_algos::{
     agglomerative_k_anonymize, forest_k_anonymize, fulldomain_k_anonymize, kk_anonymize,
     mdav_k_anonymize, mondrian_k_anonymize, samarati_k_anonymize, AgglomerativeConfig, KkConfig,

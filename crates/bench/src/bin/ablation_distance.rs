@@ -4,6 +4,8 @@
 //!
 //! Usage: `cargo run --release -p kanon-bench --bin ablation_distance -- [--full] [--n N]`
 
+#![forbid(unsafe_code)]
+
 use kanon_algos::{agglomerative_k_anonymize, AgglomerativeConfig, ClusterDistance};
 use kanon_bench::{
     load_dataset, measure_costs, render_table, Args, DatasetName, Measure, TextTable,

@@ -5,6 +5,8 @@
 //!
 //! Usage: `cargo run --release -p kanon-bench --bin ablation_k1 -- [--full] [--n N]`
 
+#![forbid(unsafe_code)]
+
 use kanon_algos::{kk_anonymize, K1Method, KkConfig};
 use kanon_bench::{
     load_dataset, measure_costs, render_table, Args, DatasetName, Measure, TextTable,

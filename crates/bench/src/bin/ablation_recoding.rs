@@ -6,6 +6,8 @@
 //!
 //! Usage: `cargo run --release -p kanon-bench --bin ablation_recoding -- [--n N]`
 
+#![forbid(unsafe_code)]
+
 use kanon_algos::{
     agglomerative_k_anonymize, fulldomain_k_anonymize, kk_anonymize, AgglomerativeConfig, KkConfig,
 };

@@ -6,6 +6,8 @@
 //!
 //! Usage: `cargo run --release -p kanon-bench --bin ablation_topdown -- [--n N]`
 
+#![forbid(unsafe_code)]
+
 use kanon_algos::{agglomerative_k_anonymize, mondrian_k_anonymize, AgglomerativeConfig};
 use kanon_bench::{
     load_dataset, measure_costs, render_table, Args, DatasetName, Measure, TextTable,

@@ -12,6 +12,8 @@
 //!
 //! Usage: `cargo run --release -p kanon-bench --bin epsilon_kk -- [--n N] [--k 5,10]`
 
+#![forbid(unsafe_code)]
+
 use kanon_algos::{global_1k_from_kk, kk_anonymize, KkConfig};
 use kanon_bench::{
     load_dataset, measure_costs, render_table, Args, DatasetName, Measure, TextTable,

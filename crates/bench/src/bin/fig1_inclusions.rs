@@ -14,6 +14,8 @@
 //!
 //! Usage: `cargo run --release -p kanon-bench --bin fig1_inclusions`
 
+#![forbid(unsafe_code)]
+
 use kanon_algos::{agglomerative_k_anonymize, kk_anonymize, AgglomerativeConfig, KkConfig};
 use kanon_core::record::{GeneralizedRecord, Record};
 use kanon_core::schema::{SchemaBuilder, SharedSchema};

@@ -4,6 +4,8 @@
 //!
 //! Usage: `cargo run --release -p kanon-bench --bin fig3 -- [--full] [--n N]`
 
+#![forbid(unsafe_code)]
+
 use kanon_bench::{
     load_dataset, measure_costs, render_series, run_best_k_anon, run_forest, run_kk_best,
     series_to_csv, Args, DatasetName, Measure, Series,

@@ -9,6 +9,8 @@
 //!
 //! Usage: `cargo run --release -p kanon-bench --bin global1k_stats -- [--n N] [--k 5,10]`
 
+#![forbid(unsafe_code)]
+
 use kanon_algos::{global_1k_from_kk, kk_anonymize, KkConfig};
 use kanon_bench::{
     load_dataset, measure_costs, render_table, Args, DatasetName, Measure, TextTable,

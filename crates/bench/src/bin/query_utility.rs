@@ -6,6 +6,8 @@
 //!
 //! Usage: `cargo run --release -p kanon-bench --bin query_utility -- [--n N] [--k 5,10]`
 
+#![forbid(unsafe_code)]
+
 use kanon_algos::{
     agglomerative_k_anonymize, forest_k_anonymize, global_1k_anonymize, kk_anonymize,
     AgglomerativeConfig, GlobalConfig, KkConfig,

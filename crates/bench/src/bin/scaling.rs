@@ -13,6 +13,8 @@
 //!    [--n 1000,2000,5000] [--k 10] [--seed 42] [--threads 1,8] \
 //!    [--algos agglom,forest,kk] [--out BENCH_scaling.json]`
 
+#![forbid(unsafe_code)]
+
 use kanon_algos::{
     agglomerative_k_anonymize, forest_k_anonymize, kk_anonymize, AgglomerativeConfig, KkConfig,
 };

@@ -8,6 +8,8 @@
 //! ADT/CMC are synthetic look-alikes, so shapes — orderings and ratios —
 //! are the comparison target, not absolute numbers; see EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 use kanon_bench::{
     load_dataset, measure_costs, render_table, run_best_k_anon, run_forest, run_kk_best, Args,
     DatasetName, Measure, TextTable,

@@ -15,6 +15,8 @@
 //! Built-in schemas are used so hierarchies are well-defined; use the
 //! library directly for custom schemas.
 
+#![forbid(unsafe_code)]
+
 use kanon_algos::{
     best_k_anonymize, global_1k_anonymize, kk_anonymize, ClusterDistance, GlobalConfig, KkConfig,
 };

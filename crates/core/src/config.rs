@@ -1,0 +1,27 @@
+//! The crate's single designated configuration point (lint rule L003):
+//! every `KANON_*` environment read of `kanon-core` lives here, so the
+//! full set of environment knobs is auditable in one place and snapshot
+//! semantics stay uniform.
+//!
+//! Current knobs:
+//!
+//! * `KANON_JOIN_TABLE_LIMIT` — node budget for the dense LCA join table
+//!   (see [`crate::hierarchy::JOIN_TABLE_LIMIT`]); `0` disables the table
+//!   everywhere. Snapshotted once per process.
+
+use crate::hierarchy::JOIN_TABLE_LIMIT;
+use std::sync::OnceLock;
+
+/// The effective default join-table node budget:
+/// `KANON_JOIN_TABLE_LIMIT` if set and parseable, else
+/// [`JOIN_TABLE_LIMIT`]. Read once per process (same snapshot semantics
+/// as `KANON_THREADS` in `kanon-parallel`).
+pub fn default_join_table_budget() -> usize {
+    static BUDGET: OnceLock<usize> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("KANON_JOIN_TABLE_LIMIT")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(JOIN_TABLE_LIMIT)
+    })
+}

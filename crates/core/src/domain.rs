@@ -7,6 +7,7 @@
 //! [`ValueId`] indices; human-readable labels are kept for display and I/O.
 
 use crate::error::{CoreError, Result};
+// kanon-lint: allow(L001) label→id lookup only; the map is never iterated
 use std::collections::HashMap;
 use std::fmt;
 
@@ -59,6 +60,7 @@ impl fmt::Display for ValueId {
 pub struct AttributeDomain {
     name: String,
     labels: Vec<String>,
+    // kanon-lint: allow(L001) lookup-only; ids come from the ordered `labels` vec
     lookup: HashMap<String, ValueId>,
 }
 
@@ -77,6 +79,7 @@ impl AttributeDomain {
         if labels.is_empty() {
             return Err(CoreError::EmptyDomain);
         }
+        // kanon-lint: allow(L001) duplicate detection + lookup; never iterated
         let mut lookup = HashMap::with_capacity(labels.len());
         for (i, l) in labels.iter().enumerate() {
             if lookup.insert(l.clone(), ValueId(i as u32)).is_some() {

@@ -80,19 +80,10 @@ pub struct Hierarchy {
 /// [`Hierarchy::with_join_table_budget`].
 pub const JOIN_TABLE_LIMIT: usize = 512;
 
-/// The effective default join-table node budget:
-/// `KANON_JOIN_TABLE_LIMIT` if set and parseable, else
-/// [`JOIN_TABLE_LIMIT`]. Read once per process.
-pub fn default_join_table_budget() -> usize {
-    use std::sync::OnceLock;
-    static BUDGET: OnceLock<usize> = OnceLock::new();
-    *BUDGET.get_or_init(|| {
-        std::env::var("KANON_JOIN_TABLE_LIMIT")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .unwrap_or(JOIN_TABLE_LIMIT)
-    })
-}
+// The KANON_JOIN_TABLE_LIMIT read lives in the crate's designated config
+// point (`config.rs`, lint rule L003); re-exported here so existing
+// `hierarchy::default_join_table_budget` callers keep working.
+pub use crate::config::default_join_table_budget;
 
 impl Hierarchy {
     // ------------------------------------------------------------------

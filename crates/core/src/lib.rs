@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod config;
 pub mod domain;
 pub mod error;
 pub mod generalize;

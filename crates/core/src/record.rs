@@ -165,7 +165,9 @@ mod tests {
 
     #[test]
     fn records_hash_and_compare() {
+        // kanon-lint: allow(L001) this test exercises Record's Hash impl itself
         use std::collections::HashSet;
+        // kanon-lint: allow(L001) only len() is asserted
         let mut set = HashSet::new();
         set.insert(Record::from_raw([0, 1]));
         set.insert(Record::from_raw([0, 1]));

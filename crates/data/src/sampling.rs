@@ -43,10 +43,9 @@ impl Categorical {
     /// Draws one category index.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
-        {
+        // total_cmp: NaN-safe total order (lint L002) — same class as the
+        // global_one_k tie-break fix; a NaN draw must not panic mid-sample.
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i + 1,
             Err(i) => i,
         }

@@ -1,0 +1,1033 @@
+//! # kanon-lint
+//!
+//! A workspace-native static-analysis pass that turns the repo's
+//! determinism and safety *conventions* into machine-checked rules. The
+//! determinism promise — byte-identical results and byte-identical work
+//! counters at any thread count — is only as strong as the weakest hot
+//! path, and the two bug classes that historically broke it (unordered-map
+//! iteration reaching output, NaN-unsafe float comparison in comparators)
+//! are both detectable at the source level without type information.
+//!
+//! The scanner is deliberately token/line level — no `syn`, no external
+//! dependencies. Comments and string literals are masked out first, so a
+//! doc comment *mentioning* `HashMap` never fires, and rule probes in
+//! string literals (such as this crate's own tests) are invisible.
+//!
+//! ## Rules
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | L001 | no `HashMap`/`HashSet` in deterministic crates (`core`, `algos`, `matching`, `measures`, `verify`) — iteration order must never reach results |
+//! | L002 | no `partial_cmp` / raw float `==` in comparisons — use `total_cmp` (NaN-safe, total order) |
+//! | L003 | `std::env::var("KANON_*")` only in each crate's single designated config point |
+//! | L004 | every crate root and binary carries `#![forbid(unsafe_code)]` |
+//! | L005 | obs counter registry cross-check: every registered counter is incremented somewhere, every increment uses a registered counter |
+//!
+//! ## Opt-out
+//!
+//! A finding can be silenced with an explicit, justified marker on the
+//! offending line or on the line directly above it:
+//!
+//! ```text
+//! // kanon-lint: allow(L001) lookup-only map; iteration order never escapes
+//! ```
+//!
+//! A marker without a reason is itself a diagnostic — the justification is
+//! the point. For L004 the marker is file-scoped (the attribute is a
+//! file-level property).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Crate directories (under `crates/`) whose output feeds published
+/// results and must therefore stay iteration-order deterministic.
+pub const DETERMINISTIC_CRATES: [&str; 5] = ["core", "algos", "matching", "measures", "verify"];
+
+/// Per-crate designated config points: the only file of each crate allowed
+/// to read `KANON_*` environment variables (L003). Paths are relative to
+/// the crate directory.
+pub const ENV_CONFIG_POINTS: [(&str, &str); 3] = [
+    ("core", "src/config.rs"),
+    ("obs", "src/lib.rs"),
+    ("parallel", "src/lib.rs"),
+];
+
+/// The lint rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Unordered collections in deterministic crates.
+    L001,
+    /// NaN-unsafe float comparison.
+    L002,
+    /// `KANON_*` env read outside the designated config point.
+    L003,
+    /// Missing `#![forbid(unsafe_code)]` on a crate root or binary.
+    L004,
+    /// Obs counter registry mismatch.
+    L005,
+}
+
+impl Rule {
+    /// Every rule, in code order.
+    pub const ALL: [Rule; 5] = [Rule::L001, Rule::L002, Rule::L003, Rule::L004, Rule::L005];
+
+    /// The diagnostic code (`L001`…`L005`).
+    pub const fn code(self) -> &'static str {
+        match self {
+            Rule::L001 => "L001",
+            Rule::L002 => "L002",
+            Rule::L003 => "L003",
+            Rule::L004 => "L004",
+            Rule::L005 => "L005",
+        }
+    }
+
+    /// One-line description, shown by `kanon-lint --list-rules`.
+    pub const fn summary(self) -> &'static str {
+        match self {
+            Rule::L001 => "no HashMap/HashSet in deterministic crates (iteration order must never reach results)",
+            Rule::L002 => "no partial_cmp / raw float == in comparisons; use total_cmp",
+            Rule::L003 => "KANON_* env vars are read only in each crate's designated config point",
+            Rule::L004 => "every crate root and binary carries #![forbid(unsafe_code)]",
+            Rule::L005 => "every registered obs counter is incremented; every increment uses a registered counter",
+        }
+    }
+
+    /// Parses a rule code (`"L001"`), case-insensitively.
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL
+            .into_iter()
+            .find(|r| r.code().eq_ignore_ascii_case(s.trim()))
+    }
+}
+
+/// One finding, rendered as `file:line: L00N message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file,
+            self.line,
+            self.rule.code(),
+            self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Source masking
+// ---------------------------------------------------------------------
+
+/// A source file with comments and string/char literals blanked out.
+/// Line structure is preserved, so line numbers in the masked text match
+/// the original; comment text is kept separately for marker parsing.
+pub struct Masked {
+    /// Code with every comment/string/char byte replaced by a space.
+    pub code_lines: Vec<String>,
+    /// Comment text per line (1-based index − 1), for allow markers.
+    pub comment_lines: Vec<String>,
+}
+
+/// Masks comments, string literals (plain, raw, byte) and char literals.
+/// Lifetimes (`'a`) are left intact. Nested block comments are handled.
+pub fn mask_source(src: &str) -> Masked {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let mut state = State::Code;
+    let mut code = String::with_capacity(src.len());
+    let mut comment = String::with_capacity(64);
+    let mut code_lines = Vec::new();
+    let mut comment_lines = Vec::new();
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code_lines.push(std::mem::take(&mut code));
+            comment_lines.push(std::mem::take(&mut comment));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && b.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == 'r' && is_raw_string_start(&b, i) {
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    state = State::RawStr(hashes);
+                    for _ in i..=j {
+                        code.push(' ');
+                    }
+                    i = j + 1;
+                } else if c == '"' {
+                    state = State::Str;
+                    code.push(' ');
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal or lifetime?
+                    if b.get(i + 1) == Some(&'\\') {
+                        // '\n', '\'', '\u{..}' — consume to closing quote.
+                        code.push(' ');
+                        i += 2;
+                        while i < b.len() && b[i] != '\'' {
+                            if b[i] == '\n' {
+                                break;
+                            }
+                            code.push(' ');
+                            i += 1;
+                        }
+                        if b.get(i) == Some(&'\'') {
+                            code.push(' ');
+                            i += 1;
+                        }
+                    } else if b.get(i + 2) == Some(&'\'') && b.get(i + 1) != Some(&'\'') {
+                        code.push_str("   ");
+                        i += 3;
+                    } else {
+                        // Lifetime — keep as code.
+                        code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment.push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && b.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push_str("  ");
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    if b.get(i + 1) == Some(&'\n') {
+                        // Escaped-newline continuation: let the top-of-loop
+                        // newline handling keep line numbers aligned.
+                        code.push(' ');
+                        i += 1;
+                    } else {
+                        code.push_str("  ");
+                        i += 2;
+                    }
+                } else if c == '"' {
+                    state = State::Code;
+                    code.push(' ');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && (0..hashes).all(|h| b.get(i + 1 + h as usize) == Some(&'#')) {
+                    state = State::Code;
+                    for _ in 0..=hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    code_lines.push(code);
+    comment_lines.push(comment);
+    Masked {
+        code_lines,
+        comment_lines,
+    }
+}
+
+/// Is the `r` at `i` the start of a raw string (`r"`, `r#"`, `br"` is
+/// handled by the caller seeing the `b` as plain code first)? Must not be
+/// the tail of an identifier (`for`, `var`…).
+fn is_raw_string_start(b: &[char], i: usize) -> bool {
+    if i > 0 {
+        let p = b[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while b.get(j) == Some(&'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&'"')
+}
+
+// ---------------------------------------------------------------------
+// Allow markers
+// ---------------------------------------------------------------------
+
+/// Parsed allow markers of a file: line → rules allowed on that line and
+/// the next. Malformed markers become diagnostics.
+pub struct Allows {
+    by_line: BTreeMap<usize, Vec<Rule>>,
+    /// File-scoped allows (used by L004).
+    pub file_scope: Vec<Rule>,
+}
+
+impl Allows {
+    /// Is `rule` allowed on `line` (1-based)? Markers cover their own line
+    /// and the line directly below, so both trailing comments and
+    /// standalone comment lines above the code work.
+    pub fn allows(&self, line: usize, rule: Rule) -> bool {
+        [line, line.wrapping_sub(1)].iter().any(|l| {
+            self.by_line
+                .get(l)
+                .is_some_and(|rules| rules.contains(&rule))
+        })
+    }
+}
+
+/// Extracts `kanon-lint: allow(<rule>) <reason>` markers from the masked
+/// file's comment text. A marker with no reason, or naming an unknown
+/// rule, is reported as a diagnostic.
+pub fn parse_allows(file: &str, masked: &Masked, diags: &mut Vec<Diagnostic>) -> Allows {
+    let mut by_line = BTreeMap::new();
+    let mut file_scope = Vec::new();
+    for (idx, text) in masked.comment_lines.iter().enumerate() {
+        let line = idx + 1;
+        // Doc comments (`///…`, `//!…` — their text starts with `/` or
+        // `!`) are prose; only plain `//` comments carry markers, so the
+        // marker syntax can be *documented* without being parsed.
+        if text.starts_with('/') || text.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = text.find("kanon-lint:") else {
+            continue;
+        };
+        let rest = text[pos + "kanon-lint:".len()..].trim_start();
+        let Some(inner) = rest.strip_prefix("allow(") else {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line,
+                rule: Rule::L001,
+                message: "malformed kanon-lint marker: expected `allow(<rule>) <reason>`"
+                    .to_string(),
+            });
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line,
+                rule: Rule::L001,
+                message: "malformed kanon-lint marker: unclosed allow(...)".to_string(),
+            });
+            continue;
+        };
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for part in inner[..close].split(',') {
+            match Rule::parse(part) {
+                Some(r) => rules.push(r),
+                None => {
+                    diags.push(Diagnostic {
+                        file: file.to_string(),
+                        line,
+                        rule: Rule::L001,
+                        message: format!("unknown rule `{}` in allow marker", part.trim()),
+                    });
+                    bad = true;
+                }
+            }
+        }
+        let reason = inner[close + 1..].trim();
+        if reason.is_empty() && !bad {
+            for &r in &rules {
+                diags.push(Diagnostic {
+                    file: file.to_string(),
+                    line,
+                    rule: r,
+                    message: format!(
+                        "allow({}) marker has no reason — justify the opt-out",
+                        r.code()
+                    ),
+                });
+            }
+            continue; // an unjustified marker does not silence anything
+        }
+        for &r in &rules {
+            if r == Rule::L004 {
+                file_scope.push(r);
+            }
+        }
+        by_line.entry(line).or_insert_with(Vec::new).extend(rules);
+    }
+    Allows {
+        by_line,
+        file_scope,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds `needle` in `line` as a whole token (not embedded in a longer
+/// identifier).
+fn contains_token(line: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap());
+        let after = at + needle.len();
+        let after_ok = after >= line.len() || !is_ident_char(line[after..].chars().next().unwrap());
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// Does `s` contain a floating-point literal (`1.0`, `0.5`) or a float
+/// type/constant mention (`f64`, `f32`, `NAN`, `INFINITY`)?
+fn looks_float(s: &str) -> bool {
+    for probe in ["f64", "f32", "NAN", "INFINITY"] {
+        if contains_token(s, probe) {
+            return true;
+        }
+    }
+    let chars: Vec<char> = s.chars().collect();
+    for w in chars.windows(3) {
+        if w[0].is_ascii_digit() && w[1] == '.' && w[2].is_ascii_digit() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Splits the operands around position `op` (an `==`/`!=` occurrence) in
+/// `line`, bounded by expression delimiters.
+fn operands_around(line: &str, op: usize) -> (String, String) {
+    const DELIMS: &[char] = &[',', ';', '(', ')', '{', '}', '[', ']', '&', '|', '<', '>'];
+    let left = &line[..op];
+    let right = &line[op + 2..];
+    let lstart = left.rfind(DELIMS).map(|p| p + 1).unwrap_or(0);
+    let rend = right.find(DELIMS).unwrap_or(right.len());
+    (
+        left[lstart..].trim().to_string(),
+        right[..rend].trim().to_string(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Per-file rules (L001–L003)
+// ---------------------------------------------------------------------
+
+/// Lints a single file's source. `rel_path` is workspace-relative (used in
+/// diagnostics and for the L003 config-point check); `crate_dir` is the
+/// directory name under `crates/` (`None` for root-package files,
+/// examples, and workspace-level tests).
+pub fn lint_source(rel_path: &str, crate_dir: Option<&str>, src: &str) -> Vec<Diagnostic> {
+    let masked = mask_source(src);
+    let mut diags = Vec::new();
+    let allows = parse_allows(rel_path, &masked, &mut diags);
+
+    let deterministic = crate_dir.is_some_and(|d| DETERMINISTIC_CRATES.contains(&d));
+    let raw_lines: Vec<&str> = src.lines().collect();
+
+    for (idx, code) in masked.code_lines.iter().enumerate() {
+        let line = idx + 1;
+
+        // L001 — unordered collections in deterministic crates.
+        if deterministic {
+            for ty in ["HashMap", "HashSet"] {
+                if contains_token(code, ty) && !allows.allows(line, Rule::L001) {
+                    diags.push(Diagnostic {
+                        file: rel_path.to_string(),
+                        line,
+                        rule: Rule::L001,
+                        message: format!(
+                            "`{ty}` in deterministic crate `{}` — iteration order can leak \
+                             into results; use BTreeMap/BTreeSet or justify with \
+                             `// kanon-lint: allow(L001) <reason>`",
+                            crate_dir.unwrap_or_default()
+                        ),
+                    });
+                }
+            }
+        }
+
+        // L002 — NaN-unsafe comparisons.
+        if contains_token(code, "partial_cmp") && !allows.allows(line, Rule::L002) {
+            diags.push(Diagnostic {
+                file: rel_path.to_string(),
+                line,
+                rule: Rule::L002,
+                message: "`partial_cmp` is NaN-unsafe and non-total — use `total_cmp` \
+                          (this bug class has reached output twice already)"
+                    .to_string(),
+            });
+        }
+        let mut search = 0;
+        while let Some(pos) = code[search..].find("==").map(|p| p + search) {
+            search = pos + 2;
+            // Skip `!=`? We only look for `==`; also skip `<=`/`>=`-like
+            // composites by requiring the char before not to be an operator
+            // that merges with `=` (`=`, `!`, `<`, `>`, `+`…) — `==` itself
+            // is fine, `===` does not exist in Rust.
+            if pos > 0 && matches!(&code[pos - 1..pos], "=" | "!" | "<" | ">") {
+                continue;
+            }
+            let (l, r) = operands_around(code, pos);
+            if (looks_float(&l) || looks_float(&r)) && !allows.allows(line, Rule::L002) {
+                diags.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line,
+                    rule: Rule::L002,
+                    message: format!(
+                        "raw float `==` (`{l} == {r}`) — NaN-unsafe and rounding-brittle; \
+                         compare with `total_cmp` or an explicit tolerance"
+                    ),
+                });
+            }
+        }
+
+        // L003 — KANON_* env reads outside the designated config point.
+        let raw = raw_lines.get(idx).copied().unwrap_or_default();
+        if code.contains("env::var") && raw.contains("KANON_") && !allows.allows(line, Rule::L003) {
+            let designated = crate_dir.and_then(|d| {
+                ENV_CONFIG_POINTS
+                    .iter()
+                    .find(|(c, _)| *c == d)
+                    .map(|(_, p)| *p)
+            });
+            let in_point = match (crate_dir, designated) {
+                (Some(d), Some(p)) => rel_path == format!("crates/{d}/{p}"),
+                _ => false,
+            };
+            if !in_point {
+                let hint = match designated {
+                    Some(p) => format!("this crate's designated config point is `{p}`"),
+                    None => "this crate has no designated config point; route the read \
+                             through kanon-obs/kanon-parallel/kanon-core config fns"
+                        .to_string(),
+                };
+                diags.push(Diagnostic {
+                    file: rel_path.to_string(),
+                    line,
+                    rule: Rule::L003,
+                    message: format!("`KANON_*` environment read outside config point — {hint}"),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// L004 on one root/binary file: the masked source must carry the
+/// attribute (masking prevents a doc comment from satisfying the check).
+pub fn lint_crate_root(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let masked = mask_source(src);
+    let mut diags = Vec::new();
+    let allows = parse_allows(rel_path, &masked, &mut diags);
+    let has = masked
+        .code_lines
+        .iter()
+        .any(|l| l.replace(' ', "").contains("#![forbid(unsafe_code)]"));
+    if !has && !allows.file_scope.contains(&Rule::L004) {
+        diags.push(Diagnostic {
+            file: rel_path.to_string(),
+            line: 1,
+            rule: Rule::L004,
+            message: "crate root / binary lacks `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+    diags
+}
+
+// ---------------------------------------------------------------------
+// L005 — counter registry cross-check
+// ---------------------------------------------------------------------
+
+/// The obs counter registry: canonical variant names with the line each
+/// was registered on (the `Counter::X => "name"` match arm).
+#[derive(Debug, Default)]
+pub struct CounterRegistry {
+    /// Variant name → definition line in the registry file.
+    pub variants: BTreeMap<String, usize>,
+}
+
+/// Parses the registry from the obs crate source: every match arm of the
+/// form `Counter::Variant => "snake_name"`.
+pub fn parse_counter_registry(src: &str) -> CounterRegistry {
+    let mut variants = BTreeMap::new();
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("Counter::") else {
+            continue;
+        };
+        let rest = &line[pos + "Counter::".len()..];
+        let ident: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+        if ident.is_empty() {
+            continue;
+        }
+        let after = &rest[ident.len()..];
+        if after.trim_start().starts_with("=>") && after.contains('"') {
+            variants.entry(ident).or_insert(idx + 1);
+        }
+    }
+    CounterRegistry { variants }
+}
+
+/// Extracts counter increments from a masked file: occurrences of
+/// `count(…Counter::Variant…)` on one line. Returns `(line, variant)`.
+pub fn find_counter_increments(masked: &Masked) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, code) in masked.code_lines.iter().enumerate() {
+        let mut search = 0;
+        while let Some(pos) = code[search..].find("count(").map(|p| p + search) {
+            search = pos + "count(".len();
+            // Token check: `count(`, `kanon_obs::count(` — not `recount(`.
+            let before_ok = pos == 0 || !is_ident_char(code[..pos].chars().next_back().unwrap());
+            if !before_ok {
+                continue;
+            }
+            let rest = &code[search..];
+            if let Some(cpos) = rest.find("Counter::") {
+                let ident: String = rest[cpos + "Counter::".len()..]
+                    .chars()
+                    .take_while(|&c| is_ident_char(c))
+                    .collect();
+                if !ident.is_empty() {
+                    out.push((idx + 1, ident));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------
+
+/// A workspace source file, classified for the rules.
+pub struct WorkspaceFile {
+    /// Workspace-relative path (forward slashes).
+    pub rel_path: String,
+    /// Crate directory under `crates/`, if any.
+    pub crate_dir: Option<String>,
+    /// Is this a crate root or binary target (L004 applies)?
+    pub is_root_target: bool,
+    /// File content.
+    pub source: String,
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            // Fixture trees contain deliberate violations.
+            if p.file_name().is_some_and(|n| n == "fixtures") {
+                continue;
+            }
+            walk_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Collects every lintable source file of the workspace at `root`:
+/// the root package's `src`/`tests`/`examples` and each crate's
+/// `src`/`tests`/`benches`, skipping `vendor/` (external stand-ins),
+/// `target/` and fixture trees.
+pub fn collect_workspace(root: &Path) -> std::io::Result<Vec<WorkspaceFile>> {
+    let mut files = Vec::new();
+    let push_tree = |base: &Path, crate_dir: Option<&str>, files: &mut Vec<WorkspaceFile>| {
+        let mut paths = Vec::new();
+        walk_rs(base, &mut paths);
+        for p in paths {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let within = p
+                .strip_prefix(base)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let is_root_target = match crate_dir {
+                // Crate layout: lib/main roots, explicit bins, bench targets.
+                Some(_) => {
+                    within == "src/lib.rs"
+                        || within == "src/main.rs"
+                        || within.starts_with("src/bin/")
+                        || within.starts_with("benches/")
+                }
+                // Root package: only src/lib.rs (workspace tests/examples
+                // are exercised via the library).
+                None => within == "src/lib.rs",
+            };
+            if let Ok(source) = std::fs::read_to_string(&p) {
+                files.push(WorkspaceFile {
+                    rel_path: rel,
+                    crate_dir: crate_dir.map(str::to_string),
+                    is_root_target,
+                    source,
+                });
+            }
+        }
+    };
+
+    for sub in ["src", "tests", "examples"] {
+        let base = root.join(sub);
+        if base.is_dir() {
+            // Classify relative to root so rel paths are right.
+            let mut paths = Vec::new();
+            walk_rs(&base, &mut paths);
+            for p in paths {
+                let rel = p
+                    .strip_prefix(root)
+                    .unwrap_or(&p)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if let Ok(source) = std::fs::read_to_string(&p) {
+                    files.push(WorkspaceFile {
+                        is_root_target: rel == "src/lib.rs",
+                        rel_path: rel,
+                        crate_dir: None,
+                        source,
+                    });
+                }
+            }
+        }
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for d in dirs {
+            let name = d
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .to_string();
+            push_tree(&d, Some(&name), &mut files);
+        }
+    }
+    Ok(files)
+}
+
+/// Runs every rule over the workspace at `root` and returns the sorted
+/// diagnostics. An empty result means the workspace lints clean.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let files = collect_workspace(root)?;
+    let mut diags = Vec::new();
+
+    // L001–L003 per file; L004 on root targets.
+    for f in &files {
+        diags.extend(lint_source(&f.rel_path, f.crate_dir.as_deref(), &f.source));
+        if f.is_root_target {
+            diags.extend(lint_crate_root(&f.rel_path, &f.source));
+        }
+    }
+
+    // L005: registry from the obs crate vs increments elsewhere.
+    let registry_path = "crates/obs/src/lib.rs";
+    if let Some(obs) = files.iter().find(|f| f.rel_path == registry_path) {
+        let registry = parse_counter_registry(&obs.source);
+        let mut incremented: BTreeMap<String, (String, usize)> = BTreeMap::new();
+        for f in &files {
+            if f.crate_dir.as_deref() == Some("obs") {
+                continue; // obs's own unit tests are not instrumentation
+            }
+            let masked = mask_source(&f.source);
+            let mut allow_diags = Vec::new();
+            let allows = parse_allows(&f.rel_path, &masked, &mut allow_diags);
+            for (line, variant) in find_counter_increments(&masked) {
+                if !registry.variants.contains_key(&variant) {
+                    if !allows.allows(line, Rule::L005) {
+                        diags.push(Diagnostic {
+                            file: f.rel_path.clone(),
+                            line,
+                            rule: Rule::L005,
+                            message: format!(
+                                "increment of `Counter::{variant}` which is not in the \
+                                 canonical registry ({registry_path})"
+                            ),
+                        });
+                    }
+                } else {
+                    incremented
+                        .entry(variant)
+                        .or_insert((f.rel_path.clone(), line));
+                }
+            }
+        }
+        let obs_masked = mask_source(&obs.source);
+        let mut obs_allow_diags = Vec::new();
+        let obs_allows = parse_allows(registry_path, &obs_masked, &mut obs_allow_diags);
+        for (variant, def_line) in &registry.variants {
+            if !incremented.contains_key(variant) && !obs_allows.allows(*def_line, Rule::L005) {
+                diags.push(Diagnostic {
+                    file: registry_path.to_string(),
+                    line: *def_line,
+                    rule: Rule::L005,
+                    message: format!(
+                        "counter `{variant}` is registered but never incremented outside \
+                         the obs crate — dead registry entries hide missing instrumentation"
+                    ),
+                });
+            }
+        }
+    } else {
+        diags.push(Diagnostic {
+            file: registry_path.to_string(),
+            line: 1,
+            rule: Rule::L005,
+            message: "counter registry file not found".to_string(),
+        });
+    }
+
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    diags.dedup();
+    Ok(diags)
+}
+
+/// Ascends from `start` to the first directory whose `Cargo.toml` declares
+/// a `[workspace]` — the root the binary lints by default.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start.to_path_buf());
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        cur = dir.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_comments_and_strings() {
+        let src = "let a = \"HashMap\"; // HashMap in comment\nlet b = 1;";
+        let m = mask_source(src);
+        assert!(!m.code_lines[0].contains("HashMap"));
+        assert!(m.comment_lines[0].contains("HashMap in comment"));
+        assert!(m.code_lines[1].contains("let b = 1;"));
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_chars() {
+        let src = "let r = r#\"partial_cmp\"#; let c = '\"'; let l: &'static str = x;";
+        let m = mask_source(src);
+        assert!(!m.code_lines[0].contains("partial_cmp"));
+        // The lifetime survives; the quote char literal does not unbalance
+        // string state (code after it is still visible).
+        assert!(m.code_lines[0].contains("'static"));
+        assert!(m.code_lines[0].contains("str = x;"));
+    }
+
+    #[test]
+    fn masking_handles_nested_block_comments() {
+        let src = "/* outer /* inner HashSet */ still comment */ let x = HashSetLike;";
+        let m = mask_source(src);
+        assert!(!contains_token(&m.code_lines[0], "HashSet"));
+        assert!(m.code_lines[0].contains("HashSetLike"));
+    }
+
+    #[test]
+    fn token_matching_requires_boundaries() {
+        assert!(contains_token("use std::collections::HashMap;", "HashMap"));
+        assert!(!contains_token("MyHashMapLike", "HashMap"));
+        assert!(contains_token("a.partial_cmp(b)", "partial_cmp"));
+    }
+
+    #[test]
+    fn l001_fires_only_in_deterministic_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(lint_source("crates/algos/src/x.rs", Some("algos"), src)
+            .iter()
+            .any(|d| d.rule == Rule::L001));
+        assert!(lint_source("crates/cli/src/main.rs", Some("cli"), src)
+            .iter()
+            .all(|d| d.rule != Rule::L001));
+        assert!(lint_source("examples/demo.rs", None, src)
+            .iter()
+            .all(|d| d.rule != Rule::L001));
+    }
+
+    #[test]
+    fn allow_marker_silences_with_reason_only() {
+        let with_reason =
+            "// kanon-lint: allow(L001) lookup-only, never iterated\nuse std::collections::HashMap;\n";
+        assert!(lint_source("crates/core/src/x.rs", Some("core"), with_reason).is_empty());
+        let trailing =
+            "use std::collections::HashMap; // kanon-lint: allow(L001) lookup-only map\n";
+        assert!(lint_source("crates/core/src/x.rs", Some("core"), trailing).is_empty());
+        let no_reason = "// kanon-lint: allow(L001)\nuse std::collections::HashMap;\n";
+        let diags = lint_source("crates/core/src/x.rs", Some("core"), no_reason);
+        assert!(diags.iter().any(|d| d.message.contains("no reason")));
+        assert!(
+            diags.iter().any(|d| d.line == 2 && d.rule == Rule::L001),
+            "unjustified marker must not silence the finding"
+        );
+    }
+
+    #[test]
+    fn l002_flags_partial_cmp_and_float_eq() {
+        let src = "let o = a.partial_cmp(&b);\nif w == 0.5 { }\nif n == 5 { }\n";
+        let diags = lint_source("crates/data/src/x.rs", Some("data"), src);
+        assert_eq!(diags.iter().filter(|d| d.rule == Rule::L002).count(), 2);
+        assert!(diags.iter().any(|d| d.line == 1));
+        assert!(diags.iter().any(|d| d.line == 2));
+    }
+
+    #[test]
+    fn l002_ignores_composite_operators_and_macros() {
+        let src = "if a <= 0.5 { }\nassert_eq!(loss, 0.0);\nlet c = x.total_cmp(&y);\n";
+        let diags = lint_source("crates/algos/src/x.rs", Some("algos"), src);
+        assert!(diags.iter().all(|d| d.rule != Rule::L002), "{diags:?}");
+    }
+
+    #[test]
+    fn l003_env_reads_only_in_config_points() {
+        let src = "let t = std::env::var(\"KANON_THREADS\");\n";
+        // Designated point: clean.
+        assert!(lint_source("crates/parallel/src/lib.rs", Some("parallel"), src).is_empty());
+        // Same read elsewhere: violation.
+        assert!(lint_source("crates/algos/src/x.rs", Some("algos"), src)
+            .iter()
+            .any(|d| d.rule == Rule::L003));
+        // Non-KANON env reads are out of scope.
+        let other = "let p = std::env::var(\"PATH\");\n";
+        assert!(lint_source("crates/algos/src/x.rs", Some("algos"), other).is_empty());
+    }
+
+    #[test]
+    fn l004_requires_forbid_attribute() {
+        assert!(lint_crate_root(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\nfn a() {}\n"
+        )
+        .is_empty());
+        // A doc comment mentioning it does not count.
+        let doc_only = "//! carries #![forbid(unsafe_code)] in prose only\nfn a() {}\n";
+        assert!(lint_crate_root("crates/x/src/lib.rs", doc_only)
+            .iter()
+            .any(|d| d.rule == Rule::L004));
+        // File-scoped allow with reason.
+        let allowed = "// kanon-lint: allow(L004) generated shim, no unsafe possible\nfn a() {}\n";
+        assert!(lint_crate_root("crates/x/src/lib.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn l005_registry_roundtrip() {
+        let obs = r#"
+            pub enum Counter { A, B }
+            impl Counter {
+                pub const fn name(self) -> &'static str {
+                    match self {
+                        Counter::Alpha => "alpha",
+                        Counter::Beta => "beta",
+                    }
+                }
+            }
+        "#;
+        let reg = parse_counter_registry(obs);
+        assert_eq!(reg.variants.keys().collect::<Vec<_>>(), ["Alpha", "Beta"]);
+        let m = mask_source(
+            "kanon_obs::count(kanon_obs::Counter::Alpha, 1);\ncount(Counter::Gamma, 2);\n",
+        );
+        let incs = find_counter_increments(&m);
+        assert_eq!(
+            incs,
+            vec![(1, "Alpha".to_string()), (2, "Gamma".to_string())]
+        );
+    }
+
+    #[test]
+    fn diagnostic_format_is_machine_readable() {
+        let d = Diagnostic {
+            file: "crates/algos/src/forest.rs".into(),
+            line: 213,
+            rule: Rule::L001,
+            message: "msg".into(),
+        };
+        assert_eq!(d.to_string(), "crates/algos/src/forest.rs:213: L001 msg");
+    }
+}

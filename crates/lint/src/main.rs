@@ -1,0 +1,75 @@
+//! `kanon-lint` — walks the workspace and enforces the determinism &
+//! safety rules L001–L005 (see the library docs for the rule list and the
+//! `// kanon-lint: allow(<rule>) <reason>` opt-out syntax).
+//!
+//! ```text
+//! usage: kanon-lint [--root DIR] [--list-rules]
+//! ```
+//!
+//! Exits 0 when the workspace lints clean, 1 on violations, 2 on usage or
+//! I/O errors. Diagnostics are machine-readable: `file:line: L00N message`.
+
+#![forbid(unsafe_code)]
+
+use kanon_lint::{find_workspace_root, lint_workspace, Rule};
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for r in Rule::ALL {
+                    println!("{}  {}", r.code(), r.summary());
+                }
+                return;
+            }
+            "--root" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("kanon-lint: --root needs a directory");
+                    exit(2);
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            "-h" | "--help" => {
+                eprintln!("usage: kanon-lint [--root DIR] [--list-rules]");
+                return;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("kanon-lint: unknown argument {other:?}");
+                exit(2);
+            }
+        }
+    }
+    let root = root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    });
+    let Some(root) = root else {
+        eprintln!("kanon-lint: no workspace root found (pass --root DIR)");
+        exit(2);
+    };
+    match lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            eprintln!("kanon-lint: clean ({} rules)", Rule::ALL.len());
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            eprintln!("kanon-lint: {} violation(s)", diags.len());
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("kanon-lint: {e}");
+            exit(2);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Fixture-driven rule tests: every rule has at least one seeded-violation
+//! fixture that must fire and a clean/annotated counterpart that must not.
+//!
+//! Fixtures live under `tests/fixtures/` — a directory name the workspace
+//! walker skips, so the deliberate violations never reach the real gate.
+
+#![forbid(unsafe_code)]
+
+use kanon_lint::{
+    find_counter_increments, lint_crate_root, lint_source, mask_source, parse_counter_registry,
+    Rule,
+};
+
+const L001_VIOLATION: &str = include_str!("fixtures/l001_violation.rs");
+const L001_ANNOTATED: &str = include_str!("fixtures/l001_annotated.rs");
+const L002_VIOLATION: &str = include_str!("fixtures/l002_violation.rs");
+const L002_CLEAN: &str = include_str!("fixtures/l002_clean.rs");
+const L003_VIOLATION: &str = include_str!("fixtures/l003_violation.rs");
+const L004_VIOLATION: &str = include_str!("fixtures/l004_violation.rs");
+const L004_CLEAN: &str = include_str!("fixtures/l004_clean.rs");
+const L005_REGISTRY: &str = include_str!("fixtures/l005_registry.rs");
+const L005_INCREMENTS: &str = include_str!("fixtures/l005_increments.rs");
+
+fn rules_of(diags: &[kanon_lint::Diagnostic]) -> Vec<Rule> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn l001_seeded_violation_fires() {
+    let diags = lint_source("crates/algos/src/fixture.rs", Some("algos"), L001_VIOLATION);
+    let l001: Vec<_> = diags.iter().filter(|d| d.rule == Rule::L001).collect();
+    // Two `use` lines plus three construction sites.
+    assert_eq!(l001.len(), 5, "{diags:?}");
+    assert!(l001.iter().any(|d| d.message.contains("HashMap")));
+    assert!(l001.iter().any(|d| d.message.contains("HashSet")));
+    // Diagnostics are machine-readable `file:line: L001 ...`.
+    assert!(l001[0]
+        .to_string()
+        .starts_with("crates/algos/src/fixture.rs:3: L001 "));
+}
+
+#[test]
+fn l001_does_not_fire_outside_deterministic_crates() {
+    for (path, crate_dir) in [
+        ("crates/cli/src/fixture.rs", Some("cli")),
+        ("crates/data/src/fixture.rs", Some("data")),
+        ("examples/fixture.rs", None),
+    ] {
+        let diags = lint_source(path, crate_dir, L001_VIOLATION);
+        assert!(rules_of(&diags).iter().all(|&r| r != Rule::L001), "{path}");
+    }
+}
+
+#[test]
+fn l001_annotated_fixture_is_clean() {
+    let diags = lint_source("crates/core/src/fixture.rs", Some("core"), L001_ANNOTATED);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l002_seeded_violation_fires() {
+    let diags = lint_source("crates/algos/src/fixture.rs", Some("algos"), L002_VIOLATION);
+    let l002: Vec<_> = diags.iter().filter(|d| d.rule == Rule::L002).collect();
+    assert_eq!(l002.len(), 2, "{diags:?}");
+    assert!(l002.iter().any(|d| d.message.contains("partial_cmp")));
+    assert!(l002.iter().any(|d| d.message.contains("raw float")));
+}
+
+#[test]
+fn l002_applies_in_every_crate() {
+    // L002 is workspace-wide, not restricted to deterministic crates.
+    let diags = lint_source("crates/data/src/fixture.rs", Some("data"), L002_VIOLATION);
+    assert!(rules_of(&diags).contains(&Rule::L002));
+}
+
+#[test]
+fn l002_clean_fixture_is_clean() {
+    let diags = lint_source("crates/algos/src/fixture.rs", Some("algos"), L002_CLEAN);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l003_seeded_violation_fires_outside_config_point() {
+    let diags = lint_source("crates/algos/src/tuning.rs", Some("algos"), L003_VIOLATION);
+    let l003: Vec<_> = diags.iter().filter(|d| d.rule == Rule::L003).collect();
+    // Exactly one: the KANON_THREADS read. The EDITOR read is out of scope.
+    assert_eq!(l003.len(), 1, "{diags:?}");
+    assert_eq!(l003[0].line, 5);
+}
+
+#[test]
+fn l003_designated_config_point_is_exempt() {
+    let diags = lint_source(
+        "crates/parallel/src/lib.rs",
+        Some("parallel"),
+        L003_VIOLATION,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+    // The exemption is per-crate: the same path shape in another crate
+    // with a different designated file still fires.
+    let diags = lint_source("crates/core/src/lib.rs", Some("core"), L003_VIOLATION);
+    assert!(rules_of(&diags).contains(&Rule::L003));
+}
+
+#[test]
+fn l004_seeded_violation_fires() {
+    let diags = lint_crate_root("crates/x/src/lib.rs", L004_VIOLATION);
+    assert_eq!(rules_of(&diags), [Rule::L004], "{diags:?}");
+    assert_eq!(diags[0].line, 1);
+}
+
+#[test]
+fn l004_clean_fixture_is_clean() {
+    let diags = lint_crate_root("crates/x/src/lib.rs", L004_CLEAN);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l005_registry_and_increment_extraction() {
+    let registry = parse_counter_registry(L005_REGISTRY);
+    assert_eq!(
+        registry.variants.keys().collect::<Vec<_>>(),
+        ["Alpha", "Beta", "Orphan"]
+    );
+
+    let incs = find_counter_increments(&mask_source(L005_INCREMENTS));
+    let names: Vec<&str> = incs.iter().map(|(_, v)| v.as_str()).collect();
+    // Comment/string mentions and `recount(` are invisible.
+    assert_eq!(names, ["Alpha", "Beta", "Rogue"]);
+
+    // The seeded violations, as the workspace pass derives them:
+    let unregistered: Vec<&str> = names
+        .iter()
+        .copied()
+        .filter(|n| !registry.variants.contains_key(*n))
+        .collect();
+    assert_eq!(unregistered, ["Rogue"], "increment of unregistered counter");
+    let dead: Vec<&String> = registry
+        .variants
+        .keys()
+        .filter(|v| !names.contains(&v.as_str()))
+        .collect();
+    assert_eq!(dead, ["Orphan"], "registered but never incremented");
+}
+
+#[test]
+fn unjustified_marker_is_a_diagnostic_and_does_not_silence() {
+    let src = "// kanon-lint: allow(L001)\nuse std::collections::HashMap;\n";
+    let diags = lint_source("crates/core/src/fixture.rs", Some("core"), src);
+    assert!(diags.iter().any(|d| d.message.contains("no reason")));
+    assert!(diags.iter().any(|d| d.rule == Rule::L001 && d.line == 2));
+}

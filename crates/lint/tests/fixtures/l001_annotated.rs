@@ -1,0 +1,16 @@
+// Fixture: the same collections, silenced by justified allow markers —
+// plus a doc comment and a string literal that must never fire.
+
+//! Prose mentioning HashMap must not trip the rule.
+
+// kanon-lint: allow(L001) lookup-only map; iteration order never escapes
+use std::collections::HashMap;
+use std::collections::HashSet; // kanon-lint: allow(L001) drained via sorted Vec before use
+
+pub fn build() -> usize {
+    let msg = "HashMap in a string literal is invisible to the scanner";
+    // kanon-lint: allow(L001) counts only; the sum is commutative
+    let m: HashMap<u32, u64> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new(); // kanon-lint: allow(L001) membership tests only
+    msg.len() + m.len() + s.len()
+}

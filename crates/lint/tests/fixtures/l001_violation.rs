@@ -1,0 +1,12 @@
+// Fixture: seeded L001 violations — unordered collections in a
+// deterministic crate, with no allow markers.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn build() -> HashMap<u32, Vec<u32>> {
+    let mut m = HashMap::new();
+    let mut seen = HashSet::new();
+    seen.insert(7u32);
+    m.insert(1, vec![2, 3]);
+    m
+}

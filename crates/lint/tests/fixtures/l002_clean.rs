@@ -1,0 +1,22 @@
+// Fixture: L002-clean comparisons — total_cmp, integer equality,
+// composite operators, and masked mentions that must not fire.
+
+pub fn pick(weights: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &w) in weights.iter().enumerate() {
+        let better = match best {
+            None => true,
+            Some((_, bw)) => w.total_cmp(&bw) == std::cmp::Ordering::Greater,
+        };
+        if better {
+            best = Some((i, w));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+pub fn classify(n: usize, x: f64) -> bool {
+    // A comment saying partial_cmp is fine; so is the string below.
+    let _doc = "prefer total_cmp over partial_cmp";
+    n == 5 && x <= 0.5 && x >= 0.1
+}

@@ -1,0 +1,19 @@
+// Fixture: seeded L002 violations — NaN-unsafe float comparisons.
+
+pub fn pick(weights: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &w) in weights.iter().enumerate() {
+        let better = match best {
+            None => true,
+            Some((_, bw)) => w.partial_cmp(&bw).unwrap() == std::cmp::Ordering::Greater,
+        };
+        if better {
+            best = Some((i, w));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+pub fn is_zero(p: f64) -> bool {
+    p == 0.0
+}

@@ -1,0 +1,14 @@
+// Fixture: seeded L003 violation — a KANON_* environment read outside the
+// crate's designated config point.
+
+pub fn threads() -> usize {
+    std::env::var("KANON_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+pub fn editor() -> Option<String> {
+    // Non-KANON reads are out of scope for the rule.
+    std::env::var("EDITOR").ok()
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root carrying the required attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

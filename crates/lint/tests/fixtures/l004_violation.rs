@@ -1,0 +1,6 @@
+//! Fixture: a crate root that only *mentions* `#![forbid(unsafe_code)]`
+//! in prose — the attribute itself is missing, so L004 must fire.
+
+pub fn answer() -> u32 {
+    42
+}

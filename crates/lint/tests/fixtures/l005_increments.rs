@@ -1,0 +1,11 @@
+// Fixture: counter increments. `Rogue` is not in the companion registry —
+// an L005 seed. The comment and string mentions must be invisible.
+
+pub fn run() {
+    // count(Counter::CommentOnly, 1) — masked, must not count.
+    let _s = "count(Counter::StringOnly, 1)";
+    kanon_obs::count(kanon_obs::Counter::Alpha, 1);
+    count(Counter::Beta, 2);
+    count(Counter::Rogue, 3);
+    recount(Counter::NotAnIncrement, 4);
+}

@@ -1,0 +1,24 @@
+// Fixture: a miniature obs-style counter registry. `Orphan` is registered
+// but (in the companion increments fixture) never incremented.
+
+/// Work counters.
+#[derive(Debug, Clone, Copy)]
+pub enum Counter {
+    /// Incremented by the companion fixture.
+    Alpha,
+    /// Also incremented.
+    Beta,
+    /// Registered but never incremented — an L005 seed.
+    Orphan,
+}
+
+impl Counter {
+    /// Canonical snake_case name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::Alpha => "alpha",
+            Counter::Beta => "beta",
+            Counter::Orphan => "orphan",
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Workspace-level integration: the real repo must lint clean, and a
+//! seeded violation in a scratch mini-workspace must turn the gate red —
+//! proving the CI step fails on reintroduction without breaking main.
+
+#![forbid(unsafe_code)]
+
+use kanon_lint::{find_workspace_root, lint_workspace, Rule};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_root() -> PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above CARGO_MANIFEST_DIR")
+}
+
+#[test]
+fn real_workspace_lints_clean() {
+    let diags = lint_workspace(&repo_root()).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean; found:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn binary_exits_zero_on_clean_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_kanon-lint"))
+        .args(["--root", repo_root().to_str().unwrap()])
+        .output()
+        .expect("run kanon-lint");
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("clean"));
+}
+
+/// Builds a throwaway workspace under `CARGO_TARGET_TMPDIR` with three
+/// seeded violations (L001 unordered map, L005 rogue increment, L005
+/// orphaned registry entry) and an otherwise-clean layout.
+fn seed_violating_workspace() -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("kanon-lint-seed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let write = |rel: &str, content: &str| {
+        let p = root.join(rel);
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(p, content).unwrap();
+    };
+    write("Cargo.toml", "[workspace]\nmembers = [\"crates/*\"]\n");
+    write(
+        "crates/algos/src/lib.rs",
+        r#"#![forbid(unsafe_code)]
+use std::collections::HashMap;
+
+pub fn run() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    count(Counter::Rogue, 1);
+    m.len()
+}
+"#,
+    );
+    write(
+        "crates/obs/src/lib.rs",
+        r#"#![forbid(unsafe_code)]
+pub enum Counter {
+    Orphan,
+}
+
+impl Counter {
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::Orphan => "orphan",
+        }
+    }
+}
+"#,
+    );
+    root
+}
+
+#[test]
+fn seeded_violations_turn_the_gate_red() {
+    let root = seed_violating_workspace();
+    let diags = lint_workspace(&root).expect("walk seeded workspace");
+
+    let l001: Vec<_> = diags.iter().filter(|d| d.rule == Rule::L001).collect();
+    // One per offending line: the `use` and the declaration+constructor line.
+    assert_eq!(l001.len(), 2, "{diags:?}");
+    assert!(l001.iter().all(|d| d.file == "crates/algos/src/lib.rs"));
+
+    let l005: Vec<_> = diags.iter().filter(|d| d.rule == Rule::L005).collect();
+    assert_eq!(l005.len(), 2, "{diags:?}");
+    assert!(l005
+        .iter()
+        .any(|d| d.file == "crates/algos/src/lib.rs" && d.message.contains("Rogue")));
+    assert!(l005
+        .iter()
+        .any(|d| d.file == "crates/obs/src/lib.rs" && d.message.contains("Orphan")));
+
+    // Nothing else fires: both roots carry the forbid attribute.
+    assert_eq!(diags.len(), 4, "{diags:?}");
+
+    // The gate itself: the binary exits non-zero and prints the findings.
+    let out = Command::new(env!("CARGO_BIN_EXE_kanon-lint"))
+        .args(["--root", root.to_str().unwrap()])
+        .output()
+        .expect("run kanon-lint");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("L001"), "{stdout}");
+    assert!(stdout.contains("L005"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn fixing_the_seed_turns_the_gate_green_again() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR"))
+        .join(format!("kanon-lint-green-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let write = |rel: &str, content: &str| {
+        let p = root.join(rel);
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(p, content).unwrap();
+    };
+    write("Cargo.toml", "[workspace]\nmembers = [\"crates/*\"]\n");
+    write(
+        "crates/algos/src/lib.rs",
+        r#"#![forbid(unsafe_code)]
+use std::collections::BTreeMap;
+
+pub fn run() -> usize {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    count(Counter::Steps, 1);
+    m.len()
+}
+"#,
+    );
+    write(
+        "crates/obs/src/lib.rs",
+        r#"#![forbid(unsafe_code)]
+pub enum Counter {
+    Steps,
+}
+
+impl Counter {
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::Steps => "steps",
+        }
+    }
+}
+"#,
+    );
+    let diags = lint_workspace(&root).expect("walk fixed workspace");
+    assert!(diags.is_empty(), "{diags:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -9,7 +9,7 @@
 //! crate provides:
 //!
 //! * [`BipartiteGraph`] — CSR bipartite graphs;
-//! * [`hopcroft_karp`] — O(E·√V) maximum matching, plus the paper's naive
+//! * [`hopcroft_karp`](mod@hopcroft_karp) — O(E·√V) maximum matching, plus the paper's naive
 //!   per-edge test [`is_edge_in_some_perfect_matching_naive`];
 //! * [`tarjan_scc`] — iterative strongly-connected components;
 //! * [`AllowedEdges`] — the all-edges-at-once oracle (matched edges +

@@ -8,11 +8,13 @@
 //! here for evaluation (not as a clustering objective).
 
 use kanon_core::table::GeneralizedTable;
+// kanon-lint: allow(L001) values feed commutative u64 sums / a sorted vec; order cannot escape
 use std::collections::HashMap;
 
 /// The discernibility penalty `Σ_E |E|²` over equivalence classes of
 /// identical generalized records.
 pub fn discernibility(gtable: &GeneralizedTable) -> u64 {
+    // kanon-lint: allow(L001) Σ|E|² is a commutative integer sum over values
     let mut classes: HashMap<&[kanon_core::NodeId], u64> = HashMap::new();
     for row in gtable.rows() {
         *classes.entry(row.nodes()).or_insert(0) += 1;
@@ -33,6 +35,7 @@ pub fn discernibility_per_record(gtable: &GeneralizedTable) -> f64 {
 /// Sizes of the equivalence classes of identical generalized records,
 /// descending. The minimum is the table's k-anonymity level.
 pub fn class_sizes(gtable: &GeneralizedTable) -> Vec<usize> {
+    // kanon-lint: allow(L001) sizes are sorted before being returned
     let mut classes: HashMap<&[kanon_core::NodeId], usize> = HashMap::new();
     for row in gtable.rows() {
         *classes.entry(row.nodes()).or_insert(0) += 1;

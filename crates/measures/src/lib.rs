@@ -12,7 +12,7 @@
 //! The related-work measures reviewed in Sec. II are provided as well:
 //! [`TreeMeasure`] (Aggarwal et al.), [`SuppressionMeasure`] (Meyerson &
 //! Williams), [`nonuniform_entropy_loss`] (the non-uniform entropy
-//! variant of Gionis & Tassa), [`discernibility`] (DM, Bayardo & Agrawal)
+//! variant of Gionis & Tassa), [`discernibility`](mod@discernibility) (DM, Bayardo & Agrawal)
 //! and [`classification_metric`] (CM, Iyengar).
 //!
 //! ```

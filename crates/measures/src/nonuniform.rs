@@ -1,5 +1,5 @@
 //! The non-uniform entropy measure of Gionis & Tassa (ESA 2007) — one of
-//! the "three entropy-based functions" the paper cites from [10]. Unlike
+//! the "three entropy-based functions" the paper cites from \[10\]. Unlike
 //! the basic entropy measure (Eq. 3), the cost of a generalized entry
 //! depends on the *original* value it replaced:
 //!

@@ -67,6 +67,7 @@ impl CountQuery {
                         0
                     };
                     p *= inter as f64 / h.node_size(b) as f64;
+                    // kanon-lint: allow(L002) exact-zero short-circuit: p is a product of non-negative finite ratios
                     if p == 0.0 {
                         break;
                     }

@@ -8,6 +8,7 @@ use kanon_core::error::Result;
 use kanon_core::generalize::is_generalization_of;
 use kanon_core::table::{GeneralizedTable, Table};
 use kanon_matching::{AllowedEdges, Matching};
+// kanon-lint: allow(L001) values feed min() only — commutative, order cannot escape
 use std::collections::HashMap;
 
 /// Is the published table k-anonymous (Def. 4.1): does every generalized
@@ -21,6 +22,7 @@ pub fn is_k_anonymous(gtable: &GeneralizedTable, k: usize) -> bool {
 /// The largest `k` for which the table is k-anonymous (the minimum
 /// equivalence-class size). Returns 0 for an empty table.
 pub fn k_anonymity_level(gtable: &GeneralizedTable) -> usize {
+    // kanon-lint: allow(L001) class-size counting; only min() of values is read
     let mut classes: HashMap<&[kanon_core::NodeId], usize> = HashMap::new();
     for row in gtable.rows() {
         *classes.entry(row.nodes()).or_insert(0) += 1;

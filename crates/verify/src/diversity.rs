@@ -9,7 +9,11 @@
 
 use kanon_core::error::{CoreError, Result};
 use kanon_core::table::GeneralizedTable;
-use std::collections::{HashMap, HashSet};
+// Ordered maps throughout: `entropy_l_diversity_level` sums floats while
+// iterating a class's value counts, and float addition is not associative
+// — with a HashMap the reported entropy depended on hasher seed in the
+// last ulp (the exact bug class lint rule L001 exists for).
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The largest ℓ for which the table is distinct-ℓ-diverse with respect
 /// to the given sensitive values (`sensitive[i]` belongs to row `i`).
@@ -21,11 +25,11 @@ pub fn l_diversity_level(gtable: &GeneralizedTable, sensitive: &[u32]) -> Result
             right: sensitive.len(),
         });
     }
-    let mut classes: HashMap<&[kanon_core::NodeId], HashSet<u32>> = HashMap::new();
+    let mut classes: BTreeMap<&[kanon_core::NodeId], BTreeSet<u32>> = BTreeMap::new();
     for (i, row) in gtable.rows().iter().enumerate() {
         classes.entry(row.nodes()).or_default().insert(sensitive[i]);
     }
-    Ok(classes.values().map(HashSet::len).min().unwrap_or(0))
+    Ok(classes.values().map(BTreeSet::len).min().unwrap_or(0))
 }
 
 /// Is every equivalence class distinct-ℓ-diverse?
@@ -46,7 +50,7 @@ pub fn entropy_l_diversity_level(gtable: &GeneralizedTable, sensitive: &[u32]) -
     if gtable.num_rows() == 0 {
         return Ok(0.0);
     }
-    let mut classes: HashMap<&[kanon_core::NodeId], HashMap<u32, usize>> = HashMap::new();
+    let mut classes: BTreeMap<&[kanon_core::NodeId], BTreeMap<u32, usize>> = BTreeMap::new();
     for (i, row) in gtable.rows().iter().enumerate() {
         *classes
             .entry(row.nodes())

@@ -35,6 +35,8 @@
 //! assert!(em_kk <= em_k + 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use kanon_algos as algos;
 pub use kanon_core as core;
 pub use kanon_data as data;
