@@ -164,6 +164,7 @@ impl<'a> State<'a> {
     /// neighbours of `slot`. Deterministic tie-break on slot index.
     fn scan_nearest(&self, slot: usize) -> Option<NearestPair> {
         kanon_obs::count(kanon_obs::Counter::NnRescans, 1);
+        // kanon-lint: allow(L006) slot liveness is a scan invariant; a breach is a bug caught at the try_* boundary
         let me = self.slots[slot].as_ref().expect("slot must be live");
         let mut best: Option<Nearest> = None;
         let mut second: Option<Nearest> = None;
@@ -171,6 +172,7 @@ impl<'a> State<'a> {
             if other == slot {
                 continue;
             }
+            // kanon-lint: allow(L006) active slots are live by construction
             let oc = self.slots[other].as_ref().expect("active slot live");
             let d = self.dist_between(me, oc);
             let cand = Nearest {
@@ -204,6 +206,7 @@ impl<'a> State<'a> {
         self.nearest.push(None);
         // Let existing actives insert the newcomer into their top-2, so
         // that later fallbacks (repair) remain exact without rescans.
+        // kanon-lint: allow(L006) the just-inserted slot is live
         let new_ref = self.slots[slot].as_ref().unwrap().clone();
         // The O(active) distance evaluations are pure reads — computed in
         // parallel; the cache updates below are applied serially in active
@@ -216,6 +219,7 @@ impl<'a> State<'a> {
             let this = &*self;
             let new_ref = &new_ref;
             let eval = move |idx: usize| {
+                // kanon-lint: allow(L006) active slots are live by construction
                 let oc = this.slots[this.active[idx]].as_ref().unwrap();
                 this.dist_between(oc, new_ref)
             };
@@ -375,7 +379,9 @@ impl<'a> State<'a> {
         for (x, &a) in self.active.iter().enumerate() {
             for &b in &self.active[x + 1..] {
                 let dd = self.dist_between(
+                    // kanon-lint: allow(L006) active slots are live by construction
                     self.slots[a].as_ref().unwrap(),
+                    // kanon-lint: allow(L006) active slots are live by construction
                     self.slots[b].as_ref().unwrap(),
                 );
                 if dd < min {
@@ -410,11 +416,31 @@ impl<'a> State<'a> {
 
 /// Runs Algorithm 1 (or its Algorithm 2 variant) and returns the
 /// clustering, the generalized table and its loss.
+///
+/// Panicking wrapper over [`crate::try_agglomerative_k_anonymize`]:
+/// domain failures come back as `CoreError`; isolated worker panics and
+/// injected faults are re-raised as a `KanonError` panic payload. When a
+/// work budget (`KANON_WORK_BUDGET` / `kanon_obs::with_work_budget`) is
+/// exhausted mid-run, the valid best-effort result is returned silently —
+/// use the `try_` form to observe the `BudgetExhausted` marker.
 pub fn agglomerative_k_anonymize(
     table: &Table,
     costs: &NodeCostTable,
     cfg: &AgglomerativeConfig,
 ) -> Result<KAnonOutput> {
+    match crate::try_agglomerative_k_anonymize(table, costs, cfg) {
+        Ok(out) => Ok(out.into_inner()),
+        Err(kanon_core::KanonError::Core(e)) => Err(e),
+        Err(other) => std::panic::panic_any(other),
+    }
+}
+
+/// Algorithm 1/2 implementation with budget-aware graceful degradation.
+pub(crate) fn agglomerative_impl(
+    table: &Table,
+    costs: &NodeCostTable,
+    cfg: &AgglomerativeConfig,
+) -> Result<crate::Budgeted<KAnonOutput>> {
     let n = table.num_rows();
     if cfg.k == 0 || cfg.k > n {
         return Err(CoreError::InvalidK { k: cfg.k, n });
@@ -427,12 +453,20 @@ pub fn agglomerative_k_anonymize(
         let clustering = Clustering::from_assignment((0..n as u32).collect())?;
         let gtable = clustering.to_generalized_table(table)?;
         let loss = costs.table_loss(&gtable);
-        return Ok(KAnonOutput {
+        return Ok(crate::Budgeted::Complete(KAnonOutput {
             clustering,
             table: gtable,
             loss,
-        });
+        }));
     }
+
+    // Budget-aware runs need a collector for `spent_work` to be
+    // meaningful; install a private one when the caller has none.
+    let budget = kanon_obs::work_budget();
+    let _budget_obs = match (budget, kanon_obs::current()) {
+        (Some(_), None) => Some(kanon_obs::Collector::new().install()),
+        _ => None,
+    };
 
     let slots: Vec<Option<Cluster>> = (0..n)
         .map(|i| Some(Cluster::singleton(&ctx, i as u32)))
@@ -453,14 +487,26 @@ pub fn agglomerative_k_anonymize(
     let mut done: Vec<Cluster> = Vec::with_capacity(n / cfg.k);
 
     // Main loop: unify the two closest immature clusters.
+    let mut exhausted: Option<(u64, u64)> = None;
     while st.active.len() > 1 {
+        kanon_fault::fail_point!("algos/agglomerative/merge");
+        if let Some(limit) = budget {
+            let spent = kanon_obs::spent_work();
+            if spent >= limit {
+                exhausted = Some((limit, spent));
+                break;
+            }
+        }
+        // kanon-lint: allow(L006) two or more active clusters guarantee a closest pair
         let (i, j, _d) = st.closest_pair().expect("≥2 active clusters have a pair");
         #[cfg(debug_assertions)]
         assert!(
             st.is_global_min_distance(_d),
             "nearest-neighbour cache returned a non-minimal pair"
         );
+        // kanon-lint: allow(L006) closest_pair returns live slots
         let a = st.slots[i].take().expect("slot i live");
+        // kanon-lint: allow(L006) closest_pair returns live slots
         let b = st.slots[j].take().expect("slot j live");
         st.deactivate(i);
         st.deactivate(j);
@@ -498,9 +544,42 @@ pub fn agglomerative_k_anonymize(
         }
     }
 
+    // Graceful degradation: the budget tripped with several immature
+    // clusters outstanding. Skip the remaining O(n²) nearest-neighbour
+    // work and combine them all into one cluster (ascending first-member
+    // order, so the result is deterministic). If the combined cluster is
+    // mature it is done; otherwise it becomes the single leftover handled
+    // below — either way the output is a *valid* k-anonymous clustering,
+    // just with more generalization than a full run would produce.
+    if exhausted.is_some() && st.active.len() > 1 {
+        let mut remaining: Vec<Cluster> = Vec::with_capacity(st.active.len());
+        let slots: Vec<usize> = st.active.clone();
+        for slot in &slots {
+            // kanon-lint: allow(L006) active slots are live by construction
+            remaining.push(st.slots[*slot].take().expect("active slot live"));
+        }
+        remaining.sort_by_key(|c| c.members[0]);
+        let mut combined = remaining.swap_remove(0);
+        for c in remaining {
+            combined.members.extend_from_slice(&c.members);
+            st.ctx.join_nodes_into(&mut combined.nodes, &c.nodes);
+        }
+        combined.members.sort_unstable();
+        combined.cost = st.ctx.cost(&combined.nodes);
+        if combined.size() >= cfg.k {
+            done.push(combined);
+            st.active.clear();
+        } else {
+            let slot = slots[0];
+            st.slots[slot] = Some(combined);
+            st.active = vec![slot];
+        }
+    }
+
     // Leftover: at most one immature cluster; each of its records joins
     // the mature cluster minimizing dist({R}, S) (line 10 of Algorithm 1).
     if let Some(&slot) = st.active.first() {
+        // kanon-lint: allow(L006) the first active slot is live
         let leftover = st.slots[slot].take().expect("leftover live");
         debug_assert!(leftover.size() < cfg.k);
         debug_assert!(
@@ -529,7 +608,15 @@ pub fn agglomerative_k_anonymize(
         }
     }
 
-    finish(table, costs, done)
+    let output = finish(table, costs, done)?;
+    Ok(match exhausted {
+        None => crate::Budgeted::Complete(output),
+        Some((budget, spent)) => crate::Budgeted::BudgetExhausted {
+            best_so_far: output,
+            budget,
+            spent,
+        },
+    })
 }
 
 /// Algorithm 2: shrink a ripe cluster to exactly `k` records by repeatedly
@@ -560,6 +647,7 @@ fn shrink_to_k(
                     Some(nodes) => ctx.join_row_into(nodes, row as usize),
                 }
             }
+            // kanon-lint: allow(L006) the cluster keeps >= k >= 1 rows during repair
             let rest_nodes = rest_nodes.expect("cluster has ≥ k ≥ 1 remaining");
             let rest_cost = ctx.cost(&rest_nodes);
             // dist(Ŝ, Ŝ∖{R}): the union of the two is Ŝ itself.
@@ -571,6 +659,7 @@ fn shrink_to_k(
             }
         }
         let row = cluster.members.remove(best_idx);
+        // kanon-lint: allow(L006) the candidate loop always selects one
         let (nodes, cost) = best_rest.expect("some candidate chosen");
         cluster.nodes = nodes;
         cluster.cost = cost;
@@ -612,6 +701,7 @@ pub fn nn_rescan_pass(
                 best = Some((j, d));
             }
         }
+        // kanon-lint: allow(L006) n >= 2 leaves at least one candidate
         best.expect("n ≥ 2 leaves at least one candidate")
     })
 }

@@ -1,0 +1,278 @@
+//! Fallible (`try_*`) entry points: the fault-isolating front door.
+//!
+//! Every public algorithm has a `try_` variant here returning
+//! [`KanonResult`]. These wrap the shared implementation in
+//! `catch_unwind` and convert every failure mode into a value:
+//!
+//! * domain errors (`CoreError`) pass through as [`KanonError::Core`];
+//! * typed `kanon-fault` injections (raised by armed failpoints, possibly
+//!   from inside a `kanon-parallel` worker) become
+//!   [`KanonError::FaultInjected`];
+//! * isolated worker panics become [`KanonError::WorkerPanic`] (lowest
+//!   worker index, as guaranteed by `kanon-parallel`);
+//! * any other organic panic becomes [`KanonError::Panic`].
+//!
+//! The panicking wrappers (`kk_anonymize`, `agglomerative_k_anonymize`,
+//! …) are reimplemented on top of these: they unwrap `Core` errors back
+//! into `Result<_, CoreError>` and re-raise everything else as a
+//! `KanonError` panic payload, so pre-existing callers see unchanged
+//! behaviour on valid input — byte-identical outputs at any thread count.
+//!
+//! ## Graceful degradation
+//!
+//! The long-running algorithms (agglomerative, forest, and the best-k
+//! grid over them) honour the deterministic work budget
+//! (`KANON_WORK_BUDGET` / `kanon_obs::with_work_budget`): when the sum of
+//! the deterministic work counters reaches the budget, they stop refining
+//! and complete cheaply, returning
+//! [`Budgeted::BudgetExhausted`]`{ best_so_far, .. }` — a *valid*
+//! k-anonymous result, just more generalized than a full run. With no
+//! budget armed they always return [`Budgeted::Complete`].
+
+use crate::agglomerative::{agglomerative_impl, AgglomerativeConfig, KAnonOutput};
+use crate::distance::ClusterDistance;
+use crate::forest::forest_impl;
+use crate::global_one_k::GlobalOutput;
+use crate::k1::GenOutput;
+use crate::pipeline::{global_impl, k1_impl, kk_impl, GlobalConfig, K1Method, KkConfig};
+use kanon_core::error::{KanonError, KanonResult, Result};
+use kanon_core::table::{GeneralizedTable, Table};
+use kanon_measures::NodeCostTable;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Outcome of a budget-aware run: complete, or a valid partial result
+/// produced after the deterministic work budget ran out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Budgeted<T> {
+    /// The run finished within budget (always the case when no budget
+    /// is armed).
+    Complete(T),
+    /// The work budget tripped mid-run; `best_so_far` is still a valid
+    /// k-anonymous output, with more generalization than a full run.
+    BudgetExhausted {
+        /// The valid partial result.
+        best_so_far: T,
+        /// The configured budget, in work units (counter sum).
+        budget: u64,
+        /// Work spent when the budget tripped.
+        spent: u64,
+    },
+}
+
+impl<T> Budgeted<T> {
+    /// The result, complete or partial.
+    pub fn into_inner(self) -> T {
+        match self {
+            Budgeted::Complete(v) | Budgeted::BudgetExhausted { best_so_far: v, .. } => v,
+        }
+    }
+
+    /// A reference to the result, complete or partial.
+    pub fn inner(&self) -> &T {
+        match self {
+            Budgeted::Complete(v) | Budgeted::BudgetExhausted { best_so_far: v, .. } => v,
+        }
+    }
+
+    /// True when the work budget tripped mid-run.
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, Budgeted::BudgetExhausted { .. })
+    }
+}
+
+/// Converts a caught panic payload into the matching [`KanonError`].
+/// Public so callers owning their own `catch_unwind` boundary (e.g. the
+/// CLI) classify payloads identically to the `try_*` entry points.
+pub fn error_from_panic(payload: Box<dyn Any + Send>) -> KanonError {
+    // A panicking wrapper re-raised an already-typed error.
+    let payload = match payload.downcast::<KanonError>() {
+        Ok(e) => return *e,
+        Err(p) => p,
+    };
+    // An isolated worker panic from kanon-parallel.
+    let payload = match payload.downcast::<kanon_parallel::WorkerPanic>() {
+        Ok(wp) => {
+            return match wp.fault_point {
+                Some(point) => KanonError::FaultInjected { point },
+                None => KanonError::WorkerPanic {
+                    worker: wp.worker,
+                    message: wp.message,
+                },
+            }
+        }
+        Err(p) => p,
+    };
+    // A typed fault injection on the serial path.
+    let payload = match payload.downcast::<kanon_fault::InjectedFault>() {
+        Ok(fault) => return KanonError::FaultInjected { point: fault.point },
+        Err(p) => p,
+    };
+    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    };
+    KanonError::Panic { message }
+}
+
+/// Runs `f` with panic isolation, converting every failure to a value.
+fn catch<T>(f: impl FnOnce() -> Result<T>) -> KanonResult<T> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(Ok(v)) => Ok(v),
+        Ok(Err(e)) => Err(KanonError::Core(e)),
+        Err(payload) => Err(error_from_panic(payload)),
+    }
+}
+
+/// Re-surfaces a `try_*` result for the panicking wrappers: `Core`
+/// errors become plain `CoreError`s, everything else re-raises with the
+/// typed `KanonError` as panic payload (which `error_from_panic`
+/// recognises, so nesting is lossless).
+pub(crate) fn unwrap_or_repanic<T>(r: KanonResult<T>) -> Result<T> {
+    match r {
+        Ok(v) => Ok(v),
+        Err(KanonError::Core(e)) => Err(e),
+        Err(other) => std::panic::panic_any(other),
+    }
+}
+
+/// Fallible form of [`crate::agglomerative_k_anonymize`] (Algorithms
+/// 1/2) with budget-aware graceful degradation.
+pub fn try_agglomerative_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    cfg: &AgglomerativeConfig,
+) -> KanonResult<Budgeted<KAnonOutput>> {
+    catch(|| agglomerative_impl(table, costs, cfg))
+}
+
+/// Fallible form of [`crate::forest_k_anonymize`] (the forest baseline)
+/// with budget-aware graceful degradation.
+pub fn try_forest_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+) -> KanonResult<Budgeted<KAnonOutput>> {
+    catch(|| forest_impl(table, costs, k))
+}
+
+/// Fallible form of [`crate::k1_anonymize`] (Algorithm 3 or 4).
+pub fn try_k1_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+    method: K1Method,
+) -> KanonResult<GenOutput> {
+    catch(|| k1_impl(table, costs, k, method))
+}
+
+/// Fallible form of [`crate::one_k_anonymize`] (Algorithm 5).
+pub fn try_one_k_anonymize(
+    table: &Table,
+    gtable: &GeneralizedTable,
+    costs: &NodeCostTable,
+    k: usize,
+) -> KanonResult<GenOutput> {
+    catch(|| crate::one_k::one_k_impl(table, gtable, costs, k))
+}
+
+/// Fallible form of [`crate::kk_anonymize`] ((k,k) pipeline).
+pub fn try_kk_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    cfg: &KkConfig,
+) -> KanonResult<GenOutput> {
+    catch(|| kk_impl(table, costs, cfg))
+}
+
+/// Fallible form of [`crate::global_1k_anonymize`] (global (1,k)
+/// pipeline, Algorithm 6).
+pub fn try_global_1k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    cfg: &GlobalConfig,
+) -> KanonResult<GlobalOutput> {
+    catch(|| global_impl(table, costs, cfg))
+}
+
+/// Fallible form of [`crate::best_k_anonymize`] (the "best k-anon"
+/// protocol) with budget-aware graceful degradation across the grid.
+pub fn try_best_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+    distances: &[ClusterDistance],
+    include_modified: bool,
+) -> KanonResult<Budgeted<(KAnonOutput, AgglomerativeConfig)>> {
+    if distances.is_empty() {
+        return Err(KanonError::Usage(
+            "best_k_anonymize needs at least one distance function".to_string(),
+        ));
+    }
+    catch(|| crate::pipeline::best_k_impl(table, costs, k, distances, include_modified))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgeted_accessors() {
+        let c: Budgeted<u32> = Budgeted::Complete(7);
+        assert!(!c.is_exhausted());
+        assert_eq!(*c.inner(), 7);
+        assert_eq!(c.into_inner(), 7);
+        let e: Budgeted<u32> = Budgeted::BudgetExhausted {
+            best_so_far: 9,
+            budget: 100,
+            spent: 123,
+        };
+        assert!(e.is_exhausted());
+        assert_eq!(e.into_inner(), 9);
+    }
+
+    #[test]
+    fn error_from_panic_recognises_payloads() {
+        let e = error_from_panic(Box::new("boom"));
+        assert_eq!(
+            e,
+            KanonError::Panic {
+                message: "boom".to_string()
+            }
+        );
+        let e = error_from_panic(Box::new(kanon_fault::InjectedFault {
+            point: "p".to_string(),
+        }));
+        assert_eq!(
+            e,
+            KanonError::FaultInjected {
+                point: "p".to_string()
+            }
+        );
+        let e = error_from_panic(Box::new(KanonError::Usage("u".to_string())));
+        assert_eq!(e, KanonError::Usage("u".to_string()));
+        let e = error_from_panic(Box::new(42u32));
+        assert!(matches!(e, KanonError::Panic { .. }));
+    }
+
+    #[test]
+    fn empty_distance_list_is_a_usage_error() {
+        use kanon_core::record::Record;
+        use kanon_core::schema::SchemaBuilder;
+        use kanon_measures::LmMeasure;
+        use std::sync::Arc;
+        let schema = SchemaBuilder::new()
+            .numeric_with_intervals("age", 0, 9, &[5])
+            .build_shared()
+            .unwrap();
+        let rows = (0..10).map(|i| Record::from_raw([i])).collect();
+        let table = Table::new(Arc::clone(&schema), rows).unwrap();
+        let costs = NodeCostTable::compute(&table, &LmMeasure);
+        let e = try_best_k_anonymize(&table, &costs, 2, &[], false).unwrap_err();
+        assert!(matches!(e, KanonError::Usage(_)));
+        assert_eq!(e.exit_code(), 2);
+    }
+}

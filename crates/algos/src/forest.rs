@@ -81,7 +81,26 @@ impl UnionFind {
 
 /// Runs the forest baseline and returns the clustering, generalized table
 /// and loss.
+///
+/// Panicking wrapper over [`crate::try_forest_k_anonymize`]: domain
+/// failures come back as `CoreError`; isolated worker panics and injected
+/// faults re-raise as a `KanonError` panic payload. A budget-exhausted
+/// run returns its valid best-effort result silently — use the `try_`
+/// form to observe the `BudgetExhausted` marker.
 pub fn forest_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Result<KAnonOutput> {
+    match crate::try_forest_k_anonymize(table, costs, k) {
+        Ok(out) => Ok(out.into_inner()),
+        Err(kanon_core::KanonError::Core(e)) => Err(e),
+        Err(other) => std::panic::panic_any(other),
+    }
+}
+
+/// Forest-baseline implementation with budget-aware graceful degradation.
+pub(crate) fn forest_impl(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+) -> Result<crate::Budgeted<KAnonOutput>> {
     let n = table.num_rows();
     if k == 0 || k > n {
         return Err(CoreError::InvalidK { k, n });
@@ -93,16 +112,25 @@ pub fn forest_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Res
         let clustering = Clustering::from_assignment((0..n as u32).collect())?;
         let gtable = clustering.to_generalized_table(table)?;
         let loss = costs.table_loss(&gtable);
-        return Ok(KAnonOutput {
+        return Ok(crate::Budgeted::Complete(KAnonOutput {
             clustering,
             table: gtable,
             loss,
-        });
+        }));
     }
+
+    // Budget-aware runs need a collector for `spent_work` to be
+    // meaningful; install a private one when the caller has none.
+    let budget = kanon_obs::work_budget();
+    let _budget_obs = match (budget, kanon_obs::current()) {
+        (Some(_), None) => Some(kanon_obs::Collector::new().install()),
+        _ => None,
+    };
 
     // ---------------- Phase 1: grow a forest with trees ≥ k ----------------
     let mut uf = UnionFind::new(n);
     let mut tree_edges: Vec<(u32, u32)> = Vec::with_capacity(n - 1);
+    let mut exhausted: Option<(u64, u64)> = None;
 
     loop {
         // Which components are still small?
@@ -115,6 +143,14 @@ pub fn forest_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Res
         }
         if !small_any {
             break;
+        }
+        kanon_fault::fail_point!("algos/forest/round");
+        if let Some(limit) = budget {
+            let spent = kanon_obs::spent_work();
+            if spent >= limit {
+                exhausted = Some((limit, spent));
+                break;
+            }
         }
         kanon_obs::count(kanon_obs::Counter::ForestRounds, 1);
         // Snapshot component roots and smallness once per round so the
@@ -203,6 +239,39 @@ pub fn forest_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Res
         }
     }
 
+    // Graceful degradation: the budget tripped with small components
+    // outstanding. Skip the remaining O(n²) best-edge scans and chain
+    // each small component to the first vertex outside it (smallest
+    // vertex first — deterministic), so every tree reaches ≥ k vertices
+    // at O(n) cost per link. Edge weights are ignored here, trading
+    // generalization quality for bounded work; Phase 2 still yields a
+    // valid k-anonymous clustering.
+    if exhausted.is_some() {
+        loop {
+            let mut small_u = None;
+            for u in 0..n as u32 {
+                if uf.component_size(u) < k as u32 {
+                    small_u = Some(u);
+                    break;
+                }
+            }
+            let Some(u) = small_u else { break };
+            let ru = uf.find(u);
+            let mut other = None;
+            for v in 0..n as u32 {
+                if uf.find(v) != ru {
+                    other = Some(v);
+                    break;
+                }
+            }
+            // A lone component always has n ≥ k vertices, so `other`
+            // exists whenever a small component does; break defensively.
+            let Some(v) = other else { break };
+            uf.union(u, v);
+            tree_edges.push((u.min(v), u.max(v)));
+        }
+    }
+
     // ---------------- Phase 2: split oversized trees ----------------
     // Group vertices and adjacency per component.
     let mut comp_of = vec![0u32; n];
@@ -231,10 +300,18 @@ pub fn forest_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Res
     let clustering = Clustering::from_clusters(n, clusters)?;
     let gtable = clustering.to_generalized_table(table)?;
     let loss = costs.table_loss(&gtable);
-    Ok(KAnonOutput {
+    let output = KAnonOutput {
         clustering,
         table: gtable,
         loss,
+    };
+    Ok(match exhausted {
+        None => crate::Budgeted::Complete(output),
+        Some((budget, spent)) => crate::Budgeted::BudgetExhausted {
+            best_so_far: output,
+            budget,
+            spent,
+        },
     })
 }
 
@@ -282,6 +359,7 @@ fn split_tree(
             if u != root {
                 let p = parent[&u];
                 let s = subtree[&u];
+                // kanon-lint: allow(L006) the parent map covers every non-root vertex
                 *subtree.get_mut(&p).unwrap() += s;
             }
         }
@@ -291,6 +369,7 @@ fn split_tree(
             .iter()
             .filter(|&&u| subtree[&u] >= k)
             .max_by_key(|&&u| (depth[&u], u))
+            // kanon-lint: allow(L006) the root subtree holds all n >= k vertices
             .expect("root subtree has ≥ k vertices");
         // Children of v and their subtree sizes (each ≤ k−1 by choice of v).
         let children: Vec<u32> = adj[v as usize]

@@ -168,6 +168,7 @@ pub fn fulldomain_k_anonymize(
         }
     }
 
+    // kanon-lint: allow(L006) the all-root node is always feasible, so best is Some
     let (_, levels, _) = best.expect("the all-root node is always k-anonymous for k ≤ n");
 
     // Materialize the winning recoding as a clustering (equivalence

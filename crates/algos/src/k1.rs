@@ -45,6 +45,7 @@ pub fn k1_nearest_neighbors(table: &Table, costs: &NodeCostTable, k: usize) -> R
     let ctx = CostContext::new(table, costs);
 
     let rows = kanon_parallel::map(n, |i| {
+        kanon_fault::fail_point!("algos/k1/row");
         kanon_obs::count(kanon_obs::Counter::K1RowsExpanded, 1);
         if k == 1 {
             return ctx.to_record(&ctx.leaf_nodes(i));
@@ -85,6 +86,7 @@ pub fn k1_expansion(table: &Table, costs: &NodeCostTable, k: usize) -> Result<Ge
     let ctx = CostContext::new(table, costs);
 
     let rows = kanon_parallel::map(n, |i| {
+        kanon_fault::fail_point!("algos/k1/row");
         kanon_obs::count(kanon_obs::Counter::K1RowsExpanded, 1);
         let mut nodes = ctx.leaf_nodes(i);
         if k == 1 {
@@ -171,6 +173,7 @@ pub fn k1_optimal_bruteforce(table: &Table, costs: &NodeCostTable, k: usize) -> 
                 break;
             }
         }
+        // kanon-lint: allow(L006) the combo loop always runs at least once
         rows.push(ctx.to_record(&best_nodes.expect("at least one combo")));
     }
     let gtable = GeneralizedTable::new_unchecked(Arc::clone(table.schema()), rows);

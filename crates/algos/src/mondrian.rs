@@ -55,6 +55,7 @@ pub fn mondrian_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> R
                 let child_idx = children
                     .iter()
                     .position(|&c| h.contains(c, v))
+                    // kanon-lint: allow(L006) laminar hierarchy: every value lies in exactly one child
                     .expect("laminar: the value lies in exactly one child");
                 groups[child_idx].push(row);
             }

@@ -24,7 +24,18 @@ use kanon_measures::NodeCostTable;
 /// Algorithm 3 or 4). The update is sequential in `i`, exactly as in the
 /// paper — later records see earlier upgrades, which is what keeps the
 /// total extra generalization small.
+///
+/// Panicking wrapper over [`crate::try_one_k_anonymize`].
 pub fn one_k_anonymize(
+    table: &Table,
+    gtable: &GeneralizedTable,
+    costs: &NodeCostTable,
+    k: usize,
+) -> Result<GenOutput> {
+    crate::fallible::unwrap_or_repanic(crate::try_one_k_anonymize(table, gtable, costs, k))
+}
+
+pub(crate) fn one_k_impl(
     table: &Table,
     gtable: &GeneralizedTable,
     costs: &NodeCostTable,
@@ -41,6 +52,7 @@ pub fn one_k_anonymize(
     let mut out = gtable.clone();
 
     for i in 0..n {
+        kanon_fault::fail_point!("algos/one_k/upgrade");
         let rec = table.row(i);
         // ℓ = number of generalized records consistent with R_i.
         let consistent: Vec<bool> = (0..n)

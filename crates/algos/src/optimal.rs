@@ -98,6 +98,7 @@ pub fn optimal_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Re
         best: None,
     };
     search.recurse(0);
+    // kanon-lint: allow(L006) a full partition always exists for n >= k
     let clusters = search.best.expect("a full partition always exists (n ≥ k)");
     let clustering = Clustering::from_clusters(n, clusters)?;
     let gtable = clustering.to_generalized_table(table)?;

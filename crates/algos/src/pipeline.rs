@@ -8,11 +8,12 @@
 //!   the agglomerative algorithm over a set of distance functions (and
 //!   optionally the modified variant), keeping the cheapest output.
 
-use crate::agglomerative::{agglomerative_k_anonymize, AgglomerativeConfig, KAnonOutput};
+use crate::agglomerative::{agglomerative_impl, AgglomerativeConfig, KAnonOutput};
 use crate::distance::ClusterDistance;
+use crate::fallible::{unwrap_or_repanic, Budgeted};
 use crate::global_one_k::{global_1k_from_kk, GlobalOutput};
 use crate::k1::{k1_expansion, k1_nearest_neighbors, GenOutput};
-use crate::one_k::one_k_anonymize;
+use crate::one_k::one_k_impl;
 use kanon_core::error::Result;
 use kanon_core::table::Table;
 use kanon_measures::NodeCostTable;
@@ -90,7 +91,18 @@ impl GlobalConfig {
 }
 
 /// Runs the chosen (k,1)-anonymizer.
+///
+/// Panicking wrapper over [`crate::try_k1_anonymize`].
 pub fn k1_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+    method: K1Method,
+) -> Result<GenOutput> {
+    unwrap_or_repanic(crate::try_k1_anonymize(table, costs, k, method))
+}
+
+pub(crate) fn k1_impl(
     table: &Table,
     costs: &NodeCostTable,
     k: usize,
@@ -103,18 +115,34 @@ pub fn k1_anonymize(
 }
 
 /// (k,k)-anonymization: (k,1) stage + Algorithm 5. O(k·n²).
+///
+/// Panicking wrapper over [`crate::try_kk_anonymize`].
 pub fn kk_anonymize(table: &Table, costs: &NodeCostTable, cfg: &KkConfig) -> Result<GenOutput> {
-    let k1 = k1_anonymize(table, costs, cfg.k, cfg.method)?;
-    one_k_anonymize(table, &k1.table, costs, cfg.k)
+    unwrap_or_repanic(crate::try_kk_anonymize(table, costs, cfg))
+}
+
+pub(crate) fn kk_impl(table: &Table, costs: &NodeCostTable, cfg: &KkConfig) -> Result<GenOutput> {
+    let k1 = k1_impl(table, costs, cfg.k, cfg.method)?;
+    one_k_impl(table, &k1.table, costs, cfg.k)
 }
 
 /// Global (1,k)-anonymization: the (k,k) pipeline + Algorithm 6.
+///
+/// Panicking wrapper over [`crate::try_global_1k_anonymize`].
 pub fn global_1k_anonymize(
     table: &Table,
     costs: &NodeCostTable,
     cfg: &GlobalConfig,
 ) -> Result<GlobalOutput> {
-    let kk = kk_anonymize(
+    unwrap_or_repanic(crate::try_global_1k_anonymize(table, costs, cfg))
+}
+
+pub(crate) fn global_impl(
+    table: &Table,
+    costs: &NodeCostTable,
+    cfg: &GlobalConfig,
+) -> Result<GlobalOutput> {
+    let kk = kk_impl(
         table,
         costs,
         &KkConfig {
@@ -129,6 +157,12 @@ pub fn global_1k_anonymize(
 /// algorithm with each distance function in `distances` (and, when
 /// `include_modified`, also the Algorithm 2 variant) and returns the
 /// lowest-loss output together with the winning configuration.
+///
+/// Panicking wrapper over [`crate::try_best_k_anonymize`] (an empty
+/// `distances` list re-raises the `Usage` error as a panic, matching the
+/// historical `assert!`). A budget-exhausted grid returns its valid
+/// best-effort winner silently — use the `try_` form to observe the
+/// `BudgetExhausted` marker.
 pub fn best_k_anonymize(
     table: &Table,
     costs: &NodeCostTable,
@@ -136,6 +170,19 @@ pub fn best_k_anonymize(
     distances: &[ClusterDistance],
     include_modified: bool,
 ) -> Result<(KAnonOutput, AgglomerativeConfig)> {
+    unwrap_or_repanic(
+        crate::try_best_k_anonymize(table, costs, k, distances, include_modified)
+            .map(Budgeted::into_inner),
+    )
+}
+
+pub(crate) fn best_k_impl(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+    distances: &[ClusterDistance],
+    include_modified: bool,
+) -> Result<Budgeted<(KAnonOutput, AgglomerativeConfig)>> {
     assert!(!distances.is_empty(), "need at least one distance function");
     let variants: &[bool] = if include_modified {
         &[false, true]
@@ -157,15 +204,35 @@ pub fn best_k_anonymize(
     // parallelism; the winner is picked serially in config order (strict
     // `<`, so the earliest of equal-loss variants wins, as in the serial
     // sweep).
-    let inner = (kanon_parallel::num_threads() / configs.len()).max(1);
-    let outputs = kanon_parallel::map_coarse(configs.len(), |i| {
-        kanon_parallel::with_threads(inner, || {
-            agglomerative_k_anonymize(table, costs, &configs[i])
+    //
+    // With a work budget armed the grid runs serially instead: the trip
+    // point reads the shared counter sum, and concurrent variants would
+    // make each other's readings wall-clock dependent. Determinism
+    // outranks throughput in degraded mode.
+    let outputs: Vec<Result<Budgeted<KAnonOutput>>> = if kanon_obs::work_budget().is_some() {
+        (0..configs.len())
+            .map(|i| agglomerative_impl(table, costs, &configs[i]))
+            .collect()
+    } else {
+        let inner = (kanon_parallel::num_threads() / configs.len()).max(1);
+        kanon_parallel::map_coarse(configs.len(), |i| {
+            kanon_parallel::with_threads(inner, || agglomerative_impl(table, costs, &configs[i]))
         })
-    });
+    };
     let mut best: Option<(KAnonOutput, AgglomerativeConfig)> = None;
+    let mut exhausted: Option<(u64, u64)> = None;
     for (out, &cfg) in outputs.into_iter().zip(&configs) {
-        let out = out?;
+        let out = match out? {
+            Budgeted::Complete(v) => v,
+            Budgeted::BudgetExhausted {
+                best_so_far,
+                budget,
+                spent,
+            } => {
+                exhausted.get_or_insert((budget, spent));
+                best_so_far
+            }
+        };
         let better = match &best {
             None => true,
             Some((b, _)) => out.loss < b.loss,
@@ -174,7 +241,16 @@ pub fn best_k_anonymize(
             best = Some((out, cfg));
         }
     }
-    Ok(best.expect("at least one variant ran"))
+    // kanon-lint: allow(L006) the variant grid is non-empty, validated by the caller
+    let winner = best.expect("at least one variant ran");
+    Ok(match exhausted {
+        None => Budgeted::Complete(winner),
+        Some((budget, spent)) => Budgeted::BudgetExhausted {
+            best_so_far: winner,
+            budget,
+            spent,
+        },
+    })
 }
 
 #[cfg(test)]

@@ -170,6 +170,7 @@ pub fn samarati_k_anonymize(
             }
         }
     }
+    // kanon-lint: allow(L006) the binary search maintains a feasible height
     let (_, levels, suppressed) = best.expect("binary search returned a feasible height");
 
     // Materialize: suppressed rows form their own all-root "class"; note

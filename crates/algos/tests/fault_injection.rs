@@ -1,0 +1,226 @@
+//! Fault-injection and budget-degradation tests for the algorithm layer.
+//!
+//! WARNING: the `kanon-fault` registry is process-global. Every test in
+//! this binary goes through `kanon_fault::scoped` (which serializes armed
+//! sections on a lock); budget-only tests use `scoped("")` so they cannot
+//! observe another test's armed points. Do not add tests here that skip
+//! `scoped` — put them in a different integration-test binary.
+
+use kanon_algos::{
+    agglomerative_k_anonymize, try_agglomerative_k_anonymize, try_best_k_anonymize,
+    try_forest_k_anonymize, try_kk_anonymize, AgglomerativeConfig, ClusterDistance, KkConfig,
+};
+use kanon_core::KanonError;
+use kanon_data::art;
+use kanon_measures::{EntropyMeasure, NodeCostTable};
+use kanon_parallel::with_threads;
+use kanon_verify::is_k_anonymous;
+
+fn setup(n: usize, seed: u64) -> (kanon_core::Table, NodeCostTable) {
+    let table = art::generate(n, seed);
+    let costs = NodeCostTable::compute(&table, &EntropyMeasure);
+    (table, costs)
+}
+
+#[test]
+fn injected_merge_fault_is_a_typed_error() {
+    let _faults = kanon_fault::scoped("algos/agglomerative/merge=once:2");
+    let (table, costs) = setup(24, 7);
+    let cfg = AgglomerativeConfig::new(3);
+    let err = try_agglomerative_k_anonymize(&table, &costs, &cfg).unwrap_err();
+    assert_eq!(
+        err,
+        KanonError::FaultInjected {
+            point: "algos/agglomerative/merge".to_string()
+        }
+    );
+    assert_eq!(err.exit_code(), 1);
+}
+
+#[test]
+fn injected_forest_round_fault_is_a_typed_error() {
+    let _faults = kanon_fault::scoped("algos/forest/round=once:1");
+    let (table, costs) = setup(24, 7);
+    let err = try_forest_k_anonymize(&table, &costs, 3).unwrap_err();
+    assert_eq!(
+        err,
+        KanonError::FaultInjected {
+            point: "algos/forest/round".to_string()
+        }
+    );
+}
+
+#[test]
+fn injected_k1_row_fault_is_typed_even_from_a_worker() {
+    // The k1 row failpoint sits inside `kanon_parallel::map` closures, so
+    // the injection travels panic → WorkerPanic{fault_point} → typed
+    // error. Run above MIN_PARALLEL_ITEMS so work genuinely splits.
+    let (table, costs) = setup(96, 11);
+    for threads in [1usize, 4] {
+        // Fresh scope per run: `once` ordinals are consumed globally.
+        let _faults = kanon_fault::scoped("algos/k1/row=once:5");
+        let err = with_threads(threads, || {
+            try_kk_anonymize(&table, &costs, &KkConfig::new(3)).unwrap_err()
+        });
+        assert_eq!(
+            err,
+            KanonError::FaultInjected {
+                point: "algos/k1/row".to_string()
+            },
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn injected_one_k_upgrade_fault_is_a_typed_error() {
+    let _faults = kanon_fault::scoped("algos/one_k/upgrade=once:3");
+    let (table, costs) = setup(24, 3);
+    let err = try_kk_anonymize(&table, &costs, &KkConfig::new(3)).unwrap_err();
+    assert_eq!(
+        err,
+        KanonError::FaultInjected {
+            point: "algos/one_k/upgrade".to_string()
+        }
+    );
+}
+
+#[test]
+fn panicking_wrapper_repanics_with_the_typed_error_as_payload() {
+    let _faults = kanon_fault::scoped("algos/agglomerative/merge=once:1");
+    let (table, costs) = setup(24, 5);
+    let cfg = AgglomerativeConfig::new(3);
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = agglomerative_k_anonymize(&table, &costs, &cfg);
+    }))
+    .unwrap_err();
+    let err = payload
+        .downcast::<KanonError>()
+        .expect("wrapper re-raises the typed KanonError");
+    assert_eq!(
+        *err,
+        KanonError::FaultInjected {
+            point: "algos/agglomerative/merge".to_string()
+        }
+    );
+}
+
+#[test]
+fn every_mode_periodic_fault_fires_on_schedule() {
+    // every:1000 never reached by a tiny run — must succeed; every:1
+    // trips on the very first merge.
+    let (table, costs) = setup(24, 9);
+    let cfg = AgglomerativeConfig::new(3);
+    {
+        let _faults = kanon_fault::scoped("algos/agglomerative/merge=every:1000");
+        assert!(try_agglomerative_k_anonymize(&table, &costs, &cfg).is_ok());
+    }
+    {
+        let _faults = kanon_fault::scoped("algos/agglomerative/merge=every:1");
+        assert!(try_agglomerative_k_anonymize(&table, &costs, &cfg).is_err());
+    }
+}
+
+#[test]
+fn budget_exhaustion_yields_valid_k_anonymous_partial_result() {
+    let _faults = kanon_fault::scoped("");
+    let (table, costs) = setup(64, 21);
+    let k = 4;
+    let cfg = AgglomerativeConfig::new(k);
+    let full = try_agglomerative_k_anonymize(&table, &costs, &cfg)
+        .unwrap()
+        .into_inner();
+    let budgeted = kanon_obs::with_work_budget(500, || {
+        try_agglomerative_k_anonymize(&table, &costs, &cfg).unwrap()
+    });
+    assert!(budgeted.is_exhausted(), "tiny budget must trip mid-run");
+    let out = budgeted.into_inner();
+    assert!(out.clustering.min_cluster_size() >= k);
+    assert!(is_k_anonymous(&out.table, k));
+    // Degraded output is coarser (never better) than the full run.
+    assert!(out.loss >= full.loss - 1e-12);
+}
+
+#[test]
+fn budget_exhaustion_forest_yields_valid_partial_result() {
+    let _faults = kanon_fault::scoped("");
+    let (table, costs) = setup(64, 22);
+    let k = 4;
+    let budgeted =
+        kanon_obs::with_work_budget(200, || try_forest_k_anonymize(&table, &costs, k).unwrap());
+    assert!(budgeted.is_exhausted(), "tiny budget must trip mid-run");
+    let out = budgeted.into_inner();
+    assert!(out.clustering.min_cluster_size() >= k);
+    assert!(is_k_anonymous(&out.table, k));
+}
+
+#[test]
+fn budget_trip_point_is_thread_count_invariant() {
+    // The budget is measured in deterministic work units and checked at
+    // serial checkpoints, so the degraded output must be byte-identical
+    // at every thread count.
+    let _faults = kanon_fault::scoped("");
+    let (table, costs) = setup(96, 23);
+    let cfg = AgglomerativeConfig::new(4);
+    let runs: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            with_threads(t, || {
+                let out = kanon_obs::with_work_budget(2_000, || {
+                    try_agglomerative_k_anonymize(&table, &costs, &cfg).unwrap()
+                });
+                format!("{:?}", out)
+            })
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[0], runs[2]);
+}
+
+#[test]
+fn huge_budget_completes_identically_to_unbudgeted_run() {
+    let _faults = kanon_fault::scoped("");
+    let (table, costs) = setup(48, 24);
+    let cfg = AgglomerativeConfig::new(3);
+    let plain = agglomerative_k_anonymize(&table, &costs, &cfg).unwrap();
+    let budgeted = kanon_obs::with_work_budget(u64::MAX, || {
+        try_agglomerative_k_anonymize(&table, &costs, &cfg).unwrap()
+    });
+    assert!(!budgeted.is_exhausted());
+    let out = budgeted.into_inner();
+    assert_eq!(
+        format!("{:?}", out.clustering),
+        format!("{:?}", plain.clustering)
+    );
+    assert_eq!(out.loss.to_bits(), plain.loss.to_bits());
+}
+
+#[test]
+fn best_k_grid_degrades_gracefully_under_budget() {
+    let _faults = kanon_fault::scoped("");
+    let (table, costs) = setup(64, 25);
+    let k = 3;
+    let distances = [ClusterDistance::D1, ClusterDistance::D2];
+    let budgeted = kanon_obs::with_work_budget(500, || {
+        try_best_k_anonymize(&table, &costs, k, &distances, false).unwrap()
+    });
+    assert!(budgeted.is_exhausted());
+    let (out, _cfg) = budgeted.into_inner();
+    assert!(out.clustering.min_cluster_size() >= k);
+    assert!(is_k_anonymous(&out.table, k));
+}
+
+#[test]
+fn forest_budget_completion_still_covers_every_row() {
+    let _faults = kanon_fault::scoped("");
+    let (table, costs) = setup(64, 26);
+    let n = table.num_rows();
+    let budgeted =
+        kanon_obs::with_work_budget(200, || try_forest_k_anonymize(&table, &costs, 4).unwrap());
+    let out = budgeted.into_inner();
+    let covered: usize = out.clustering.clusters().iter().map(|c| c.len()).sum();
+    assert_eq!(
+        covered, n,
+        "degraded clustering must still partition all rows"
+    );
+}

@@ -1,0 +1,113 @@
+//! On valid input the `try_*` entry points must be *byte-identical* to
+//! their panicking wrappers at every thread count: the wrappers are
+//! reimplemented on top of the `try_*` forms, and the fault/budget
+//! machinery is disarmed by default, so any divergence is a bug in the
+//! fallible layer itself.
+//!
+//! No test here touches the fault registry or the work budget.
+
+use kanon_algos::{
+    agglomerative_k_anonymize, best_k_anonymize, forest_k_anonymize, global_1k_anonymize,
+    k1_anonymize, kk_anonymize, try_agglomerative_k_anonymize, try_best_k_anonymize,
+    try_forest_k_anonymize, try_global_1k_anonymize, try_k1_anonymize, try_kk_anonymize,
+    AgglomerativeConfig, ClusterDistance, GlobalConfig, K1Method, KkConfig,
+};
+use kanon_core::table::Table;
+use kanon_data::art;
+use kanon_measures::{EntropyMeasure, NodeCostTable};
+use kanon_parallel::with_threads;
+use proptest::prelude::*;
+
+/// Debug renderings of every algorithm family, run through the panicking
+/// wrapper and through its `try_` twin; each pair must match exactly
+/// (loss compared by bits via the Debug float rendering).
+fn paired_fingerprints(table: &Table, costs: &NodeCostTable, k: usize) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let cfg = AgglomerativeConfig::new(k);
+    out.push((
+        format!(
+            "{:?}",
+            agglomerative_k_anonymize(table, costs, &cfg).unwrap()
+        ),
+        format!(
+            "{:?}",
+            try_agglomerative_k_anonymize(table, costs, &cfg)
+                .unwrap()
+                .into_inner()
+        ),
+    ));
+    out.push((
+        format!("{:?}", forest_k_anonymize(table, costs, k).unwrap()),
+        format!(
+            "{:?}",
+            try_forest_k_anonymize(table, costs, k)
+                .unwrap()
+                .into_inner()
+        ),
+    ));
+    for method in [K1Method::NearestNeighbors, K1Method::Expansion] {
+        out.push((
+            format!("{:?}", k1_anonymize(table, costs, k, method).unwrap()),
+            format!("{:?}", try_k1_anonymize(table, costs, k, method).unwrap()),
+        ));
+    }
+    let kk = KkConfig::new(k);
+    out.push((
+        format!("{:?}", kk_anonymize(table, costs, &kk).unwrap()),
+        format!("{:?}", try_kk_anonymize(table, costs, &kk).unwrap()),
+    ));
+    let gc = GlobalConfig::new(k);
+    out.push((
+        format!("{:?}", global_1k_anonymize(table, costs, &gc).unwrap()),
+        format!("{:?}", try_global_1k_anonymize(table, costs, &gc).unwrap()),
+    ));
+    let distances = [ClusterDistance::D1, ClusterDistance::D3];
+    out.push((
+        format!(
+            "{:?}",
+            best_k_anonymize(table, costs, k, &distances, false).unwrap()
+        ),
+        format!(
+            "{:?}",
+            try_best_k_anonymize(table, costs, k, &distances, false)
+                .unwrap()
+                .into_inner()
+        ),
+    ));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn try_variants_match_wrappers_at_every_thread_count(seed in 0u64..1_000_000, k in 2usize..5) {
+        let table = art::generate(72, seed);
+        let costs = NodeCostTable::compute(&table, &EntropyMeasure);
+        let mut runs = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let pairs = with_threads(threads, || paired_fingerprints(&table, &costs, k));
+            for (i, (wrapper, fallible)) in pairs.iter().enumerate() {
+                prop_assert_eq!(
+                    wrapper, fallible,
+                    "family #{} diverges between wrapper and try_ at {} threads", i, threads
+                );
+            }
+            runs.push(pairs);
+        }
+        // And the whole fingerprint set is thread-count invariant.
+        prop_assert_eq!(&runs[0], &runs[1]);
+        prop_assert_eq!(&runs[0], &runs[2]);
+    }
+}
+
+#[test]
+fn invalid_k_is_a_core_error_not_a_panic() {
+    let table = art::generate(12, 1);
+    let costs = NodeCostTable::compute(&table, &EntropyMeasure);
+    for k in [0usize, 13] {
+        let e = try_kk_anonymize(&table, &costs, &KkConfig::new(k)).unwrap_err();
+        assert!(matches!(e, kanon_core::KanonError::Core(_)), "k={k}: {e}");
+        assert_eq!(e.exit_code(), 1);
+    }
+}

@@ -18,34 +18,55 @@
 #![forbid(unsafe_code)]
 
 use kanon_algos::{
-    best_k_anonymize, global_1k_anonymize, kk_anonymize, ClusterDistance, GlobalConfig, KkConfig,
+    try_best_k_anonymize, try_global_1k_anonymize, try_kk_anonymize, Budgeted, ClusterDistance,
+    GlobalConfig, KkConfig,
 };
 use kanon_core::schema::SharedSchema;
 use kanon_core::table::{GeneralizedTable, Table};
-use kanon_core::TableStats;
-use kanon_data::{adult, art, cmc, csv};
+use kanon_core::{KanonError, TableStats};
+use kanon_data::{adult, art, cmc, csv, RowPolicy};
 use kanon_measures::{EntropyMeasure, LmMeasure, NodeCostTable};
 use kanon_verify::{journalist_risk, prosecutor_risk, AnonymityProfile};
 use std::collections::HashMap;
 use std::process::exit;
+
+/// `Result` alias for command bodies: every failure is a typed
+/// [`KanonError`] mapped to a stable exit code in [`main`]
+/// (0 = ok, 1 = runtime error, 2 = usage error).
+type CmdResult<T = ()> = Result<T, KanonError>;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          kanon generate  <art|adult|cmc> [--n N] [--seed S] [--out FILE]\n  \
          kanon anonymize <DATASET> --k K [--notion k|kk|global] \
-         [--measure em|lm] [--in FILE] [--n N] [--seed S] [--out FILE]\n  \
+         [--measure em|lm] [--in FILE] [--on-bad-row strict|suppress|root] \
+         [--n N] [--seed S] [--out FILE]\n  \
          kanon verify    <DATASET> --k K --in ORIGINAL.csv --anon ANON.csv\n  \
          kanon measure   <DATASET> [--in FILE] [--n N] [--seed S]\n\n\
          DATASET is art|adult|cmc (built-in schemas) or custom;\n\
          custom requires --schema SCHEMA.txt (see kanon_data::schema_text)\n\
          and --in DATA.csv.\n\n\
+         --on-bad-row controls CSV rows that fail to parse: strict\n\
+         (default) fails the run, suppress drops them, root patches\n\
+         unreadable cells with the attribute's first domain value.\n\n\
          Every command accepts --stats[=json] (or KANON_STATS=1|json) to\n\
          report work counters and phase timers on stderr when done, and\n\
          --stats-out FILE to write the report to a file instead. The JSON\n\
-         form is emitted as a single line (the last line of stderr)."
+         form is emitted as a single line (the last line of stderr).\n\n\
+         KANON_WORK_BUDGET=N caps the deterministic work counters; when\n\
+         exhausted, anonymize emits a valid best-effort result and warns.\n\
+         Exit codes: 0 success, 1 runtime error, 2 usage error."
     );
     exit(2)
+}
+
+/// Reads a file, converting the OS error to a typed [`KanonError::Io`].
+fn read_file(path: &str) -> CmdResult<String> {
+    std::fs::read_to_string(path).map_err(|e| KanonError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
 }
 
 /// Parsed flags after the positional arguments. Accepts `--flag value`
@@ -112,100 +133,126 @@ impl Flags {
     }
 }
 
-fn dataset_schema(name: &str, flags: &Flags) -> SharedSchema {
+fn dataset_schema(name: &str, flags: &Flags) -> CmdResult<SharedSchema> {
     match name {
-        "art" => art::schema(),
-        "adult" => adult::schema(),
-        "cmc" => cmc::schema(),
+        "art" => Ok(art::schema()),
+        "adult" => Ok(adult::schema()),
+        "cmc" => Ok(cmc::schema()),
         "custom" => {
-            let path = flags.get("schema").unwrap_or_else(|| {
-                eprintln!("custom datasets require --schema SCHEMA.txt");
-                usage()
-            });
-            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read {path}: {e}");
-                exit(1)
-            });
-            kanon_data::parse_schema(&text).unwrap_or_else(|e| {
-                eprintln!("cannot parse {path}: {e}");
-                exit(1)
-            })
+            let path = flags.get("schema").ok_or_else(|| {
+                KanonError::Usage("custom datasets require --schema SCHEMA.txt".to_string())
+            })?;
+            Ok(kanon_data::parse_schema(&read_file(path)?)?)
         }
-        other => {
-            eprintln!("unknown dataset {other:?} (expected art|adult|cmc|custom)");
-            usage()
-        }
+        other => Err(KanonError::Usage(format!(
+            "unknown dataset {other:?} (expected art|adult|cmc|custom)"
+        ))),
+    }
+}
+
+/// The `--on-bad-row` policy (default `strict`).
+fn row_policy(flags: &Flags) -> CmdResult<RowPolicy> {
+    match flags.get("on-bad-row") {
+        None => Ok(RowPolicy::Strict),
+        Some(v) => RowPolicy::parse(v).ok_or_else(|| {
+            KanonError::Usage(format!(
+                "unknown --on-bad-row policy {v:?} (expected strict|suppress|root)"
+            ))
+        }),
     }
 }
 
 /// Loads a table either from `--in FILE` (CSV with header over the
-/// built-in schema) or by generating `--n` rows.
-fn load_table(name: &str, schema: &SharedSchema, flags: &Flags) -> Table {
+/// built-in schema, bad rows routed through `--on-bad-row`) or by
+/// generating `--n` rows.
+fn load_table(name: &str, schema: &SharedSchema, flags: &Flags) -> CmdResult<Table> {
+    // Validate the policy flag even for generated tables, so a typo is a
+    // usage error rather than silently ignored.
+    let policy = row_policy(flags)?;
     if let Some(path) = flags.get("in") {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            exit(1)
-        });
-        csv::table_from_csv(schema, &text, true).unwrap_or_else(|e| {
-            eprintln!("cannot parse {path}: {e}");
-            exit(1)
-        })
+        let text = read_file(path)?;
+        let (table, report) = csv::table_from_csv_with_policy(schema, &text, true, policy)?;
+        if !report.suppressed_rows.is_empty() {
+            eprintln!(
+                "warning: suppressed {} unparseable row(s) of {path}",
+                report.suppressed_rows.len()
+            );
+        }
+        if !report.rooted_cells.is_empty() {
+            eprintln!(
+                "warning: patched {} unreadable cell(s) of {path} with fallback values",
+                report.rooted_cells.len()
+            );
+        }
+        Ok(table)
     } else {
         let n = flags.usize_or("n", 1000);
         let seed = flags.u64_or("seed", 42);
         match name {
-            "art" => art::generate_with_schema(schema, n, seed),
-            "adult" => adult::generate_with_schema(schema, n, seed),
-            "cmc" => cmc::generate_with_schema(schema, n, seed).table,
-            _ => {
-                eprintln!("custom datasets cannot be generated; pass --in DATA.csv");
-                usage()
-            }
+            "art" => Ok(art::generate_with_schema(schema, n, seed)),
+            "adult" => Ok(adult::generate_with_schema(schema, n, seed)),
+            "cmc" => Ok(cmc::generate_with_schema(schema, n, seed).table),
+            _ => Err(KanonError::Usage(
+                "custom datasets cannot be generated; pass --in DATA.csv".to_string(),
+            )),
         }
     }
 }
 
-fn write_out(flags: &Flags, text: &str) {
+fn write_out(flags: &Flags, text: &str) -> CmdResult {
     match flags.get("out") {
-        Some(path) => std::fs::write(path, text).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            exit(1)
+        Some(path) => std::fs::write(path, text).map_err(|e| KanonError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
         }),
-        None => print!("{text}"),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
     }
 }
 
-fn cmd_generate(name: &str, flags: &Flags) {
-    let schema = dataset_schema(name, flags);
-    let table = load_table(name, &schema, flags);
-    write_out(flags, &csv::table_to_csv(&table));
+fn cmd_generate(name: &str, flags: &Flags) -> CmdResult {
+    let schema = dataset_schema(name, flags)?;
+    let table = load_table(name, &schema, flags)?;
+    write_out(flags, &csv::table_to_csv(&table))
 }
 
-fn cmd_anonymize(name: &str, flags: &Flags) {
-    let schema = dataset_schema(name, flags);
-    let table = load_table(name, &schema, flags);
+/// Unwraps a budget-aware result, warning on stderr when the run was cut
+/// short — the partial result is still valid, so the command succeeds.
+fn accept_budgeted<T>(what: &str, b: Budgeted<T>) -> T {
+    if let Budgeted::BudgetExhausted { budget, spent, .. } = &b {
+        eprintln!(
+            "warning: work budget exhausted during {what} ({spent} work units \
+             spent, budget {budget}); emitting valid best-effort result"
+        );
+    }
+    b.into_inner()
+}
+
+fn cmd_anonymize(name: &str, flags: &Flags) -> CmdResult {
+    let schema = dataset_schema(name, flags)?;
+    let table = load_table(name, &schema, flags)?;
     let k = flags.usize_or("k", 0);
     if k == 0 {
-        eprintln!("anonymize requires --k");
-        usage();
+        return Err(KanonError::Usage("anonymize requires --k".to_string()));
     }
     let costs = match flags.get("measure").unwrap_or("em") {
         "em" => NodeCostTable::compute(&table, &EntropyMeasure),
         "lm" => NodeCostTable::compute(&table, &LmMeasure),
         other => {
-            eprintln!("unknown measure {other:?} (expected em|lm)");
-            usage()
+            return Err(KanonError::Usage(format!(
+                "unknown measure {other:?} (expected em|lm)"
+            )))
         }
     };
     let notion = flags.get("notion").unwrap_or("kk");
     let gtable: GeneralizedTable = match notion {
         "k" => {
-            let (out, cfg) =
-                best_k_anonymize(&table, &costs, k, &ClusterDistance::paper_variants(), true)
-                    .unwrap_or_else(|e| {
-                        eprintln!("anonymization failed: {e}");
-                        exit(1)
-                    });
+            let (out, cfg) = accept_budgeted(
+                "k-anonymization",
+                try_best_k_anonymize(&table, &costs, k, &ClusterDistance::paper_variants(), true)?,
+            );
             eprintln!(
                 "k-anonymized with {}{}; loss = {:.4} ({})",
                 cfg.distance.name(),
@@ -216,10 +263,7 @@ fn cmd_anonymize(name: &str, flags: &Flags) {
             out.table
         }
         "kk" => {
-            let out = kk_anonymize(&table, &costs, &KkConfig::new(k)).unwrap_or_else(|e| {
-                eprintln!("anonymization failed: {e}");
-                exit(1)
-            });
+            let out = try_kk_anonymize(&table, &costs, &KkConfig::new(k))?;
             eprintln!(
                 "(k,k)-anonymized; loss = {:.4} ({})",
                 out.loss,
@@ -228,11 +272,7 @@ fn cmd_anonymize(name: &str, flags: &Flags) {
             out.table
         }
         "global" => {
-            let out =
-                global_1k_anonymize(&table, &costs, &GlobalConfig::new(k)).unwrap_or_else(|e| {
-                    eprintln!("anonymization failed: {e}");
-                    exit(1)
-                });
+            let out = try_global_1k_anonymize(&table, &costs, &GlobalConfig::new(k))?;
             eprintln!(
                 "globally (1,k)-anonymized; loss = {:.4} ({}); {} upgrades for {} deficient records",
                 out.loss,
@@ -243,11 +283,12 @@ fn cmd_anonymize(name: &str, flags: &Flags) {
             out.table
         }
         other => {
-            eprintln!("unknown notion {other:?} (expected k|kk|global)");
-            usage()
+            return Err(KanonError::Usage(format!(
+                "unknown notion {other:?} (expected k|kk|global)"
+            )))
         }
     };
-    write_out(flags, &csv::generalized_to_csv(&gtable));
+    write_out(flags, &csv::generalized_to_csv(&gtable))
 }
 
 /// Parses a generalized CSV produced by `kanon anonymize` back into a
@@ -304,38 +345,22 @@ fn parse_generalized_csv(schema: &SharedSchema, text: &str) -> Result<Generalize
     GeneralizedTable::new(std::sync::Arc::clone(schema), grecords).map_err(|e| e.to_string())
 }
 
-fn cmd_verify(name: &str, flags: &Flags) {
-    let schema = dataset_schema(name, flags);
+fn cmd_verify(name: &str, flags: &Flags) -> CmdResult {
+    let schema = dataset_schema(name, flags)?;
     let k = flags.usize_or("k", 0);
-    let original = flags.get("in").unwrap_or_else(|| {
-        eprintln!("verify requires --in ORIGINAL.csv");
-        usage()
-    });
-    let anon = flags.get("anon").unwrap_or_else(|| {
-        eprintln!("verify requires --anon ANON.csv");
-        usage()
-    });
-    let orig_text = std::fs::read_to_string(original).unwrap_or_else(|e| {
-        eprintln!("cannot read {original}: {e}");
-        exit(1)
-    });
-    let table = csv::table_from_csv(&schema, &orig_text, true).unwrap_or_else(|e| {
-        eprintln!("cannot parse {original}: {e}");
-        exit(1)
-    });
-    let anon_text = std::fs::read_to_string(anon).unwrap_or_else(|e| {
-        eprintln!("cannot read {anon}: {e}");
-        exit(1)
-    });
-    let gtable = parse_generalized_csv(&schema, &anon_text).unwrap_or_else(|e| {
-        eprintln!("cannot parse {anon}: {e}");
-        exit(1)
-    });
+    let original = flags
+        .get("in")
+        .ok_or_else(|| KanonError::Usage("verify requires --in ORIGINAL.csv".to_string()))?;
+    let anon = flags
+        .get("anon")
+        .ok_or_else(|| KanonError::Usage("verify requires --anon ANON.csv".to_string()))?;
+    let table = csv::table_from_csv(&schema, &read_file(original)?, true)?;
+    let gtable = parse_generalized_csv(&schema, &read_file(anon)?).map_err(|e| KanonError::Io {
+        path: anon.to_string(),
+        message: format!("cannot parse: {e}"),
+    })?;
 
-    let profile = AnonymityProfile::compute(&table, &gtable).unwrap_or_else(|e| {
-        eprintln!("verification failed: {e}");
-        exit(1)
-    });
+    let profile = AnonymityProfile::compute(&table, &gtable)?;
     println!("anonymity profile (largest k for which each notion holds):");
     println!("  k-anonymity:      {}", profile.k_anonymity);
     println!("  (1,k)-anonymity:  {}", profile.one_k);
@@ -359,14 +384,17 @@ fn cmd_verify(name: &str, flags: &Flags) {
             if pass { "SATISFIED" } else { "VIOLATED" }
         );
         if !pass {
+            // A failed check is a runtime (exit 1) outcome, not a usage
+            // error: the request was well-formed, the table just fails it.
             exit(1);
         }
     }
+    Ok(())
 }
 
-fn cmd_measure(name: &str, flags: &Flags) {
-    let schema = dataset_schema(name, flags);
-    let table = load_table(name, &schema, flags);
+fn cmd_measure(name: &str, flags: &Flags) -> CmdResult {
+    let schema = dataset_schema(name, flags)?;
+    let table = load_table(name, &schema, flags)?;
     let stats = TableStats::compute(&table);
     println!(
         "{} rows, {} attributes",
@@ -384,6 +412,7 @@ fn cmd_measure(name: &str, flags: &Flags) {
             attr.hierarchy().height()
         );
     }
+    Ok(())
 }
 
 /// The stats format requested for this invocation: the `--stats[=…]` flag
@@ -399,17 +428,38 @@ fn stats_format(flags: &Flags) -> Option<kanon_obs::StatsFormat> {
 /// Emits the stats report to `--stats-out FILE` or stderr. The JSON form
 /// is a single line — when on stderr, always the last line — so scripts
 /// can `tail -n 1` it.
-fn emit_stats(flags: &Flags, fmt: kanon_obs::StatsFormat, report: &kanon_obs::Report) {
+fn emit_stats(flags: &Flags, fmt: kanon_obs::StatsFormat, report: &kanon_obs::Report) -> CmdResult {
     let text = match fmt {
         kanon_obs::StatsFormat::Json => format!("{}\n", report.to_json()),
         kanon_obs::StatsFormat::Table => report.render_table(),
     };
     match flags.get("stats-out") {
-        Some(path) => std::fs::write(path, &text).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            exit(1)
+        Some(path) => std::fs::write(path, &text).map_err(|e| KanonError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
         }),
-        None => eprint!("{text}"),
+        None => {
+            eprint!("{text}");
+            Ok(())
+        }
+    }
+}
+
+/// Dispatches the command with panic isolation: any panic escaping a
+/// command body (injected faults included) is converted to the matching
+/// typed error instead of aborting, so the process always exits through
+/// the [`KanonError::exit_code`] contract.
+fn dispatch(cmd: &str, dataset: &str, flags: &Flags) -> CmdResult {
+    let run = || match cmd {
+        "generate" => cmd_generate(dataset, flags),
+        "anonymize" => cmd_anonymize(dataset, flags),
+        "verify" => cmd_verify(dataset, flags),
+        "measure" => cmd_measure(dataset, flags),
+        _ => usage(),
+    };
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+        Ok(r) => r,
+        Err(payload) => Err(kanon_algos::error_from_panic(payload)),
     }
 }
 
@@ -423,19 +473,30 @@ fn main() {
     let flags = Flags::parse(&args[2..]);
     let fmt = stats_format(&flags);
     let collector = fmt.map(|_| kanon_obs::Collector::new());
-    {
+    // Silence the default panic hook: every panic is caught at the
+    // dispatch boundary and reported once as a typed error.
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = {
         let _guard = collector.as_ref().map(|c| c.install());
-        match cmd {
-            "generate" => cmd_generate(dataset, &flags),
-            "anonymize" => cmd_anonymize(dataset, &flags),
-            "verify" => cmd_verify(dataset, &flags),
-            "measure" => cmd_measure(dataset, &flags),
-            _ => usage(),
+        dispatch(cmd, dataset, &flags)
+    };
+    let _ = std::panic::take_hook();
+    // Counters are flushed and reported even when the command failed —
+    // partial work is exactly what fault diagnosis needs to see.
+    let mut code = match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            e.exit_code()
+        }
+    };
+    if let (Some(c), Some(fmt)) = (&collector, fmt) {
+        if let Err(e) = emit_stats(&flags, fmt, &c.report()) {
+            eprintln!("error: {e}");
+            code = if code == 0 { e.exit_code() } else { code };
         }
     }
-    if let (Some(c), Some(fmt)) = (&collector, fmt) {
-        emit_stats(&flags, fmt, &c.report());
-    }
+    exit(code)
 }
 
 #[cfg(test)]
@@ -474,9 +535,13 @@ mod tests {
     #[test]
     fn builtin_schemas_resolve() {
         let f = flags(&[]);
-        assert_eq!(dataset_schema("art", &f).num_attrs(), 6);
-        assert_eq!(dataset_schema("adult", &f).num_attrs(), 9);
-        assert_eq!(dataset_schema("cmc", &f).num_attrs(), 9);
+        assert_eq!(dataset_schema("art", &f).unwrap().num_attrs(), 6);
+        assert_eq!(dataset_schema("adult", &f).unwrap().num_attrs(), 9);
+        assert_eq!(dataset_schema("cmc", &f).unwrap().num_attrs(), 9);
+        assert!(matches!(
+            dataset_schema("nope", &f),
+            Err(KanonError::Usage(_))
+        ));
     }
 
     #[test]
@@ -484,7 +549,7 @@ mod tests {
         let schema = art::schema();
         let table = art::generate_with_schema(&schema, 30, 5);
         let costs = NodeCostTable::compute(&table, &EntropyMeasure);
-        let out = kk_anonymize(&table, &costs, &KkConfig::new(3)).unwrap();
+        let out = try_kk_anonymize(&table, &costs, &KkConfig::new(3)).unwrap();
         let text = csv::generalized_to_csv(&out.table);
         let back = parse_generalized_csv(&schema, &text).unwrap();
         assert_eq!(out.table.rows(), back.rows());

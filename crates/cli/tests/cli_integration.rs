@@ -1,0 +1,300 @@
+//! End-to-end tests of the `kanon` binary: stable exit codes
+//! (0 ok / 1 runtime / 2 usage), typed error reporting, the
+//! `--on-bad-row` policy, fault injection via `KANON_FAILPOINTS`, and
+//! graceful degradation via `KANON_WORK_BUDGET`.
+//!
+//! Each invocation is a fresh process, so the process-global fault
+//! registry never leaks between tests here.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn kanon(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_kanon"));
+    // Isolate from ambient configuration.
+    for var in [
+        "KANON_FAILPOINTS",
+        "KANON_WORK_BUDGET",
+        "KANON_THREADS",
+        "KANON_STATS",
+    ] {
+        cmd.env_remove(var);
+    }
+    cmd.args(args).envs(envs.iter().copied());
+    cmd.output().expect("spawn kanon binary")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp_file(name: &str, contents: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn happy_path_exits_zero_with_csv_on_stdout() {
+    let out = kanon(&["anonymize", "art", "--k", "3", "--n", "40"], &[]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("A1,A2,A3,A4,A5,A6\n"));
+    assert_eq!(stdout.lines().count(), 41);
+}
+
+#[test]
+fn missing_k_is_a_usage_error() {
+    let out = kanon(&["anonymize", "art", "--n", "40"], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("anonymize requires --k"));
+}
+
+#[test]
+fn unknown_dataset_is_a_usage_error() {
+    let out = kanon(&["anonymize", "nope", "--k", "3"], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("unknown dataset"));
+}
+
+#[test]
+fn unknown_bad_row_policy_is_a_usage_error() {
+    let out = kanon(
+        &["anonymize", "art", "--k", "3", "--on-bad-row", "lenient"],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--on-bad-row"));
+}
+
+#[test]
+fn missing_input_file_is_a_runtime_error() {
+    let out = kanon(
+        &["anonymize", "art", "--k", "3", "--in", "/no/such/file.csv"],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("error:") && err.contains("/no/such/file.csv"),
+        "{err}"
+    );
+}
+
+#[test]
+fn k_larger_than_n_is_a_runtime_error() {
+    let out = kanon(&["anonymize", "art", "--k", "50", "--n", "10"], &[]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("error:"));
+}
+
+#[test]
+fn malformed_csv_fails_strict_but_degrades_under_policy() {
+    // Generate a small valid ART csv, then corrupt one row.
+    let gen = kanon(&["generate", "art", "--n", "30", "--seed", "7"], &[]);
+    assert_eq!(gen.status.code(), Some(0));
+    let mut text = String::from_utf8(gen.stdout).unwrap();
+    text.push_str("bogus,a1,a1,a1,a1,a1\n"); // unknown label in A1
+    text.push_str("short,row\n"); // wrong arity
+    let path = tmp_file("malformed.csv", &text);
+    let path = path.to_str().unwrap();
+
+    // Strict (default): typed error, exit 1, no panic trace.
+    let out = kanon(&["anonymize", "art", "--k", "3", "--in", path], &[]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_of(&out);
+    assert!(err.contains("error:"), "{err}");
+    assert!(!err.contains("panicked at"), "raw panic leaked: {err}");
+
+    // Suppress: drops the two bad rows and succeeds.
+    let out = kanon(
+        &[
+            "anonymize",
+            "art",
+            "--k",
+            "3",
+            "--in",
+            path,
+            "--on-bad-row",
+            "suppress",
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("suppressed 2 unparseable row(s)"));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 31);
+
+    // Root: patches the unknown cell, still drops the ragged row.
+    let out = kanon(
+        &[
+            "anonymize",
+            "art",
+            "--k",
+            "3",
+            "--in",
+            path,
+            "--on-bad-row",
+            "root",
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("suppressed 1 unparseable row(s)"), "{err}");
+    assert!(err.contains("patched 1 unreadable cell(s)"), "{err}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 32);
+}
+
+#[test]
+fn armed_failpoint_yields_typed_error_never_panic() {
+    for (point, notion) in [
+        ("algos/agglomerative/merge=once:2", "k"),
+        ("algos/k1/row=once:3", "kk"),
+        ("algos/one_k/upgrade=once:2", "kk"),
+        ("algos/one_k/upgrade=once:2", "global"),
+        ("parallel/worker=once:0", "k"),
+    ] {
+        let out = kanon(
+            &[
+                "anonymize",
+                "art",
+                "--k",
+                "3",
+                "--n",
+                "40",
+                "--notion",
+                notion,
+            ],
+            &[("KANON_FAILPOINTS", point)],
+        );
+        assert_eq!(out.status.code(), Some(1), "point {point}");
+        let err = stderr_of(&out);
+        assert!(
+            err.contains("error: injected fault at fail point"),
+            "point {point}: {err}"
+        );
+        assert!(!err.contains("panicked at"), "raw panic leaked: {err}");
+    }
+}
+
+#[test]
+fn injected_worker_panic_reports_the_worker() {
+    let out = kanon(
+        &[
+            "anonymize",
+            "art",
+            "--k",
+            "3",
+            "--n",
+            "200",
+            "--notion",
+            "kk",
+        ],
+        &[
+            ("KANON_FAILPOINTS", "parallel/worker=panic:0"),
+            ("KANON_THREADS", "4"),
+        ],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_of(&out);
+    assert!(err.contains("error: worker 0 panicked"), "{err}");
+    assert!(!err.contains("panicked at"), "raw panic leaked: {err}");
+}
+
+#[test]
+fn csv_row_failpoint_respects_the_row_policy() {
+    let gen = kanon(&["generate", "art", "--n", "30", "--seed", "9"], &[]);
+    let path = tmp_file("poisoned.csv", &String::from_utf8(gen.stdout).unwrap());
+    let path = path.to_str().unwrap();
+    let envs: [(&str, &str); 1] = [("KANON_FAILPOINTS", "data/csv/row=once:4")];
+
+    // Strict: the poisoned row is a typed injected-fault error.
+    let out = kanon(&["anonymize", "art", "--k", "3", "--in", path], &envs);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("injected fault at fail point `data/csv/row`"));
+
+    // Suppress: the poisoned row is dropped and the run completes.
+    let out = kanon(
+        &[
+            "anonymize",
+            "art",
+            "--k",
+            "3",
+            "--in",
+            path,
+            "--on-bad-row",
+            "suppress",
+        ],
+        &envs,
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("suppressed 1 unparseable row(s)"));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 30);
+}
+
+#[test]
+fn malformed_failpoint_spec_is_reported_not_a_crash() {
+    let out = kanon(
+        &["anonymize", "art", "--k", "3", "--n", "40"],
+        &[("KANON_FAILPOINTS", "algos/agglomerative/merge=sometimes")],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("error:") && err.contains("KANON_FAILPOINTS"),
+        "{err}"
+    );
+}
+
+#[test]
+fn work_budget_degrades_gracefully_with_warning() {
+    let out = kanon(
+        &["anonymize", "art", "--k", "3", "--n", "80", "--notion", "k"],
+        &[("KANON_WORK_BUDGET", "500")],
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("warning: work budget exhausted"), "{err}");
+    // Output is still a full CSV of 80 generalized rows.
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 81);
+}
+
+#[test]
+fn disarmed_failpoints_and_outputs_are_byte_identical_across_threads() {
+    let args = [
+        "anonymize",
+        "art",
+        "--k",
+        "3",
+        "--n",
+        "96",
+        "--notion",
+        "k",
+        "--stats=json",
+    ];
+    let base = kanon(&args, &[("KANON_THREADS", "1")]);
+    assert_eq!(base.status.code(), Some(0));
+    // Empty KANON_FAILPOINTS ≡ unset; higher thread counts change nothing.
+    for envs in [
+        vec![("KANON_THREADS", "8")],
+        vec![("KANON_THREADS", "3"), ("KANON_FAILPOINTS", "")],
+    ] {
+        let out = kanon(&args, &envs);
+        assert_eq!(out.status.code(), Some(0), "envs {envs:?}");
+        assert_eq!(out.stdout, base.stdout, "stdout differs under {envs:?}");
+        // The deterministic counters section of the JSON stats (last
+        // stderr line) matches too; wall-clock timers legitimately vary.
+        let counters = |o: &Output| {
+            let line = stderr_of(o).lines().last().unwrap_or_default().to_string();
+            let end = line.find("},\"parallel\"").expect("stats json shape");
+            line[..end].to_string()
+        };
+        assert_eq!(
+            counters(&out),
+            counters(&base),
+            "counters differ under {envs:?}"
+        );
+    }
+}

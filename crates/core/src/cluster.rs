@@ -24,6 +24,7 @@ impl Clustering {
         if assignment.is_empty() {
             return Err(CoreError::InvalidClustering("empty assignment".into()));
         }
+        // kanon-lint: allow(L006) assignment is non-empty, checked above
         let m = (*assignment.iter().max().unwrap() as usize) + 1;
         let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); m];
         for (i, &c) in assignment.iter().enumerate() {
@@ -135,6 +136,7 @@ impl Clustering {
             .iter()
             .map(|rows| {
                 let idx: Vec<usize> = rows.iter().map(|&i| i as usize).collect();
+                // kanon-lint: allow(L006) clusters are non-empty per the validation above
                 closure_of_rows(table, &idx).expect("clusters are non-empty")
             })
             .collect();

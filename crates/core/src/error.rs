@@ -97,6 +97,111 @@ impl std::error::Error for CoreError {}
 /// Convenience result alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, CoreError>;
 
+/// Workspace-level error taxonomy for fallible (`try_*`) entry points.
+///
+/// Wraps [`CoreError`] for ordinary domain failures and adds variants
+/// for the fault-tolerance layer: recognised injected faults, isolated
+/// worker panics, organic panics caught at an entry-point boundary,
+/// I/O failures and usage errors. Every variant carries enough context
+/// to report the failure without a backtrace, and [`KanonError::exit_code`]
+/// defines the stable process-exit mapping used by the CLI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KanonError {
+    /// A domain error from schema/table/hierarchy manipulation.
+    Core(CoreError),
+    /// A `kanon-fault` failpoint fired (`every:`/`once:` modes).
+    FaultInjected {
+        /// Name of the failpoint that fired.
+        point: String,
+    },
+    /// A worker thread panicked inside `kanon-parallel`; the panic was
+    /// isolated and converted rather than aborting the scope. When
+    /// several workers panic, the lowest worker index is reported.
+    WorkerPanic {
+        /// Index of the (lowest) panicking worker.
+        worker: usize,
+        /// Panic message, when the payload was a string.
+        message: String,
+    },
+    /// An organic panic caught at a fallible entry-point boundary.
+    Panic {
+        /// Panic message, when the payload was a string.
+        message: String,
+    },
+    /// The deterministic work budget (`KANON_WORK_BUDGET`) was
+    /// exhausted and no valid partial result could be produced.
+    /// (When a valid partial result exists, entry points return
+    /// `Budgeted::BudgetExhausted { best_so_far, .. }` instead.)
+    BudgetExhausted {
+        /// The configured budget (sum of deterministic work counters).
+        budget: u64,
+        /// Work spent when the budget tripped.
+        spent: u64,
+    },
+    /// A file could not be read or written.
+    Io {
+        /// Path involved in the failed operation.
+        path: String,
+        /// Stringified OS error.
+        message: String,
+    },
+    /// The request itself was malformed (bad flags, invalid parameter
+    /// combinations). Maps to exit code 2.
+    Usage(String),
+}
+
+impl KanonError {
+    /// Stable process-exit mapping: `0` success, `1` runtime error,
+    /// `2` usage error.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            KanonError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for KanonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KanonError::Core(e) => write!(f, "{e}"),
+            KanonError::FaultInjected { point } => {
+                write!(f, "injected fault at fail point `{point}`")
+            }
+            KanonError::WorkerPanic { worker, message } => {
+                write!(f, "worker {worker} panicked: {message}")
+            }
+            KanonError::Panic { message } => write!(f, "internal panic: {message}"),
+            KanonError::BudgetExhausted { budget, spent } => {
+                write!(
+                    f,
+                    "work budget exhausted: spent {spent} of {budget} work units"
+                )
+            }
+            KanonError::Io { path, message } => write!(f, "{path}: {message}"),
+            KanonError::Usage(msg) => write!(f, "usage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KanonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KanonError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for KanonError {
+    fn from(e: CoreError) -> Self {
+        KanonError::Core(e)
+    }
+}
+
+/// Result alias for fallible entry points.
+pub type KanonResult<T> = std::result::Result<T, KanonError>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +226,36 @@ mod tests {
             CoreError::EmptySubset,
             CoreError::DuplicateValue("x".into())
         );
+    }
+
+    #[test]
+    fn kanon_error_wraps_core() {
+        let e: KanonError = CoreError::EmptyDomain.into();
+        assert_eq!(e, KanonError::Core(CoreError::EmptyDomain));
+        assert_eq!(e.to_string(), CoreError::EmptyDomain.to_string());
+    }
+
+    #[test]
+    fn exit_codes_are_stable() {
+        assert_eq!(KanonError::Usage("bad flag".into()).exit_code(), 2);
+        assert_eq!(KanonError::Core(CoreError::EmptyDomain).exit_code(), 1);
+        assert_eq!(
+            KanonError::FaultInjected { point: "p".into() }.exit_code(),
+            1
+        );
+        assert_eq!(
+            KanonError::WorkerPanic {
+                worker: 3,
+                message: "boom".into()
+            }
+            .exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn kanon_error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KanonError>();
     }
 }

@@ -174,6 +174,7 @@ impl Hierarchy {
             }
             // The full domain is always present, so every non-root set has
             // a strict superset.
+            // kanon-lint: allow(L006) the full domain is a strict superset of every other node
             parent[i] = Some(best.expect("full domain guarantees a parent"));
         }
 
@@ -190,6 +191,7 @@ impl Hierarchy {
             .collect();
         #[allow(clippy::needless_range_loop)] // i indexes parent and names the node
         for i in 1..n {
+            // kanon-lint: allow(L006) parent was assigned for every non-root just above
             let p = parent[i].unwrap();
             nodes[p].children.push(NodeId(i as u32));
         }
@@ -197,6 +199,7 @@ impl Hierarchy {
         // so a forward pass suffices.
         #[allow(clippy::needless_range_loop)] // i indexes two arrays
         for i in 1..n {
+            // kanon-lint: allow(L006) parent was assigned for every non-root just above
             let p = parent[i].unwrap();
             nodes[i].depth = nodes[p].depth + 1;
         }
@@ -428,6 +431,7 @@ impl Hierarchy {
         let mut cur = b;
         let mut dc = self.depth(b);
         while dc > da {
+            // kanon-lint: allow(L006) depth > 0 implies a parent
             cur = self.parent(cur).expect("depth > 0 implies parent");
             dc -= 1;
         }
@@ -459,15 +463,17 @@ impl Hierarchy {
         let (mut a, mut b) = (a, b);
         let (mut da, mut db) = (self.depth(a), self.depth(b));
         while da > db {
-            a = self.parent(a).unwrap();
+            a = self.parent(a).unwrap(); // kanon-lint: allow(L006) depth > 0 implies a parent
             da -= 1;
         }
         while db > da {
-            b = self.parent(b).unwrap();
+            b = self.parent(b).unwrap(); // kanon-lint: allow(L006) depth > 0 implies a parent
             db -= 1;
         }
         while a != b {
+            // kanon-lint: allow(L006) the LCA walk stays below the root
             a = self.parent(a).unwrap();
+            // kanon-lint: allow(L006) the LCA walk stays below the root
             b = self.parent(b).unwrap();
         }
         a

@@ -40,7 +40,7 @@ pub mod table;
 
 pub use cluster::Clustering;
 pub use domain::{AttrId, AttributeDomain, ValueId};
-pub use error::{CoreError, Result};
+pub use error::{CoreError, KanonError, KanonResult, Result};
 pub use hierarchy::{Hierarchy, NodeId};
 pub use record::{GeneralizedRecord, Record};
 pub use schema::{Attribute, Schema, SchemaBuilder, SharedSchema};

@@ -29,6 +29,7 @@ impl Attribute {
 
     /// Convenience: a domain with the suppression-only hierarchy.
     pub fn flat(domain: AttributeDomain) -> Self {
+        // kanon-lint: allow(L006) the domain is non-empty by construction
         let h = Hierarchy::flat(domain.size()).expect("non-empty domain");
         Attribute {
             domain,

@@ -20,6 +20,7 @@
 //!   supplies one (comma-separated UCI format; rows with `?` in a public
 //!   attribute are skipped, as is customary).
 
+use crate::csv::{IngestReport, RowPolicy};
 use crate::sampling::Categorical;
 use kanon_core::domain::ValueId;
 use kanon_core::error::Result;
@@ -302,6 +303,7 @@ pub fn schema() -> SharedSchema {
             ],
         )
         .build_shared()
+        // kanon-lint: allow(L006) static schema literal, covered by unit tests
         .expect("adult schema is well-formed")
 }
 
@@ -488,12 +490,36 @@ const UCI_COLUMNS: [usize; 9] = [
 /// a missing (`?`) public attribute are skipped; at most `limit` rows are
 /// kept when `limit` is non-zero (the paper samples n = 5000).
 pub fn load_csv(text: &str, limit: usize) -> Result<Table> {
+    load_csv_with_policy(text, limit, RowPolicy::Strict).map(|(t, _)| t)
+}
+
+/// Like [`load_csv`], but routes rows that fail to parse (unknown labels,
+/// unparsable ages, or injected `data/csv/row` faults) through `policy`.
+/// Rows with a missing (`?`) attribute or fewer than 14 columns are still
+/// silently skipped — that is UCI data semantics, not a parse fault.
+pub fn load_csv_with_policy(
+    text: &str,
+    limit: usize,
+    policy: RowPolicy,
+) -> Result<(Table, IngestReport)> {
     let schema = schema();
     let rows = crate::csv::parse_csv(text);
+    let mut report = IngestReport::default();
     let mut records = Vec::new();
-    'rows: for fields in &rows {
+    'rows: for (row_idx, fields) in rows.iter().enumerate() {
         if fields.len() < 14 {
             continue; // blank/short line
+        }
+        if kanon_fault::armed() && kanon_fault::fires(crate::csv::ROW_FAIL_POINT) {
+            match policy {
+                RowPolicy::Strict => std::panic::panic_any(kanon_fault::InjectedFault {
+                    point: crate::csv::ROW_FAIL_POINT.to_string(),
+                }),
+                _ => {
+                    report.suppressed_rows.push(row_idx);
+                    continue;
+                }
+            }
         }
         let mut values = Vec::with_capacity(9);
         for (attr, &col) in UCI_COLUMNS.iter().enumerate() {
@@ -503,24 +529,50 @@ pub fn load_csv(text: &str, limit: usize) -> Result<Table> {
             }
             // Clamp out-of-range ages into the domain rather than failing.
             let label = if attr == 0 {
-                let age: i64 = raw
-                    .parse()
-                    .map_err(|_| kanon_core::CoreError::UnknownLabel {
-                        attr: "age".into(),
-                        label: raw.into(),
-                    })?;
-                age.clamp(AGE_MIN, AGE_MAX).to_string()
+                match raw.parse::<i64>() {
+                    Ok(age) => age.clamp(AGE_MIN, AGE_MAX).to_string(),
+                    Err(_) => match policy {
+                        RowPolicy::Strict => {
+                            return Err(kanon_core::CoreError::UnknownLabel {
+                                attr: "age".into(),
+                                label: raw.into(),
+                            })
+                        }
+                        RowPolicy::SuppressRow => {
+                            report.suppressed_rows.push(row_idx);
+                            continue 'rows;
+                        }
+                        RowPolicy::GeneralizeToRoot => {
+                            report.rooted_cells.push((row_idx, attr));
+                            values.push(ValueId(0));
+                            continue;
+                        }
+                    },
+                }
             } else {
                 raw.to_string()
             };
-            values.push(schema.attr(attr).domain().value_of(&label)?);
+            match schema.attr(attr).domain().value_of(&label) {
+                Ok(v) => values.push(v),
+                Err(e) => match policy {
+                    RowPolicy::Strict => return Err(e),
+                    RowPolicy::SuppressRow => {
+                        report.suppressed_rows.push(row_idx);
+                        continue 'rows;
+                    }
+                    RowPolicy::GeneralizeToRoot => {
+                        report.rooted_cells.push((row_idx, attr));
+                        values.push(ValueId(0));
+                    }
+                },
+            }
         }
         records.push(Record::new(values.into_iter().collect::<Vec<ValueId>>()));
         if limit != 0 && records.len() == limit {
             break;
         }
     }
-    Table::new(schema, records)
+    Ok((Table::new(schema, records)?, report))
 }
 
 #[cfg(test)]

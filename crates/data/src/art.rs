@@ -37,8 +37,11 @@ fn range(lo: u32, hi_inclusive: u32) -> Vec<ValueId> {
 /// Builds the ART schema (six attributes with the paper's hierarchies).
 pub fn schema() -> SharedSchema {
     let mk = |name: &str, size: usize, subsets: Vec<Vec<ValueId>>| -> Attribute {
+        // kanon-lint: allow(L006) static domain sizes are non-zero
         let d = AttributeDomain::anonymous(name, size).expect("non-empty");
+        // kanon-lint: allow(L006) the paper's subsets are laminar; covered by unit tests
         let h = Hierarchy::from_subsets(size, &subsets).expect("paper subsets are laminar");
+        // kanon-lint: allow(L006) hierarchy size matches the domain by construction
         Attribute::new(d, h).expect("sizes match")
     };
 
@@ -76,6 +79,7 @@ pub fn schema() -> SharedSchema {
     );
 
     Schema::new(vec![a1, a2, a3, a4, a5, a6])
+        // kanon-lint: allow(L006) static six-attribute schema, covered by unit tests
         .expect("six attributes")
         .into_shared()
 }

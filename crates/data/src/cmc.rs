@@ -12,7 +12,9 @@
 //! 2 = long-term, 3 = short-term) is returned alongside the table for use
 //! with the CM measure.
 
+use crate::csv::{IngestReport, RowPolicy};
 use crate::sampling::Categorical;
+use kanon_core::domain::ValueId;
 use kanon_core::error::Result;
 use kanon_core::record::Record;
 use kanon_core::schema::{SchemaBuilder, SharedSchema};
@@ -69,6 +71,7 @@ pub fn schema() -> SharedSchema {
         )
         .categorical("media-exposure", ["0", "1"])
         .build_shared()
+        // kanon-lint: allow(L006) static schema literal, covered by unit tests
         .expect("cmc schema is well-formed")
 }
 
@@ -209,13 +212,33 @@ pub fn generate_with_schema(schema: &SharedSchema, n: usize, seed: u64) -> Label
 /// nine attributes + class label). Out-of-domain ages/children are
 /// clamped.
 pub fn load_csv(text: &str) -> Result<LabeledTable> {
+    load_csv_with_policy(text, RowPolicy::Strict).map(|(t, _)| t)
+}
+
+/// Like [`load_csv`], but routes rows that fail to parse (non-numeric
+/// fields, unknown labels, or injected `data/csv/row` faults) through
+/// `policy`. An unreadable class label always suppresses the row under
+/// the non-strict policies — there is no "root" label to fall back to.
+pub fn load_csv_with_policy(text: &str, policy: RowPolicy) -> Result<(LabeledTable, IngestReport)> {
     let schema = schema();
     let rows = crate::csv::parse_csv(text);
+    let mut report = IngestReport::default();
     let mut records = Vec::new();
     let mut labels = Vec::new();
-    for fields in &rows {
+    'rows: for (row_idx, fields) in rows.iter().enumerate() {
         if fields.len() < 10 {
             continue;
+        }
+        if kanon_fault::armed() && kanon_fault::fires(crate::csv::ROW_FAIL_POINT) {
+            match policy {
+                RowPolicy::Strict => std::panic::panic_any(kanon_fault::InjectedFault {
+                    point: crate::csv::ROW_FAIL_POINT.to_string(),
+                }),
+                _ => {
+                    report.suppressed_rows.push(row_idx);
+                    continue;
+                }
+            }
         }
         let parse = |s: &str| -> Result<i64> {
             s.trim()
@@ -225,26 +248,73 @@ pub fn load_csv(text: &str) -> Result<LabeledTable> {
                     label: s.trim().to_string(),
                 })
         };
-        let age = parse(&fields[0])?.clamp(AGE_MIN, AGE_MAX);
-        let children = parse(&fields[3])?.clamp(0, CHILDREN_MAX);
-        let values = vec![
-            schema.attr(0).domain().value_of(&age.to_string())?,
-            schema.attr(1).domain().value_of(fields[1].trim())?,
-            schema.attr(2).domain().value_of(fields[2].trim())?,
-            schema.attr(3).domain().value_of(&children.to_string())?,
-            schema.attr(4).domain().value_of(fields[4].trim())?,
-            schema.attr(5).domain().value_of(fields[5].trim())?,
-            schema.attr(6).domain().value_of(fields[6].trim())?,
-            schema.attr(7).domain().value_of(fields[7].trim())?,
-            schema.attr(8).domain().value_of(fields[8].trim())?,
-        ];
+        // The class label has no generalization root: any policy other
+        // than Strict suppresses the row when it is unreadable.
+        let label = match parse(&fields[9]) {
+            Ok(l) => l as u32,
+            Err(e) => match policy {
+                RowPolicy::Strict => return Err(e),
+                _ => {
+                    report.suppressed_rows.push(row_idx);
+                    continue;
+                }
+            },
+        };
+        // Per-attribute labels: clamped integers for age/children, plain
+        // lookups elsewhere. `None` = unreadable cell.
+        let cells: Vec<Option<ValueId>> = (0..9)
+            .map(|j| {
+                let label = match j {
+                    0 => parse(&fields[0])
+                        .ok()
+                        .map(|v| v.clamp(AGE_MIN, AGE_MAX).to_string()),
+                    3 => parse(&fields[3])
+                        .ok()
+                        .map(|v| v.clamp(0, CHILDREN_MAX).to_string()),
+                    _ => Some(fields[j].trim().to_string()),
+                };
+                label.and_then(|l| schema.attr(j).domain().value_of(&l).ok())
+            })
+            .collect();
+        let mut values = Vec::with_capacity(9);
+        for (j, cell) in cells.into_iter().enumerate() {
+            match cell {
+                Some(v) => values.push(v),
+                None => match policy {
+                    RowPolicy::Strict => {
+                        // Re-derive the original error for the first bad
+                        // cell, preserving historical error messages.
+                        return Err(match j {
+                            0 | 3 => parse(&fields[j]).map(|_| ()).unwrap_err(),
+                            _ => schema
+                                .attr(j)
+                                .domain()
+                                .value_of(fields[j].trim())
+                                .map(|_| ())
+                                .unwrap_err(),
+                        });
+                    }
+                    RowPolicy::SuppressRow => {
+                        report.suppressed_rows.push(row_idx);
+                        continue 'rows;
+                    }
+                    RowPolicy::GeneralizeToRoot => {
+                        report.rooted_cells.push((row_idx, j));
+                        values.push(ValueId(0));
+                    }
+                },
+            }
+        }
         records.push(Record::new(values));
-        labels.push(parse(&fields[9])? as u32);
+        labels.push(label);
     }
-    Ok(LabeledTable {
-        table: Table::new(schema, records)?,
-        labels,
-    })
+    Ok((
+        LabeledTable {
+            table: Table::new(schema, records)?,
+            labels,
+        },
+        report,
+    ))
 }
 
 #[cfg(test)]

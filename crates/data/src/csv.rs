@@ -2,11 +2,74 @@
 //! be wrapped in double quotes, embedded quotes are doubled, quoted fields
 //! may contain commas and newlines).
 
+use kanon_core::domain::ValueId;
 use kanon_core::error::{CoreError, Result};
 use kanon_core::record::Record;
 use kanon_core::schema::SharedSchema;
 use kanon_core::table::{GeneralizedTable, Table};
 use std::sync::Arc;
+
+/// Failpoint name poisoning one ingested data row per firing (see the
+/// `kanon-fault` catalogue). A poisoned row is treated exactly like an
+/// unparseable one and routed through the active [`RowPolicy`].
+pub const ROW_FAIL_POINT: &str = "data/csv/row";
+
+/// What to do with a data row that cannot be parsed against the schema
+/// (unknown label, ragged arity, or an injected `data/csv/row` fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowPolicy {
+    /// Fail the whole ingestion with the row's [`CoreError`] (default —
+    /// matches the historical behaviour of [`table_from_csv`]).
+    #[default]
+    Strict,
+    /// Drop the offending row and record its index in
+    /// [`IngestReport::suppressed_rows`].
+    SuppressRow,
+    /// Replace each unreadable *cell* with the deterministic fallback
+    /// value (the attribute's first domain value) and record the cell in
+    /// [`IngestReport::rooted_cells`]; rows with the wrong number of
+    /// fields are still suppressed (there is no cell to patch).
+    GeneralizeToRoot,
+}
+
+impl RowPolicy {
+    /// Parses the CLI spelling (`strict` | `suppress` | `root`).
+    pub fn parse(s: &str) -> Option<RowPolicy> {
+        match s {
+            "strict" => Some(RowPolicy::Strict),
+            "suppress" => Some(RowPolicy::SuppressRow),
+            "root" => Some(RowPolicy::GeneralizeToRoot),
+            _ => None,
+        }
+    }
+}
+
+/// What a non-strict ingestion did to bad rows. Indices are 0-based over
+/// the *data* rows (after any header).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Data-row indices dropped under [`RowPolicy::SuppressRow`] (or under
+    /// [`RowPolicy::GeneralizeToRoot`] when the arity was wrong).
+    pub suppressed_rows: Vec<usize>,
+    /// `(data_row, attr)` cells replaced by the fallback value under
+    /// [`RowPolicy::GeneralizeToRoot`].
+    pub rooted_cells: Vec<(usize, usize)>,
+}
+
+impl IngestReport {
+    /// True when every row parsed cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.suppressed_rows.is_empty() && self.rooted_cells.is_empty()
+    }
+}
+
+/// Raises the typed injected fault for a poisoned row under `Strict`
+/// (caught and converted by the `try_*`/CLI layer).
+fn raise_row_fault() -> ! {
+    std::panic::panic_any(kanon_fault::InjectedFault {
+        point: ROW_FAIL_POINT.to_string(),
+    })
+}
 
 /// Parses CSV text into rows of fields.
 pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
@@ -81,6 +144,18 @@ pub fn write_csv<S: AsRef<str>>(rows: &[Vec<S>]) -> String {
 /// `has_header` is set, the first row is validated against the attribute
 /// names. Fields are trimmed of surrounding whitespace before lookup.
 pub fn table_from_csv(schema: &SharedSchema, text: &str, has_header: bool) -> Result<Table> {
+    table_from_csv_with_policy(schema, text, has_header, RowPolicy::Strict).map(|(t, _)| t)
+}
+
+/// Like [`table_from_csv`], but routes every unparseable data row through
+/// `policy` and reports what was dropped or patched. Header validation is
+/// always strict — a wrong header is a schema mismatch, not a bad row.
+pub fn table_from_csv_with_policy(
+    schema: &SharedSchema,
+    text: &str,
+    has_header: bool,
+    policy: RowPolicy,
+) -> Result<(Table, IngestReport)> {
     let mut rows = parse_csv(text);
     if has_header && !rows.is_empty() {
         let header = rows.remove(0);
@@ -99,36 +174,67 @@ pub fn table_from_csv(schema: &SharedSchema, text: &str, has_header: bool) -> Re
             }
         }
     }
+    let mut report = IngestReport::default();
     let mut records = Vec::with_capacity(rows.len());
-    for (row_idx, fields) in rows.iter().enumerate() {
+    'rows: for (row_idx, fields) in rows.iter().enumerate() {
         if fields.len() == 1 && fields[0].trim().is_empty() {
             continue; // blank line
         }
+        if kanon_fault::armed() && kanon_fault::fires(ROW_FAIL_POINT) {
+            match policy {
+                RowPolicy::Strict => raise_row_fault(),
+                _ => {
+                    report.suppressed_rows.push(row_idx);
+                    continue;
+                }
+            }
+        }
         if fields.len() != schema.num_attrs() {
-            return Err(CoreError::ArityMismatch {
-                expected: schema.num_attrs(),
-                found: fields.len(),
-            });
+            match policy {
+                RowPolicy::Strict => {
+                    return Err(CoreError::ArityMismatch {
+                        expected: schema.num_attrs(),
+                        found: fields.len(),
+                    })
+                }
+                _ => {
+                    // No cell to patch when the shape itself is wrong.
+                    report.suppressed_rows.push(row_idx);
+                    continue;
+                }
+            }
         }
         let mut values = Vec::with_capacity(fields.len());
         for (j, f) in fields.iter().enumerate() {
-            // Add the data row number (1-based, after any header) to the
-            // lookup error so users can locate the offending cell.
-            let v = schema.attr(j).domain().value_of(f.trim()).map_err(|e| {
-                if let CoreError::UnknownLabel { attr, label } = e {
-                    CoreError::UnknownLabel {
-                        attr,
-                        label: format!("{label} (data row {})", row_idx + 1),
+            match schema.attr(j).domain().value_of(f.trim()) {
+                Ok(v) => values.push(v),
+                Err(e) => match policy {
+                    // Add the data row number (1-based, after any header)
+                    // to the lookup error so users can locate the cell.
+                    RowPolicy::Strict => {
+                        return Err(if let CoreError::UnknownLabel { attr, label } = e {
+                            CoreError::UnknownLabel {
+                                attr,
+                                label: format!("{label} (data row {})", row_idx + 1),
+                            }
+                        } else {
+                            e
+                        })
                     }
-                } else {
-                    e
-                }
-            })?;
-            values.push(v);
+                    RowPolicy::SuppressRow => {
+                        report.suppressed_rows.push(row_idx);
+                        continue 'rows;
+                    }
+                    RowPolicy::GeneralizeToRoot => {
+                        report.rooted_cells.push((row_idx, j));
+                        values.push(ValueId(0));
+                    }
+                },
+            }
         }
         records.push(Record::new(values));
     }
-    Table::new(Arc::clone(schema), records)
+    Ok((Table::new(Arc::clone(schema), records)?, report))
 }
 
 /// Serializes a [`Table`] as CSV (with a header row of attribute names).

@@ -26,6 +26,9 @@ pub mod reconstruct;
 pub mod sampling;
 pub mod schema_text;
 
-pub use csv::{generalized_to_csv, parse_csv, table_from_csv, table_to_csv, write_csv};
+pub use csv::{
+    generalized_to_csv, parse_csv, table_from_csv, table_from_csv_with_policy, table_to_csv,
+    write_csv, IngestReport, RowPolicy, ROW_FAIL_POINT,
+};
 pub use reconstruct::{reconstruct, ReconstructionModel};
 pub use schema_text::{parse_schema, schema_to_text};

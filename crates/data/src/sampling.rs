@@ -26,6 +26,7 @@ impl Categorical {
             cumulative.push(acc);
         }
         // Guard against floating-point shortfall at the top end.
+        // kanon-lint: allow(L006) cumulative is non-empty: one entry per stratum
         *cumulative.last_mut().unwrap() = 1.0;
         Categorical { cumulative }
     }

@@ -1,0 +1,204 @@
+//! Robustness of the ingestion layer: the row policy's exact semantics on
+//! crafted inputs, plus property tests that no parser panics on arbitrary
+//! bytes under any [`RowPolicy`].
+//!
+//! No test in this binary arms failpoints (the `data/csv/row` poisoning
+//! path is exercised in the CLI integration tests, where the registry is
+//! scoped); everything here runs with the registry disarmed.
+
+use kanon_core::schema::SchemaBuilder;
+use kanon_core::SharedSchema;
+use kanon_data::{
+    adult, cmc, parse_schema, table_from_csv, table_from_csv_with_policy, IngestReport, RowPolicy,
+};
+use proptest::prelude::*;
+
+fn two_attr_schema() -> SharedSchema {
+    SchemaBuilder::new()
+        .categorical("g", ["M", "F"])
+        .categorical("c", ["r", "b"])
+        .build_shared()
+        .unwrap()
+}
+
+#[test]
+fn strict_policy_matches_plain_loader() {
+    let s = two_attr_schema();
+    let good = "g,c\nM,r\nF,b\n";
+    let (t, report) = table_from_csv_with_policy(&s, good, true, RowPolicy::Strict).unwrap();
+    assert!(report.is_clean());
+    assert_eq!(t.rows(), table_from_csv(&s, good, true).unwrap().rows());
+    // And strictness still rejects what the plain loader rejects.
+    for bad in ["M,purple\n", "M\n", "M,r,extra\n"] {
+        assert!(
+            table_from_csv_with_policy(&s, bad, false, RowPolicy::Strict).is_err(),
+            "{bad:?}"
+        );
+    }
+}
+
+#[test]
+fn suppress_policy_drops_only_the_bad_rows() {
+    let s = two_attr_schema();
+    let text = "M,r\nM,purple\nF,b\nF\nM,b\n";
+    let (t, report) = table_from_csv_with_policy(&s, text, false, RowPolicy::SuppressRow).unwrap();
+    assert_eq!(t.num_rows(), 3);
+    assert_eq!(report.suppressed_rows, vec![1, 3]);
+    assert!(report.rooted_cells.is_empty());
+}
+
+#[test]
+fn root_policy_patches_cells_and_records_them() {
+    let s = two_attr_schema();
+    let text = "M,r\nM,purple\nunknown,b\n";
+    let (t, report) =
+        table_from_csv_with_policy(&s, text, false, RowPolicy::GeneralizeToRoot).unwrap();
+    assert_eq!(t.num_rows(), 3);
+    assert!(report.suppressed_rows.is_empty());
+    assert_eq!(report.rooted_cells, vec![(1, 1), (2, 0)]);
+    // Patched cells hold the deterministic fallback (first domain value).
+    assert_eq!(t.row(1).values()[1], kanon_core::domain::ValueId(0));
+    assert_eq!(t.row(2).values()[0], kanon_core::domain::ValueId(0));
+}
+
+#[test]
+fn root_policy_still_suppresses_ragged_rows() {
+    let s = two_attr_schema();
+    let text = "M,r\nM\nM,r,b\n";
+    let (t, report) =
+        table_from_csv_with_policy(&s, text, false, RowPolicy::GeneralizeToRoot).unwrap();
+    assert_eq!(t.num_rows(), 1);
+    assert_eq!(report.suppressed_rows, vec![1, 2]);
+}
+
+#[test]
+fn header_errors_stay_strict_under_every_policy() {
+    let s = two_attr_schema();
+    for policy in [
+        RowPolicy::Strict,
+        RowPolicy::SuppressRow,
+        RowPolicy::GeneralizeToRoot,
+    ] {
+        assert!(table_from_csv_with_policy(&s, "g,wrong\nM,r\n", true, policy).is_err());
+        assert!(table_from_csv_with_policy(&s, "g\nM,r\n", true, policy).is_err());
+    }
+}
+
+#[test]
+fn policy_parse_spellings() {
+    assert_eq!(RowPolicy::parse("strict"), Some(RowPolicy::Strict));
+    assert_eq!(RowPolicy::parse("suppress"), Some(RowPolicy::SuppressRow));
+    assert_eq!(RowPolicy::parse("root"), Some(RowPolicy::GeneralizeToRoot));
+    assert_eq!(RowPolicy::parse("lenient"), None);
+    assert_eq!(RowPolicy::default(), RowPolicy::Strict);
+}
+
+#[test]
+fn adult_loader_policies() {
+    // Build a 15-column UCI-shaped row from a generated table, then break
+    // one copy's education label.
+    let good = "39, Private, 77516, Bachelors, 13, Never-married, Adm-clerical, \
+                Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K";
+    let bad = good.replace("Bachelors", "NoSuchDegree");
+    let text = format!("{good}\n{bad}\n{good}\n");
+    assert!(adult::load_csv(&text, 0).is_err());
+    let (t, report) = adult::load_csv_with_policy(&text, 0, RowPolicy::SuppressRow).unwrap();
+    assert_eq!(t.num_rows(), 2);
+    assert_eq!(report.suppressed_rows, vec![1]);
+    let (t, report) = adult::load_csv_with_policy(&text, 0, RowPolicy::GeneralizeToRoot).unwrap();
+    assert_eq!(t.num_rows(), 3);
+    assert_eq!(report.rooted_cells, vec![(1, 2)]); // education = attr 2
+}
+
+#[test]
+fn cmc_loader_policies() {
+    let text = "24,2,3,3,1,1,2,3,0,1\n24,9,3,3,1,1,2,3,0,1\n24,2,3,3,1,1,2,3,0,oops\n";
+    assert!(cmc::load_csv(text).is_err());
+    let (lt, report) = cmc::load_csv_with_policy(text, RowPolicy::SuppressRow).unwrap();
+    assert_eq!(lt.table.num_rows(), 1);
+    assert_eq!(report.suppressed_rows, vec![1, 2]);
+    let (lt, report) = cmc::load_csv_with_policy(text, RowPolicy::GeneralizeToRoot).unwrap();
+    // Bad education roots; the bad class label still suppresses its row.
+    assert_eq!(lt.table.num_rows(), 2);
+    assert_eq!(report.suppressed_rows, vec![2]);
+    assert_eq!(report.rooted_cells, vec![(1, 1)]);
+}
+
+const POLICIES: [RowPolicy; 3] = [
+    RowPolicy::Strict,
+    RowPolicy::SuppressRow,
+    RowPolicy::GeneralizeToRoot,
+];
+
+/// Seeded arbitrary text: raw random bytes (lossy UTF-8) for odd seeds, a
+/// CSV-flavoured palette (delimiters, quotes, schema labels, digits) for
+/// even seeds — the latter reaches much deeper into the parser's states.
+fn random_text(seed: u64) -> String {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let len = rng.gen_range(0usize..240);
+    if seed % 2 == 1 {
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        return String::from_utf8_lossy(&bytes).into_owned();
+    }
+    const PALETTE: &[char] = &[
+        ',', '"', '\n', '\r', ' ', 'M', 'F', 'r', 'b', 'g', 'c', '?', '0', '1', '7', '9', '-', '*',
+        ';', 'x',
+    ];
+    (0..len)
+        .map(|_| PALETTE[rng.gen_range(0..PALETTE.len())])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn csv_ingestion_never_panics_on_arbitrary_text(seed in any::<u64>(), policy in 0usize..3, header in 0usize..2) {
+        let text = random_text(seed);
+        let s = two_attr_schema();
+        let _ = table_from_csv_with_policy(&s, &text, header == 1, POLICIES[policy]);
+    }
+
+    #[test]
+    fn dataset_loaders_never_panic_on_arbitrary_text(seed in any::<u64>(), policy in 0usize..3) {
+        let text = random_text(seed);
+        let _ = adult::load_csv_with_policy(&text, 0, POLICIES[policy]);
+        let _ = cmc::load_csv_with_policy(&text, POLICIES[policy]);
+    }
+
+    #[test]
+    fn schema_text_parser_never_panics(seed in any::<u64>()) {
+        let _ = parse_schema(&random_text(seed));
+    }
+
+    #[test]
+    fn suppress_policy_output_is_a_subsequence_of_clean_rows(seed in any::<u64>(), n in 0usize..20) {
+        // Encode some rows with out-of-domain labels; Suppress must keep
+        // exactly the clean ones, in order.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<(usize, usize)> =
+            (0..n).map(|_| (rng.gen_range(0..4), rng.gen_range(0..4))).collect();
+        let s = two_attr_schema();
+        let g = ["M", "F", "X", "Y"]; // X, Y unknown
+        let c = ["r", "b", "p", "q"]; // p, q unknown
+        let text: String = rows.iter().map(|&(a, b)| format!("{},{}\n", g[a], c[b])).collect();
+        let (t, report) = table_from_csv_with_policy(&s, &text, false, RowPolicy::SuppressRow).unwrap();
+        let clean: Vec<usize> = rows.iter().enumerate()
+            .filter(|(_, &(a, b))| a < 2 && b < 2)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(t.num_rows(), clean.len());
+        let bad: Vec<usize> = (0..rows.len()).filter(|i| !clean.contains(i)).collect();
+        prop_assert_eq!(&report.suppressed_rows, &bad);
+    }
+}
+
+// Keep the type exported and constructible for downstream reporting.
+#[test]
+fn ingest_report_default_is_clean() {
+    assert!(IngestReport::default().is_clean());
+}

@@ -1,0 +1,398 @@
+//! # kanon-fault — deterministic failpoint registry
+//!
+//! Zero-dependency fault-injection hooks for reproducible robustness
+//! testing. Production code marks interesting failure sites with
+//! [`fail_point!`]; by default the marker is a single relaxed atomic
+//! load and nothing ever fires. Tests and CI arm points either through
+//! the `KANON_FAILPOINTS` environment variable (read exactly once, at
+//! this crate's designated config point) or programmatically with
+//! [`scoped`].
+//!
+//! ## Spec grammar
+//!
+//! ```text
+//! KANON_FAILPOINTS = point '=' mode (',' point '=' mode)*
+//! mode             = 'every:' N    -- typed fault on every Nth hit
+//!                  | 'once:'  K    -- typed fault on exactly the Kth hit
+//!                  | 'panic:' K    -- plain panic on the Kth hit
+//!                  | 'off'         -- explicitly disarmed
+//! ```
+//!
+//! Hit ordinals start at 1, so `once:1` fires on the first hit.
+//! `every:N`/`once:K` raise a *typed* fault: the unwind payload is an
+//! [`InjectedFault`] value which fallible entry points (`try_*` in
+//! `kanon-algos`) downcast into `KanonError::FaultInjected`. `panic:K`
+//! raises a plain string panic, simulating an organic bug rather than a
+//! recognised injected fault.
+//!
+//! ## Determinism
+//!
+//! Firing is driven purely by per-point hit ordinals (the spec is the
+//! seed — same spec, same serial hit sequence, same failure). Points
+//! hit from *serial* code are therefore fully deterministic. Points hit
+//! concurrently from worker threads race for ordinals; for those, use
+//! [`worker_hit`], which keys on the stable worker index instead of the
+//! arrival order.
+//!
+//! ## Failpoint catalogue
+//!
+//! | point                        | site                                     |
+//! |------------------------------|------------------------------------------|
+//! | `algos/agglomerative/merge`  | top of the agglomerative merge loop      |
+//! | `algos/forest/round`         | top of each forest Borůvka round         |
+//! | `algos/k1/row`               | per-row loop of the (k,1) algorithms     |
+//! | `algos/one_k/upgrade`        | per-upgrade loop of Algorithm 6          |
+//! | `data/csv/row`               | per-row CSV ingestion (poisons the row)  |
+//! | `parallel/worker`            | every spawned worker (index semantics)   |
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Unwind payload raised by an armed `every:`/`once:` failpoint.
+///
+/// Fallible entry points catch unwinds and downcast to this type to
+/// recognise injected faults (as opposed to organic panics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Name of the failpoint that fired.
+    pub point: String,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at fail point `{}`", self.point)
+    }
+}
+
+/// Firing discipline of one armed point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Typed fault on every Nth hit (N >= 1).
+    Every(u64),
+    /// Typed fault on exactly the Kth hit (K >= 1).
+    Once(u64),
+    /// Plain (untyped) panic on the Kth hit; for [`worker_hit`], K is
+    /// the worker index instead of a hit ordinal.
+    Panic(u64),
+}
+
+#[derive(Debug)]
+struct ArmedPoint {
+    mode: Mode,
+    hits: AtomicU64,
+}
+
+impl ArmedPoint {
+    /// Consume one hit ordinal; report whether the point fires.
+    fn advance(&self) -> bool {
+        let ordinal = self.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.mode {
+            // `u64::is_multiple_of` needs Rust 1.87; MSRV is 1.75.
+            #[allow(clippy::manual_is_multiple_of)]
+            Mode::Every(n) => n > 0 && ordinal % n == 0,
+            Mode::Once(k) | Mode::Panic(k) => ordinal == k,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    points: BTreeMap<String, ArmedPoint>,
+}
+
+impl Registry {
+    fn parse(spec: &str) -> Result<Registry, String> {
+        let mut points = BTreeMap::new();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (name, mode) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("failpoint entry `{entry}` is missing `=`"))?;
+            let (name, mode) = (name.trim(), mode.trim());
+            if name.is_empty() {
+                return Err(format!("failpoint entry `{entry}` has an empty name"));
+            }
+            if mode == "off" {
+                points.remove(name);
+                continue;
+            }
+            let (kind, count) = mode
+                .split_once(':')
+                .ok_or_else(|| format!("failpoint mode `{mode}` is not `kind:count` or `off`"))?;
+            let count: u64 = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("failpoint count `{count}` is not an unsigned integer"))?;
+            let mode = match kind.trim() {
+                // `once:0`/`panic:0` are meaningful for worker-indexed
+                // points (indexes start at 0); ordinal points start
+                // counting at 1, so 0 simply never fires there.
+                "every" if count == 0 => {
+                    return Err("failpoint period `every:0` needs a count >= 1".to_string())
+                }
+                "every" => Mode::Every(count),
+                "once" => Mode::Once(count),
+                "panic" => Mode::Panic(count),
+                other => return Err(format!("unknown failpoint kind `{other}`")),
+            };
+            points.insert(
+                name.to_string(),
+                ArmedPoint {
+                    mode,
+                    hits: AtomicU64::new(0),
+                },
+            );
+        }
+        Ok(Registry { points })
+    }
+}
+
+/// Fast-path gate: true iff any failpoint is currently armed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Scoped override installed by [`scoped`]; `None` means "use the env
+/// snapshot". Worker threads take this lock only on the slow path
+/// (after [`armed`] returned true), so disarmed runs never touch it.
+static OVERRIDE: Mutex<Option<Arc<Registry>>> = Mutex::new(None);
+
+/// Serializes [`scoped`] users so concurrent tests cannot clobber each
+/// other's armed points.
+static SCOPE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Designated config point for `KANON_FAILPOINTS` (lint rule L003):
+/// the environment is read exactly once per process and the parsed
+/// registry cached for the lifetime of the program.
+///
+/// A malformed spec panics with a diagnostic — silently ignoring a typo
+/// in a fault-injection run would make CI green for the wrong reason.
+fn env_registry() -> &'static Registry {
+    static ENV: OnceLock<Registry> = OnceLock::new();
+    ENV.get_or_init(|| {
+        let spec = std::env::var("KANON_FAILPOINTS").unwrap_or_default();
+        let reg = match Registry::parse(&spec) {
+            Ok(reg) => reg,
+            Err(msg) => panic!("invalid KANON_FAILPOINTS: {msg}"),
+        };
+        if !reg.points.is_empty() {
+            ARMED.store(true, Ordering::Relaxed);
+        }
+        reg
+    })
+}
+
+/// Cheap check used by the [`fail_point!`] macro: one relaxed atomic
+/// load when nothing is armed. Forces the env snapshot on first call so
+/// `KANON_FAILPOINTS` set at process start is honoured.
+pub fn armed() -> bool {
+    static ENV_SEEN: AtomicBool = AtomicBool::new(false);
+    if !ENV_SEEN.load(Ordering::Relaxed) {
+        let _ = env_registry();
+        ENV_SEEN.store(true, Ordering::Relaxed);
+    }
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Run `f` against the active registry (scoped override if present,
+/// else the env snapshot).
+fn with_active<R>(f: impl FnOnce(&Registry) -> R) -> R {
+    let guard = OVERRIDE.lock().unwrap_or_else(|e| e.into_inner());
+    match guard.as_ref() {
+        Some(reg) => {
+            let reg = Arc::clone(reg);
+            drop(guard);
+            f(&reg)
+        }
+        None => {
+            drop(guard);
+            f(env_registry())
+        }
+    }
+}
+
+/// Register one hit at `name`; unwinds if the point fires.
+///
+/// `every:`/`once:` modes raise a typed [`InjectedFault`] payload;
+/// `panic:` raises a plain string panic. Prefer the [`fail_point!`]
+/// macro, which short-circuits on the disarmed fast path.
+pub fn hit(name: &str) {
+    with_active(|reg| {
+        if let Some(point) = reg.points.get(name) {
+            if point.advance() {
+                match point.mode {
+                    Mode::Panic(_) => panic!("injected panic at fail point `{name}`"),
+                    Mode::Every(_) | Mode::Once(_) => std::panic::panic_any(InjectedFault {
+                        point: name.to_string(),
+                    }),
+                }
+            }
+        }
+    })
+}
+
+/// Non-unwinding form of [`hit`]: consume one ordinal and report
+/// whether the point fired. Used for data poisoning, where the caller
+/// wants to route the fault through an error path (e.g. treat a CSV row
+/// as unparseable) rather than unwind.
+pub fn fires(name: &str) -> bool {
+    if !armed() {
+        return false;
+    }
+    with_active(|reg| reg.points.get(name).is_some_and(ArmedPoint::advance))
+}
+
+/// Worker-indexed hit for points reached concurrently from a thread
+/// pool, where arrival-order ordinals would be racy. Fires with
+/// *index* semantics: `panic:K` plain-panics in the worker with index
+/// `K` (every dispatch), `once:K` raises a typed [`InjectedFault`] in
+/// worker `K`; `every:` is ignored here.
+pub fn worker_hit(name: &str, worker: usize) {
+    if !armed() {
+        return;
+    }
+    let mode = with_active(|reg| reg.points.get(name).map(|p| p.mode));
+    match mode {
+        Some(Mode::Panic(k)) if worker as u64 == k => {
+            panic!("injected panic in worker {worker} at fail point `{name}`")
+        }
+        Some(Mode::Once(k)) if worker as u64 == k => std::panic::panic_any(InjectedFault {
+            point: name.to_string(),
+        }),
+        _ => {}
+    }
+}
+
+/// Mark a failure site. Disarmed cost: one relaxed atomic load.
+///
+/// ```ignore
+/// kanon_fault::fail_point!("algos/agglomerative/merge");
+/// ```
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        if $crate::armed() {
+            $crate::hit($name);
+        }
+    };
+}
+
+/// Guard returned by [`scoped`]; disarms the override on drop.
+pub struct ScopedFaults {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for ScopedFaults {
+    fn drop(&mut self) {
+        let mut guard = OVERRIDE.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = None;
+        ARMED.store(!env_registry().points.is_empty(), Ordering::Relaxed);
+    }
+}
+
+/// Programmatically arm failpoints for the lifetime of the returned
+/// guard. Hit counters start at zero for each scope, so `once:K`
+/// semantics are reproducible per test regardless of what ran before.
+/// Concurrent callers are serialized on a global lock (the registry is
+/// process-wide state). Panics on a malformed spec.
+pub fn scoped(spec: &str) -> ScopedFaults {
+    let serial = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let reg = match Registry::parse(spec) {
+        Ok(reg) => reg,
+        Err(msg) => panic!("invalid failpoint spec: {msg}"),
+    };
+    let armed = !reg.points.is_empty();
+    {
+        let mut guard = OVERRIDE.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = Some(Arc::new(reg));
+    }
+    ARMED.store(
+        armed || !env_registry().points.is_empty(),
+        Ordering::Relaxed,
+    );
+    ScopedFaults { _serial: serial }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn disarmed_points_never_fire() {
+        let _s = scoped("");
+        fail_point!("nowhere");
+        assert!(!fires("nowhere"));
+    }
+
+    #[test]
+    fn once_fires_on_exact_ordinal() {
+        let _s = scoped("p=once:3");
+        assert!(!fires("p"));
+        assert!(!fires("p"));
+        assert!(fires("p"));
+        assert!(!fires("p"));
+    }
+
+    #[test]
+    fn every_fires_periodically() {
+        let _s = scoped("p=every:2");
+        let fired: Vec<bool> = (0..6).map(|_| fires("p")).collect();
+        assert_eq!(fired, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn hit_raises_typed_payload() {
+        let _s = scoped("p=once:1");
+        let err = catch_unwind(AssertUnwindSafe(|| hit("p"))).unwrap_err();
+        let fault = err.downcast::<InjectedFault>().expect("typed payload");
+        assert_eq!(fault.point, "p");
+    }
+
+    #[test]
+    fn panic_mode_raises_plain_panic() {
+        let _s = scoped("p=panic:1");
+        let err = catch_unwind(AssertUnwindSafe(|| hit("p"))).unwrap_err();
+        let msg = err.downcast::<String>().expect("string payload");
+        assert!(msg.contains("injected panic"), "{msg}");
+    }
+
+    #[test]
+    fn worker_hit_keys_on_index() {
+        let _s = scoped("w=panic:2");
+        worker_hit("w", 0);
+        worker_hit("w", 1);
+        let err = catch_unwind(AssertUnwindSafe(|| worker_hit("w", 2))).unwrap_err();
+        let msg = err.downcast::<String>().expect("string payload");
+        assert!(msg.contains("worker 2"), "{msg}");
+    }
+
+    #[test]
+    fn off_disarms_a_point() {
+        let _s = scoped("p=once:1,p=off");
+        assert!(!fires("p"));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in ["p", "p=every", "p=every:x", "p=every:0", "p=sometimes:1"] {
+            assert!(Registry::parse(bad).is_err(), "spec `{bad}` should fail");
+        }
+        // Worker-index semantics make 0 legal for once:/panic:.
+        assert!(Registry::parse("p=panic:0").is_ok());
+        assert!(Registry::parse("p=once:0").is_ok());
+    }
+
+    #[test]
+    fn scope_resets_counters() {
+        {
+            let _s = scoped("p=once:1");
+            assert!(fires("p"));
+        }
+        let _s = scoped("p=once:1");
+        assert!(fires("p"), "fresh scope must restart ordinals");
+    }
+}

@@ -22,6 +22,7 @@
 //! | L003 | `std::env::var("KANON_*")` only in each crate's single designated config point |
 //! | L004 | every crate root and binary carries `#![forbid(unsafe_code)]` |
 //! | L005 | obs counter registry cross-check: every registered counter is incremented somewhere, every increment uses a registered counter |
+//! | L006 | no `.unwrap()` / `.expect(` / `panic!` in non-test code of the panic-free crates (`core`, `algos`, `matching`, `measures`, `data`) — failures must surface as typed errors |
 //!
 //! ## Opt-out
 //!
@@ -47,11 +48,19 @@ use std::path::{Path, PathBuf};
 /// results and must therefore stay iteration-order deterministic.
 pub const DETERMINISTIC_CRATES: [&str; 5] = ["core", "algos", "matching", "measures", "verify"];
 
+/// Crate directories whose library code must never panic on bad input:
+/// every failure has to surface as a typed error (`CoreError` /
+/// `KanonError`) so the fault-tolerant pipeline can report it (L006).
+/// Test code (`tests/`, `benches/`, `#[cfg(test)]` modules) is exempt —
+/// panicking is how tests fail.
+pub const PANIC_FREE_CRATES: [&str; 5] = ["core", "algos", "matching", "measures", "data"];
+
 /// Per-crate designated config points: the only file of each crate allowed
 /// to read `KANON_*` environment variables (L003). Paths are relative to
 /// the crate directory.
-pub const ENV_CONFIG_POINTS: [(&str, &str); 3] = [
+pub const ENV_CONFIG_POINTS: [(&str, &str); 4] = [
     ("core", "src/config.rs"),
+    ("fault", "src/lib.rs"),
     ("obs", "src/lib.rs"),
     ("parallel", "src/lib.rs"),
 ];
@@ -69,11 +78,20 @@ pub enum Rule {
     L004,
     /// Obs counter registry mismatch.
     L005,
+    /// Panicking call in non-test code of a panic-free crate.
+    L006,
 }
 
 impl Rule {
     /// Every rule, in code order.
-    pub const ALL: [Rule; 5] = [Rule::L001, Rule::L002, Rule::L003, Rule::L004, Rule::L005];
+    pub const ALL: [Rule; 6] = [
+        Rule::L001,
+        Rule::L002,
+        Rule::L003,
+        Rule::L004,
+        Rule::L005,
+        Rule::L006,
+    ];
 
     /// The diagnostic code (`L001`…`L005`).
     pub const fn code(self) -> &'static str {
@@ -83,6 +101,7 @@ impl Rule {
             Rule::L003 => "L003",
             Rule::L004 => "L004",
             Rule::L005 => "L005",
+            Rule::L006 => "L006",
         }
     }
 
@@ -94,6 +113,7 @@ impl Rule {
             Rule::L003 => "KANON_* env vars are read only in each crate's designated config point",
             Rule::L004 => "every crate root and binary carries #![forbid(unsafe_code)]",
             Rule::L005 => "every registered obs counter is incremented; every increment uses a registered counter",
+            Rule::L006 => "no unwrap()/expect()/panic! in non-test code of panic-free crates; return typed errors",
         }
     }
 
@@ -445,6 +465,82 @@ fn contains_token(line: &str, needle: &str) -> bool {
     false
 }
 
+/// Finds `name` in `line` as a whole token immediately followed by `(` —
+/// a call. `unwrap_err(`, `unwrap_or(` and the like do not match
+/// (the `_` extends the identifier past the token boundary).
+fn contains_call(line: &str, name: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(name) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap());
+        let after = &line[at + name.len()..];
+        if before_ok && after.trim_start().starts_with('(') {
+            return true;
+        }
+        start = at + name.len();
+    }
+    false
+}
+
+/// Finds a macro invocation `name!` in `line` as a whole token.
+/// `panic_any(` and `core::panic::` do not match.
+fn contains_macro(line: &str, name: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(name) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(line[..at].chars().next_back().unwrap());
+        let after = &line[at + name.len()..];
+        if before_ok && after.starts_with('!') {
+            return true;
+        }
+        start = at + name.len();
+    }
+    false
+}
+
+/// Marks the lines belonging to `#[cfg(test)]`-gated items (modules,
+/// functions): from the attribute through the matching close brace. Works
+/// on masked code, so braces inside strings and comments never skew the
+/// depth. A `#[cfg(test)]` gating a brace-less item (`use`, `type`) ends
+/// at its `;`.
+pub fn test_code_lines(masked: &Masked) -> Vec<bool> {
+    let mut marks = vec![false; masked.code_lines.len()];
+    let mut pending = false; // saw the attribute, waiting for the item body
+    let mut depth: u32 = 0; // brace depth inside the gated item
+    for (idx, code) in masked.code_lines.iter().enumerate() {
+        let mut test_here = depth > 0;
+        if depth == 0 && !pending {
+            let compact: String = code.chars().filter(|c| !c.is_whitespace()).collect();
+            if compact.contains("#[cfg(test)]") {
+                pending = true;
+            }
+        }
+        if pending || depth > 0 {
+            test_here = true;
+            for c in code.chars() {
+                if depth > 0 {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                } else if pending {
+                    match c {
+                        '{' => {
+                            depth = 1;
+                            pending = false;
+                        }
+                        ';' => pending = false,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        marks[idx] = test_here;
+    }
+    marks
+}
+
 /// Does `s` contain a floating-point literal (`1.0`, `0.5`) or a float
 /// type/constant mention (`f64`, `f32`, `NAN`, `INFINITY`)?
 fn looks_float(s: &str) -> bool {
@@ -490,6 +586,12 @@ pub fn lint_source(rel_path: &str, crate_dir: Option<&str>, src: &str) -> Vec<Di
     let allows = parse_allows(rel_path, &masked, &mut diags);
 
     let deterministic = crate_dir.is_some_and(|d| DETERMINISTIC_CRATES.contains(&d));
+    // L006 covers library code only: the crate's `src/` tree, minus
+    // `#[cfg(test)]` items. Integration tests and benches may panic.
+    let panic_free = crate_dir.is_some_and(|d| {
+        PANIC_FREE_CRATES.contains(&d) && rel_path.starts_with(&format!("crates/{d}/src/"))
+    });
+    let in_test = test_code_lines(&masked);
     let raw_lines: Vec<&str> = src.lines().collect();
 
     for (idx, code) in masked.code_lines.iter().enumerate() {
@@ -546,6 +648,35 @@ pub fn lint_source(rel_path: &str, crate_dir: Option<&str>, src: &str) -> Vec<Di
                          compare with `total_cmp` or an explicit tolerance"
                     ),
                 });
+            }
+        }
+
+        // L006 — panicking calls in non-test code of panic-free crates.
+        if panic_free && !in_test[idx] {
+            let probes: [(&str, bool, &str); 3] = [
+                ("unwrap", false, "`.unwrap()`"),
+                ("expect", false, "`.expect(...)`"),
+                ("panic", true, "`panic!`"),
+            ];
+            for (name, is_macro, label) in probes {
+                let hit = if is_macro {
+                    contains_macro(code, name)
+                } else {
+                    contains_call(code, name)
+                };
+                if hit && !allows.allows(line, Rule::L006) {
+                    diags.push(Diagnostic {
+                        file: rel_path.to_string(),
+                        line,
+                        rule: Rule::L006,
+                        message: format!(
+                            "{label} in panic-free crate `{}` — surface the failure as a \
+                             typed error (CoreError/KanonError) or justify with \
+                             `// kanon-lint: allow(L006) <reason>`",
+                            crate_dir.unwrap_or_default()
+                        ),
+                    });
+                }
             }
         }
 
@@ -1018,6 +1149,71 @@ mod tests {
             incs,
             vec![(1, "Alpha".to_string()), (2, "Gamma".to_string())]
         );
+    }
+
+    #[test]
+    fn l006_fires_on_panicking_calls_in_panic_free_crates() {
+        let src = "let v = o.unwrap();\nlet w = r.expect(\"msg\");\npanic!(\"boom\");\n";
+        let diags = lint_source("crates/algos/src/x.rs", Some("algos"), src);
+        assert_eq!(diags.iter().filter(|d| d.rule == Rule::L006).count(), 3);
+        // Out of scope: non-panic-free crates, tests/, and benches/.
+        for (path, dir) in [
+            ("crates/cli/src/main.rs", Some("cli")),
+            ("crates/verify/src/x.rs", Some("verify")),
+            ("crates/algos/tests/t.rs", Some("algos")),
+            ("crates/algos/benches/b.rs", Some("algos")),
+            ("examples/demo.rs", None),
+        ] {
+            let diags = lint_source(path, dir, src);
+            assert!(diags.iter().all(|d| d.rule != Rule::L006), "{path}");
+        }
+    }
+
+    #[test]
+    fn l006_ignores_non_panicking_lookalikes() {
+        let src = "let a = r.unwrap_err();\nlet b = r.expect_err(\"no\");\n\
+                   let c = o.unwrap_or(1);\nlet d = o.unwrap_or_else(f);\n\
+                   std::panic::panic_any(e);\nassert!(ok);\nlet p = std::panic::catch_unwind(f);\n";
+        let diags = lint_source("crates/core/src/x.rs", Some("core"), src);
+        assert!(diags.iter().all(|d| d.rule != Rule::L006), "{diags:?}");
+    }
+
+    #[test]
+    fn l006_exempts_cfg_test_modules() {
+        let src = "pub fn lib() -> u32 { 1 }\n\
+                   #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                   helper().unwrap();\n        panic!(\"test-only\");\n    }\n}\n\
+                   pub fn after() { tail.unwrap(); }\n";
+        let diags = lint_source("crates/measures/src/x.rs", Some("measures"), src);
+        let l006: Vec<_> = diags.iter().filter(|d| d.rule == Rule::L006).collect();
+        // Only the `.unwrap()` after the test module fires.
+        assert_eq!(l006.len(), 1, "{diags:?}");
+        assert_eq!(l006[0].line, 10);
+    }
+
+    #[test]
+    fn l006_allow_marker_with_reason_silences() {
+        let src = "// kanon-lint: allow(L006) mutex poisoning is unrecoverable here\n\
+                   let g = m.lock().unwrap();\n";
+        let diags = lint_source("crates/data/src/x.rs", Some("data"), src);
+        assert!(diags.is_empty(), "{diags:?}");
+        let bare = "let g = m.lock().unwrap(); // kanon-lint: allow(L006)\n";
+        let diags = lint_source("crates/data/src/x.rs", Some("data"), bare);
+        assert!(diags.iter().any(|d| d.rule == Rule::L006 && d.line == 1));
+    }
+
+    #[test]
+    fn test_code_lines_tracks_brace_depth() {
+        let src = "fn a() { if x { y() } }\n#[cfg(test)]\nfn t() {\n  body();\n}\nfn b() {}\n";
+        let marks = test_code_lines(&mask_source(src));
+        assert!(!marks[0]);
+        assert!(marks[1] && marks[2] && marks[3] && marks[4]);
+        assert!(!marks[5]);
+        // A brace-less gated item ends at the semicolon.
+        let src = "#[cfg(test)]\nuse helpers::probe;\nfn real() { x.unwrap(); }\n";
+        let marks = test_code_lines(&mask_source(src));
+        assert!(marks[0] && marks[1]);
+        assert!(!marks[2]);
     }
 
     #[test]

@@ -101,6 +101,7 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> Matching {
                 let u = u as usize;
                 let nb = g.neighbors(u);
                 if idx < nb.len() {
+                    // kanon-lint: allow(L006) the stack is non-empty inside the DFS frame
                     stack.last_mut().unwrap().1 = idx + 1;
                     let v = nb[idx];
                     let w = pair_right[v as usize];

@@ -68,6 +68,7 @@ pub fn tarjan_scc(g: &Digraph) -> (Vec<u32>, usize) {
             let u = u as usize;
             let nb = g.neighbors(u);
             if (ei as usize) < nb.len() {
+                // kanon-lint: allow(L006) the call stack is non-empty inside the DFS frame
                 call.last_mut().unwrap().1 = ei + 1;
                 let w = nb[ei as usize] as usize;
                 if index[w] == NONE {
@@ -89,6 +90,7 @@ pub fn tarjan_scc(g: &Digraph) -> (Vec<u32>, usize) {
                 if low[u] == index[u] {
                     // u is the root of an SCC: pop it off.
                     loop {
+                        // kanon-lint: allow(L006) Tarjan invariant: the SCC root is on the stack
                         let w = scc_stack.pop().expect("scc stack underflow") as usize;
                         on_stack[w] = false;
                         comp[w] = num_comps as u32;

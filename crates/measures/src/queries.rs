@@ -108,6 +108,7 @@ impl QueryWorkload {
                 // least one: a singleton leaf).
                 let node = loop {
                     let idx = rng.gen_range(0..h.num_nodes());
+                    // kanon-lint: allow(L006) idx < num_nodes by the range just above
                     let n = h.node_from_index(idx).expect("in range");
                     if n != h.root() || h.num_nodes() == 1 {
                         break n;

@@ -44,9 +44,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// The deterministic work counters. Every variant's total is invariant
@@ -543,6 +543,69 @@ pub fn env_stats_format() -> Option<StatsFormat> {
         .and_then(|v| parse_stats_format(&v))
 }
 
+// ---------------------------------------------------------------------------
+// Deterministic work budget
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// In-process override installed by [`with_work_budget`].
+    static BUDGET_OVERRIDE: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Designated config point for `KANON_WORK_BUDGET` (lint rule L003):
+/// snapshotted once per process, like `KANON_THREADS`. `0`, empty or
+/// unparsable values mean "unlimited".
+fn env_work_budget() -> Option<u64> {
+    static BUDGET: OnceLock<Option<u64>> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        std::env::var("KANON_WORK_BUDGET")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0)
+    })
+}
+
+/// The active deterministic work budget, if any: the [`with_work_budget`]
+/// override when inside one, else the `KANON_WORK_BUDGET` snapshot.
+///
+/// The budget is measured in *work units* — the sum of all deterministic
+/// counters ([`spent_work`]) — so it is byte-identical across thread
+/// counts and machines: the same run always trips at the same point.
+pub fn work_budget() -> Option<u64> {
+    BUDGET_OVERRIDE.with(Cell::get).or_else(env_work_budget)
+}
+
+/// Runs `f` with the work budget pinned to `budget` work units on this
+/// thread, restoring the previous value afterwards (panic-safe). The
+/// in-process analogue of setting `KANON_WORK_BUDGET`.
+pub fn with_work_budget<T>(budget: u64, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<u64>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET_OVERRIDE.with(|b| b.set(self.0));
+        }
+    }
+    let _restore = Restore(BUDGET_OVERRIDE.with(|b| b.replace(Some(budget))));
+    f()
+}
+
+/// Total work spent so far on the current thread's collector: the sum of
+/// every deterministic counter. Returns 0 when no collector is installed
+/// (budget checks are then vacuous — entry points that honour a budget
+/// install a collector when one is armed).
+pub fn spent_work() -> u64 {
+    if ACTIVE.load(Relaxed) == 0 {
+        return 0;
+    }
+    CURRENT.with(|cur| match &*cur.borrow() {
+        Some(inner) => Counter::ALL
+            .iter()
+            .map(|&c| inner.counters[c as usize].load(Relaxed))
+            .sum(),
+        None => 0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -675,5 +738,35 @@ mod tests {
         assert!(t.contains("climb_fallback_hits"));
         assert!(t.contains('9'));
         assert!(t.contains("phase"));
+    }
+
+    #[test]
+    fn with_work_budget_overrides_and_restores() {
+        let before = work_budget();
+        with_work_budget(42, || {
+            assert_eq!(work_budget(), Some(42));
+            with_work_budget(7, || assert_eq!(work_budget(), Some(7)));
+            assert_eq!(work_budget(), Some(42));
+        });
+        assert_eq!(work_budget(), before);
+    }
+
+    #[test]
+    fn with_work_budget_restores_on_panic() {
+        let before = work_budget();
+        let r = std::panic::catch_unwind(|| with_work_budget(5, || panic!("boom")));
+        assert!(r.is_err());
+        assert_eq!(work_budget(), before);
+    }
+
+    #[test]
+    fn spent_work_sums_all_counters() {
+        assert_eq!(spent_work(), 0);
+        let c = Collector::new();
+        let _g = c.install();
+        assert_eq!(spent_work(), 0);
+        count(Counter::MergesPerformed, 3);
+        count(Counter::NnRescans, 4);
+        assert_eq!(spent_work(), 7);
     }
 }

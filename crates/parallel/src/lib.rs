@@ -47,15 +47,41 @@
 //! per-index work is identical and counter addition commutes. Each
 //! dispatch also records its effective worker count into the collector's
 //! runtime (non-deterministic) section.
+//!
+//! ## Panic isolation
+//!
+//! A panic inside a worker closure does not take down the scope (and,
+//! before this layer existed, `std::thread::scope` would re-raise it with
+//! a *generic* payload, losing the message). Every worker body runs under
+//! `catch_unwind`; panics are collected per worker and, once **all**
+//! workers have joined (so shared `kanon-obs` counters are fully flushed),
+//! converted into a typed [`WorkerPanic`]. When several workers panic, the
+//! lowest worker index wins — deterministically, regardless of which
+//! thread happened to fault first on the wall clock. The infallible
+//! primitives re-raise the `WorkerPanic` as a panic payload (for the
+//! fallible entry points in `kanon-algos` to downcast); [`try_map`]
+//! returns it as an `Err` directly. Injected faults from `kanon-fault`
+//! keep their identity end to end via [`WorkerPanic::fault_point`].
+//!
+//! Each spawned worker (and the inline serial path, as worker 0) passes
+//! through the `parallel/worker` failpoint with **index semantics** (see
+//! `kanon_fault::worker_hit`), so tests can deterministically crash one
+//! specific worker.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::any::Any;
 use std::cell::Cell;
-use std::sync::OnceLock;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock};
 
 /// Below this many items, primitives run serially on the caller thread.
 pub const MIN_PARALLEL_ITEMS: usize = 64;
+
+/// Name of the failpoint every worker passes through (index semantics:
+/// `parallel/worker=panic:K` crashes worker `K` on each dispatch).
+pub const WORKER_FAIL_POINT: &str = "parallel/worker";
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
@@ -116,47 +142,201 @@ fn workers_for(n: usize) -> usize {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Panic isolation
+// ---------------------------------------------------------------------------
+
+/// Typed error describing a panic isolated inside a parallel primitive.
+///
+/// When several workers panic in one dispatch, the **lowest worker
+/// index** is reported — after all workers have joined, so the choice is
+/// deterministic and shared obs counters are fully flushed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the (lowest) panicking worker; the serial inline path
+    /// reports worker 0.
+    pub worker: usize,
+    /// The panic message, when the payload was a string (or a
+    /// recognised injected fault).
+    pub message: String,
+    /// `Some(point)` when the panic was a typed `kanon_fault`
+    /// injection (`every:`/`once:` modes) rather than an organic bug.
+    pub fault_point: Option<String>,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker {} panicked: {}", self.worker, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+impl WorkerPanic {
+    fn from_payload(worker: usize, payload: Box<dyn Any + Send>) -> WorkerPanic {
+        // A nested parallel dispatch already produced a typed error:
+        // keep it unchanged (its worker index names the inner culprit).
+        let payload = match payload.downcast::<WorkerPanic>() {
+            Ok(inner) => return *inner,
+            Err(p) => p,
+        };
+        // A typed fault injection keeps its identity.
+        let payload = match payload.downcast::<kanon_fault::InjectedFault>() {
+            Ok(fault) => {
+                return WorkerPanic {
+                    worker,
+                    message: fault.to_string(),
+                    fault_point: Some(fault.point),
+                }
+            }
+            Err(p) => p,
+        };
+        WorkerPanic {
+            worker,
+            message: panic_message(payload.as_ref()),
+            fault_point: None,
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Per-dispatch panic collector. Workers run their body through
+/// [`PanicSink::run`]; after the scope joins, [`PanicSink::check`] turns
+/// the recorded panics (if any) into one deterministic [`WorkerPanic`].
+#[derive(Default)]
+struct PanicSink {
+    panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>>,
+}
+
+impl PanicSink {
+    /// Runs one worker body with the worker failpoint armed and any
+    /// panic isolated into the sink.
+    fn run(&self, worker: usize, body: impl FnOnce()) {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            kanon_fault::worker_hit(WORKER_FAIL_POINT, worker);
+            body()
+        }));
+        if let Err(payload) = result {
+            self.panics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((worker, payload));
+        }
+    }
+
+    /// Consumes the sink: `Err` with the lowest panicking worker's typed
+    /// error if any worker panicked, `Ok` otherwise.
+    fn check(self) -> Result<(), WorkerPanic> {
+        let mut panics = self.panics.into_inner().unwrap_or_else(|e| e.into_inner());
+        if panics.is_empty() {
+            return Ok(());
+        }
+        panics.sort_by_key(|(worker, _)| *worker);
+        let (worker, payload) = panics.swap_remove(0);
+        Err(WorkerPanic::from_payload(worker, payload))
+    }
+}
+
+/// Re-raises a [`WorkerPanic`] as a panic payload (used by the
+/// infallible primitives; the fallible `try_*` entry points in
+/// `kanon-algos` downcast it back).
+fn raise(e: WorkerPanic) -> ! {
+    std::panic::panic_any(e)
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+/// Serial inline execution (as worker 0) with panic isolation.
+fn serial_run<T>(body: impl FnOnce() -> T) -> Result<T, WorkerPanic> {
+    let sink = PanicSink::default();
+    let mut out = None;
+    sink.run(0, || out = Some(body()));
+    sink.check()?;
+    Ok(out.expect("serial body completed"))
+}
+
+/// Chunked parallel map over `0..n` with `threads >= 2` workers.
+fn map_chunked<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, WorkerPanic>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    kanon_obs::record_parallel_job(threads);
+    let obs = kanon_obs::current();
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Option<T>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let sink = PanicSink::default();
+    std::thread::scope(|scope| {
+        for (t, slice) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            let obs = obs.clone();
+            let sink = &sink;
+            scope.spawn(move || {
+                let _obs = kanon_obs::install_current(obs);
+                sink.run(t, || {
+                    let base = t * chunk;
+                    for (off, slot) in slice.iter_mut().enumerate() {
+                        *slot = Some(f(base + off));
+                    }
+                });
+            });
+        }
+    });
+    sink.check()?;
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every index computed"))
+        .collect())
+}
+
 /// Maps `f` over `0..n`, returning results in index order. `f` runs
 /// concurrently across contiguous index chunks; the output is identical to
-/// `(0..n).map(f).collect()` for any thread count.
+/// `(0..n).map(f).collect()` for any thread count. A worker panic is
+/// re-raised as a typed [`WorkerPanic`] payload; use [`try_map`] to
+/// receive it as a value instead.
 pub fn map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    try_map(n, f).unwrap_or_else(|e| raise(e))
+}
+
+/// Fallible form of [`map`]: isolates worker panics (and the inline
+/// serial path, as worker 0) and returns them as a typed
+/// [`WorkerPanic`]. On success the output is byte-identical to [`map`]
+/// at any thread count.
+pub fn try_map<T, F>(n: usize, f: F) -> Result<Vec<T>, WorkerPanic>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let threads = workers_for(n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        return serial_run(|| (0..n).map(&f).collect());
     }
-    kanon_obs::record_parallel_job(threads);
-    let obs = kanon_obs::current();
-    let chunk = n.div_ceil(threads);
-    let mut results: Vec<Option<T>> = Vec::with_capacity(n);
-    results.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        for (t, slice) in results.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            let obs = obs.clone();
-            scope.spawn(move || {
-                let _obs = kanon_obs::install_current(obs);
-                let base = t * chunk;
-                for (off, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(f(base + off));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every index computed"))
-        .collect()
+    map_chunked(n, threads, f)
 }
 
 /// Runs `f` over contiguous, disjoint chunks of `data`, in parallel.
 /// `f(chunk_start, chunk)` may mutate its chunk freely; chunk boundaries
 /// depend only on `data.len()` and the thread count, and since each index
 /// is processed exactly once by a pure-per-index `f`, results are
-/// identical to the serial pass.
+/// identical to the serial pass. Worker panics re-raise as a typed
+/// [`WorkerPanic`] payload after all workers join.
 pub fn for_each_chunk_mut<T, F>(data: &mut [T], f: F)
 where
     T: Send,
@@ -165,22 +345,29 @@ where
     let n = data.len();
     let threads = workers_for(n);
     if threads <= 1 {
-        f(0, data);
+        if let Err(e) = serial_run(|| f(0, data)) {
+            raise(e);
+        }
         return;
     }
     kanon_obs::record_parallel_job(threads);
     let obs = kanon_obs::current();
     let chunk = n.div_ceil(threads);
+    let sink = PanicSink::default();
     std::thread::scope(|scope| {
         for (t, slice) in data.chunks_mut(chunk).enumerate() {
             let f = &f;
             let obs = obs.clone();
+            let sink = &sink;
             scope.spawn(move || {
                 let _obs = kanon_obs::install_current(obs);
-                f(t * chunk, slice)
+                sink.run(t, || f(t * chunk, slice));
             });
         }
     });
+    if let Err(e) = sink.check() {
+        raise(e);
+    }
 }
 
 /// Map-reduce over `0..n`: computes `map(i)` for every index and folds the
@@ -188,7 +375,8 @@ where
 /// within each chunk, chunk results combined in chunk order), starting
 /// from `identity`. For an associative `reduce` this equals the serial
 /// fold; for a non-commutative but associative operator the order
-/// guarantee is what keeps results thread-count-independent.
+/// guarantee is what keeps results thread-count-independent. Worker
+/// panics re-raise as a typed [`WorkerPanic`] payload.
 pub fn map_reduce<T, M, R>(n: usize, identity: T, map_fn: M, reduce: R) -> T
 where
     T: Send + Clone,
@@ -197,27 +385,36 @@ where
 {
     let threads = workers_for(n);
     if threads <= 1 {
-        return (0..n).fold(identity, |acc, i| reduce(acc, map_fn(i)));
+        let identity2 = identity.clone();
+        return serial_run(|| (0..n).fold(identity2, |acc, i| reduce(acc, map_fn(i))))
+            .unwrap_or_else(|e| raise(e));
     }
     kanon_obs::record_parallel_job(threads);
     let obs = kanon_obs::current();
     let chunk = n.div_ceil(threads);
     let mut partials: Vec<Option<T>> = Vec::new();
     partials.resize_with(threads.min(n.div_ceil(chunk)), || None);
+    let sink = PanicSink::default();
     std::thread::scope(|scope| {
         for (t, slot) in partials.iter_mut().enumerate() {
             let map_fn = &map_fn;
             let reduce = &reduce;
             let identity = identity.clone();
             let obs = obs.clone();
+            let sink = &sink;
             scope.spawn(move || {
                 let _obs = kanon_obs::install_current(obs);
-                let lo = t * chunk;
-                let hi = ((t + 1) * chunk).min(n);
-                *slot = Some((lo..hi).fold(identity, |acc, i| reduce(acc, map_fn(i))));
+                sink.run(t, || {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(n);
+                    *slot = Some((lo..hi).fold(identity, |acc, i| reduce(acc, map_fn(i))));
+                });
             });
         }
     });
+    if let Err(e) = sink.check() {
+        raise(e);
+    }
     partials
         .into_iter()
         .map(|p| p.expect("chunk folded"))
@@ -228,38 +425,20 @@ where
 /// intended for **coarse-grained** jobs (whole algorithm runs, experiment
 /// grid cells) where each of a handful of items is worth milliseconds or
 /// more and the per-thread spawn cost is noise. Results are in index
-/// order, identical to the serial map.
+/// order, identical to the serial map. Worker panics re-raise as a typed
+/// [`WorkerPanic`] payload.
 pub fn map_coarse<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let threads = num_threads().min(n).max(1);
-    if threads <= 1 {
-        return (0..n).map(f).collect();
-    }
-    kanon_obs::record_parallel_job(threads);
-    let obs = kanon_obs::current();
-    let chunk = n.div_ceil(threads);
-    let mut results: Vec<Option<T>> = Vec::with_capacity(n);
-    results.resize_with(n, || None);
-    std::thread::scope(|scope| {
-        for (t, slice) in results.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            let obs = obs.clone();
-            scope.spawn(move || {
-                let _obs = kanon_obs::install_current(obs);
-                let base = t * chunk;
-                for (off, slot) in slice.iter_mut().enumerate() {
-                    *slot = Some(f(base + off));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every index computed"))
-        .collect()
+    let result = if threads <= 1 {
+        serial_run(|| (0..n).map(&f).collect())
+    } else {
+        map_chunked(n, threads, f)
+    };
+    result.unwrap_or_else(|e| raise(e))
 }
 
 /// Chunked fold over `0..n` with per-chunk accumulators: each worker folds
@@ -268,7 +447,7 @@ where
 /// chunk order with `merge`. For a `merge` consistent with `fold` (i.e.
 /// the fold is a homomorphism, as with per-slot argmin tables under a
 /// total order) the result is identical to the serial fold at any thread
-/// count.
+/// count. Worker panics re-raise as a typed [`WorkerPanic`] payload.
 ///
 /// Use this instead of [`map_reduce`] when the accumulator is large (e.g.
 /// a per-component best-edge table) and allocating one per *index* would
@@ -282,32 +461,42 @@ where
 {
     let threads = workers_for(n);
     if threads <= 1 {
-        let mut acc = identity();
-        for i in 0..n {
-            fold(&mut acc, i);
-        }
-        return acc;
+        return serial_run(|| {
+            let mut acc = identity();
+            for i in 0..n {
+                fold(&mut acc, i);
+            }
+            acc
+        })
+        .unwrap_or_else(|e| raise(e));
     }
     kanon_obs::record_parallel_job(threads);
     let obs = kanon_obs::current();
     let chunk = n.div_ceil(threads);
     let mut partials: Vec<Option<T>> = Vec::new();
     partials.resize_with(n.div_ceil(chunk), || None);
+    let sink = PanicSink::default();
     std::thread::scope(|scope| {
         for (t, slot) in partials.iter_mut().enumerate() {
             let identity = &identity;
             let fold = &fold;
             let obs = obs.clone();
+            let sink = &sink;
             scope.spawn(move || {
                 let _obs = kanon_obs::install_current(obs);
-                let mut acc = identity();
-                for i in t * chunk..((t + 1) * chunk).min(n) {
-                    fold(&mut acc, i);
-                }
-                *slot = Some(acc);
+                sink.run(t, || {
+                    let mut acc = identity();
+                    for i in t * chunk..((t + 1) * chunk).min(n) {
+                        fold(&mut acc, i);
+                    }
+                    *slot = Some(acc);
+                });
             });
         }
     });
+    if let Err(e) = sink.check() {
+        raise(e);
+    }
     let mut iter = partials.into_iter().map(|p| p.expect("chunk folded"));
     let first = iter.next().unwrap_or_else(&identity);
     iter.fold(first, merge)
@@ -547,6 +736,71 @@ mod tests {
             let par = run(t);
             assert_eq!(par.counters_json(), serial.counters_json(), "threads={t}");
             assert!(par.max_workers >= 2, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_typed_error_with_counters_flushed() {
+        // Regression test: a panicking closure inside `map` used to
+        // re-raise through std::thread::scope with a *generic* payload
+        // ("a scoped thread panicked"), losing the message and any
+        // typing. It must now surface a WorkerPanic naming the worker
+        // and carrying the message — and counters incremented by the
+        // surviving workers must still be flushed.
+        use kanon_obs::{count, Collector, Counter};
+        let n = 1000;
+        let c = Collector::new();
+        let result = {
+            let _g = c.install();
+            with_threads(4, || {
+                std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    map(n, |i| {
+                        count(Counter::PairCostEvals, 1);
+                        if i == n - 1 {
+                            panic!("poisoned index {i}");
+                        }
+                        i
+                    })
+                }))
+            })
+        };
+        let payload = result.expect_err("map must re-raise the worker panic");
+        let wp = payload
+            .downcast::<WorkerPanic>()
+            .expect("payload must be a typed WorkerPanic");
+        assert_eq!(wp.worker, 3, "index 999 lives in the last of 4 chunks");
+        assert!(wp.message.contains("poisoned index"), "{}", wp.message);
+        assert_eq!(wp.fault_point, None);
+        // Every index counted before the panic (the panicking index
+        // counts first, then unwinds), so the flush must be complete.
+        assert_eq!(c.report().counter(Counter::PairCostEvals), n as u64);
+    }
+
+    #[test]
+    fn try_map_isolates_panics_at_any_thread_count() {
+        for t in [1, 2, 8] {
+            let r = with_threads(t, || {
+                try_map(200, |i| if i == 5 { panic!("boom") } else { i })
+            });
+            let e = r.expect_err("panic must surface as Err");
+            assert_eq!(e.worker, 0, "index 5 is in the first chunk (threads={t})");
+            assert!(e.message.contains("boom"));
+        }
+        assert_eq!(
+            try_map(100, |i| i).expect("clean run"),
+            (0..100).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lowest_worker_index_wins_deterministically() {
+        // Every index panics, so every worker panics; the reported
+        // worker must always be 0 regardless of wall-clock order.
+        for t in [2, 3, 8] {
+            let e = with_threads(t, || try_map(640, |i| -> usize { panic!("boom {i}") }))
+                .expect_err("all workers panic");
+            assert_eq!(e.worker, 0, "threads={t}");
+            assert!(e.message.contains("boom 0"), "threads={t}: {}", e.message);
         }
     }
 }

@@ -1,0 +1,58 @@
+//! Deterministic fault injection into parallel workers.
+//!
+//! All tests in this binary arm failpoints via `kanon_fault::scoped`,
+//! which serializes them on a global lock — keep any test that does NOT
+//! arm failpoints out of this file, or it may observe another test's
+//! armed registry.
+
+use kanon_obs::{count, Collector, Counter};
+use kanon_parallel::{try_map, with_threads, WORKER_FAIL_POINT};
+
+#[test]
+fn injected_worker_panic_is_typed_and_counters_flushed() {
+    // `panic:1` with index semantics: worker 1 panics on entry, before
+    // its chunk runs; workers 0, 2, 3 complete normally.
+    let _faults = kanon_fault::scoped(&format!("{WORKER_FAIL_POINT}=panic:1"));
+    let n = 1000;
+    let c = Collector::new();
+    let result = {
+        let _g = c.install();
+        with_threads(4, || {
+            try_map(n, |i| {
+                count(Counter::PairCostEvals, 1);
+                i
+            })
+        })
+    };
+    let e = result.expect_err("armed worker failpoint must surface an error");
+    assert_eq!(e.worker, 1);
+    assert!(e.message.contains("injected panic in worker 1"), "{e}");
+    assert_eq!(e.fault_point, None, "panic: mode simulates an organic bug");
+    // Worker 1's chunk (250 of 1000 indices) died before counting; the
+    // other three workers' counts must still be flushed — exactly.
+    assert_eq!(c.report().counter(Counter::PairCostEvals), 750);
+}
+
+#[test]
+fn injected_typed_fault_keeps_its_identity() {
+    // `once:2` with index semantics: worker 2 raises InjectedFault.
+    let _faults = kanon_fault::scoped(&format!("{WORKER_FAIL_POINT}=once:2"));
+    let e = with_threads(4, || try_map(1000, |i| i)).expect_err("fault fires");
+    assert_eq!(e.worker, 2);
+    assert_eq!(e.fault_point.as_deref(), Some(WORKER_FAIL_POINT));
+}
+
+#[test]
+fn serial_inline_path_is_worker_zero() {
+    let _faults = kanon_fault::scoped(&format!("{WORKER_FAIL_POINT}=panic:0"));
+    let e = with_threads(1, || try_map(1000, |i| i)).expect_err("worker 0 inline");
+    assert_eq!(e.worker, 0);
+    assert!(e.message.contains("injected panic in worker 0"), "{e}");
+}
+
+#[test]
+fn disarmed_failpoints_cost_nothing_and_change_nothing() {
+    let _faults = kanon_fault::scoped("");
+    let out = with_threads(4, || try_map(1000, |i| i * 7)).expect("clean");
+    assert_eq!(out, (0..1000).map(|i| i * 7).collect::<Vec<_>>());
+}
