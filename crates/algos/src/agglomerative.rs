@@ -10,14 +10,18 @@
 //!
 //! **Implementation note.** The paper states the algorithm as "find the
 //! closest two clusters in γ̂" per iteration, which is O(n³) if done by
-//! rescanning. We maintain a per-cluster nearest-neighbour cache: a merge
+//! rescanning. The shared closest-pair engine ([`crate::engine`])
+//! maintains a per-cluster nearest-neighbour cache instead: a merge
 //! invalidates only the caches pointing at the merged pair, and a newly
 //! created cluster updates the others' caches in one pass. This is the
 //! standard "generic agglomerative clustering" scheme — same merge
-//! sequence, O(n²) expected time, O(n) memory beyond the table.
+//! sequence, O(n²) expected time, O(n) memory beyond the table. This
+//! module supplies only the Algorithm 1/2 policy (closure-cost distance,
+//! size-k maturity, the Algorithm 2 shrink) on top of that engine.
 
 use crate::cost::CostContext;
 use crate::distance::ClusterDistance;
+use crate::engine::{self, closer, ClusterPolicy};
 use kanon_core::cluster::Clustering;
 use kanon_core::error::{CoreError, Result};
 use kanon_core::hierarchy::NodeId;
@@ -95,60 +99,21 @@ impl Cluster {
     }
 }
 
-/// Nearest-neighbour cache entry: distance and target slot.
-#[derive(Debug, Clone, Copy)]
-struct Nearest {
-    dist: f64,
-    target: usize,
-}
-
-/// What a slot knows about its runner-up candidate.
-#[derive(Debug, Clone, Copy)]
-enum Runner {
-    /// Exact knowledge: `Some` = the true 2nd-nearest at last full scan
-    /// (maintained through newcomer insertions), `None` = fewer than two
-    /// candidates existed. Every candidate outside the top-2 is at least
-    /// as far as the runner-up.
-    Exact(Option<Nearest>),
-    /// Unknown: the previous runner-up was promoted to best by a
-    /// fallback. The invariant that survives is weaker — every candidate
-    /// outside the cache is at least as far as the *best* — so newcomers
-    /// may still take over best, but the runner slot must not be filled
-    /// (an unseen candidate could be closer), and the next best-death
-    /// forces a full rescan.
-    Unknown,
-}
-
-/// Top-2 nearest neighbours of a slot. Keeping the runner-up lets a slot
-/// whose nearest neighbour was merged away fall back without a full
-/// rescan; the [`Runner`] state tracks exactly when that shortcut is
-/// sound.
-#[derive(Debug, Clone, Copy)]
-struct NearestPair {
-    best: Nearest,
-    second: Runner,
-}
-
-/// Strict "closer" order with deterministic index tie-break.
-#[inline]
-fn closer(d1: f64, t1: usize, d2: f64, t2: usize) -> bool {
-    d1.total_cmp(&d2).is_lt() || (d1 == d2 && t1 < t2)
-}
-
-struct State<'a> {
-    ctx: CostContext<'a>,
+/// The Algorithm 1/2 policy plugged into the shared closest-pair engine:
+/// closure-cost cluster distances (Sec. V-A.2), maturity at size ≥ k, and
+/// (for Algorithm 2) the shrink-to-k eviction on maturation.
+struct Alg1Policy<'c, 'a> {
+    ctx: &'c CostContext<'a>,
     distance: ClusterDistance,
-    /// Cluster storage; `None` = slot retired (merged away or matured).
-    slots: Vec<Option<Cluster>>,
-    /// Slots that are currently active (immature clusters, the γ̂ of the
-    /// paper).
-    active: Vec<usize>,
-    /// Per-slot nearest-neighbour cache (meaningful for active slots).
-    nearest: Vec<Option<NearestPair>>,
+    k: usize,
+    modified: bool,
 }
 
-impl<'a> State<'a> {
-    fn dist_between(&self, a: &Cluster, b: &Cluster) -> f64 {
+impl ClusterPolicy for Alg1Policy<'_, '_> {
+    type Payload = Cluster;
+    const FAIL_POINT: &'static str = "algos/agglomerative/merge";
+
+    fn distance(&self, a: &Cluster, b: &Cluster) -> f64 {
         let cost_u = self.ctx.join_cost(&a.nodes, &b.nodes);
         self.distance.eval_symmetric(
             a.size(),
@@ -160,257 +125,33 @@ impl<'a> State<'a> {
         )
     }
 
-    /// Scans all active slots (except `slot`) for the two nearest
-    /// neighbours of `slot`. Deterministic tie-break on slot index.
-    fn scan_nearest(&self, slot: usize) -> Option<NearestPair> {
-        kanon_obs::count(kanon_obs::Counter::NnRescans, 1);
-        // kanon-lint: allow(L006) slot liveness is a scan invariant; a breach is a bug caught at the try_* boundary
-        let me = self.slots[slot].as_ref().expect("slot must be live");
-        let mut best: Option<Nearest> = None;
-        let mut second: Option<Nearest> = None;
-        for &other in &self.active {
-            if other == slot {
-                continue;
-            }
-            // kanon-lint: allow(L006) active slots are live by construction
-            let oc = self.slots[other].as_ref().expect("active slot live");
-            let d = self.dist_between(me, oc);
-            let cand = Nearest {
-                dist: d,
-                target: other,
-            };
-            match best {
-                None => best = Some(cand),
-                Some(b) if closer(d, other, b.dist, b.target) => {
-                    second = best;
-                    best = Some(cand);
-                }
-                Some(_) => match second {
-                    None => second = Some(cand),
-                    Some(sn) if closer(d, other, sn.dist, sn.target) => second = Some(cand),
-                    Some(_) => {}
-                },
-            }
-        }
-        best.map(|b| NearestPair {
-            best: b,
-            second: Runner::Exact(second),
-        })
-    }
-
-    /// Adds a cluster as a new active slot; refreshes its own cache and
-    /// lets every other active slot consider it as a nearer neighbour.
-    fn add_active(&mut self, cluster: Cluster) -> usize {
-        let slot = self.slots.len();
-        self.slots.push(Some(cluster));
-        self.nearest.push(None);
-        // Let existing actives insert the newcomer into their top-2, so
-        // that later fallbacks (repair) remain exact without rescans.
-        // kanon-lint: allow(L006) the just-inserted slot is live
-        let new_ref = self.slots[slot].as_ref().unwrap().clone();
-        // The O(active) distance evaluations are pure reads — computed in
-        // parallel; the cache updates below are applied serially in active
-        // order, so the bookkeeping is identical to the serial pass. Each
-        // evaluation is only a handful of joins, so fan out later than the
-        // generic threshold: below ~512 actives the spawns cost more than
-        // the pass.
-        const PAR_DIST_THRESHOLD: usize = 512;
-        let dists: Vec<f64> = {
-            let this = &*self;
-            let new_ref = &new_ref;
-            let eval = move |idx: usize| {
-                // kanon-lint: allow(L006) active slots are live by construction
-                let oc = this.slots[this.active[idx]].as_ref().unwrap();
-                this.dist_between(oc, new_ref)
-            };
-            if this.active.len() >= PAR_DIST_THRESHOLD {
-                kanon_parallel::map(this.active.len(), eval)
-            } else {
-                (0..this.active.len()).map(eval).collect()
-            }
-        };
-        for (&other, &d) in self.active.iter().zip(&dists) {
-            let cand = Nearest {
-                dist: d,
-                target: slot,
-            };
-            match &mut self.nearest[other] {
-                e @ None => {
-                    *e = Some(NearestPair {
-                        best: cand,
-                        second: Runner::Exact(None),
-                    })
-                }
-                Some(pair) => {
-                    let b = pair.best;
-                    let b_dead = self.slots[b.target].is_none();
-                    if closer(d, slot, b.dist, b.target) {
-                        // Newcomer becomes best. Pushing the (alive) old
-                        // best into the runner slot restores exactness:
-                        // every outside candidate was ≥ the old runner-up
-                        // (Exact) or ≥ the old best (Unknown), and the old
-                        // best is ≤ both bounds.
-                        pair.second = if b_dead {
-                            pair.second
-                        } else {
-                            Runner::Exact(Some(b))
-                        };
-                        pair.best = cand;
-                    } else if b_dead && d == b.dist {
-                        // Equal-distance adoption of a dead best: runner
-                        // knowledge is unaffected.
-                        pair.best = cand;
-                    } else {
-                        // Newcomer is not the best; it may only enter an
-                        // *exact* runner slot (with an Unknown runner, an
-                        // unseen candidate could still be closer than it).
-                        if let Runner::Exact(sec) = &mut pair.second {
-                            match sec {
-                                None => *sec = Some(cand),
-                                Some(sn) if closer(d, slot, sn.dist, sn.target) => {
-                                    *sec = Some(cand)
-                                }
-                                Some(_) => {}
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        // The newcomer's own top-2 reuses the distances just computed —
-        // `dist_between` is symmetric (eval_symmetric takes the min over
-        // both orientations) — inserted under the same `closer` total
-        // order as scan_nearest, so no join is evaluated twice.
-        let mut best: Option<Nearest> = None;
-        let mut second: Option<Nearest> = None;
-        for (idx, &d) in dists.iter().enumerate() {
-            let other = self.active[idx];
-            let cand = Nearest {
-                dist: d,
-                target: other,
-            };
-            match best {
-                None => best = Some(cand),
-                Some(b) if closer(d, other, b.dist, b.target) => {
-                    second = best;
-                    best = Some(cand);
-                }
-                Some(_) => match second {
-                    None => second = Some(cand),
-                    Some(sn) if closer(d, other, sn.dist, sn.target) => second = Some(cand),
-                    Some(_) => {}
-                },
-            }
-        }
-        self.active.push(slot);
-        self.nearest[slot] = best.map(|b| NearestPair {
-            best: b,
-            second: Runner::Exact(second),
-        });
-        slot
-    }
-
-    /// Removes a slot from the active set (retiring or maturing it).
-    fn deactivate(&mut self, slot: usize) {
-        if let Some(pos) = self.active.iter().position(|&s| s == slot) {
-            self.active.swap_remove(pos);
+    fn merge(&self, a: Cluster, b: Cluster) -> Cluster {
+        let mut members = a.members;
+        members.extend_from_slice(&b.members);
+        members.sort_unstable();
+        let mut nodes = a.nodes;
+        self.ctx.join_nodes_into(&mut nodes, &b.nodes);
+        let cost = self.ctx.cost(&nodes);
+        Cluster {
+            members,
+            nodes,
+            cost,
         }
     }
 
-    /// Repairs caches whose best target died: fall back to an *exact*
-    /// runner-up when it is still alive (sound — see [`Runner`]),
-    /// otherwise do a full top-2 rescan.
-    fn repair_caches(&mut self) {
-        // Cheap serial pass: keep fresh entries, fall back to an exact
-        // live runner-up, and collect the slots that need a full rescan
-        // (typically zero or a handful per merge — not worth threads).
-        let mut need: Vec<usize> = Vec::new();
-        for idx in 0..self.active.len() {
-            let slot = self.active[idx];
-            let repaired = match self.nearest[slot] {
-                None => None,
-                Some(pair) => {
-                    if self.slots[pair.best.target].is_some() {
-                        Some(pair) // fresh
-                    } else {
-                        match pair.second {
-                            Runner::Exact(Some(sn)) if self.slots[sn.target].is_some() => {
-                                Some(NearestPair {
-                                    best: sn,
-                                    second: Runner::Unknown,
-                                })
-                            }
-                            _ => None,
-                        }
-                    }
-                }
-            };
-            match repaired {
-                Some(p) => self.nearest[slot] = Some(p),
-                None => need.push(slot),
-            }
-        }
-        if need.is_empty() {
-            return;
-        }
-        // Full rescans are O(active) distance evaluations each — the
-        // expensive, pure part. Few in number, so the per-item threshold
-        // of `map` never triggers; gate on the *scan* size instead and
-        // use the coarse variant.
-        let rescanned: Vec<Option<NearestPair>> =
-            if self.active.len() >= kanon_parallel::MIN_PARALLEL_ITEMS {
-                let this = &*self;
-                kanon_parallel::map_coarse(need.len(), |i| this.scan_nearest(need[i]))
-            } else {
-                need.iter().map(|&s| self.scan_nearest(s)).collect()
-            };
-        for (&slot, r) in need.iter().zip(rescanned) {
-            self.nearest[slot] = r;
-        }
+    fn is_mature(&self, c: &Cluster) -> bool {
+        c.size() >= self.k
     }
 
-    /// Debug-build check: the selected merge distance equals the true
-    /// global minimum over all active pairs (the cache's exactness
-    /// invariant). Tie *partners* may differ between the cache and a
-    /// fresh rescan; the minimal *value* must not.
-    #[cfg(debug_assertions)]
-    fn is_global_min_distance(&self, d: f64) -> bool {
-        let mut min = f64::INFINITY;
-        for (x, &a) in self.active.iter().enumerate() {
-            for &b in &self.active[x + 1..] {
-                let dd = self.dist_between(
-                    // kanon-lint: allow(L006) active slots are live by construction
-                    self.slots[a].as_ref().unwrap(),
-                    // kanon-lint: allow(L006) active slots are live by construction
-                    self.slots[b].as_ref().unwrap(),
-                );
-                if dd < min {
-                    min = dd;
-                }
-            }
+    fn on_mature(&self, c: &mut Cluster) -> Vec<Cluster> {
+        if self.modified && c.size() > self.k {
+            shrink_to_k(self.ctx, self.distance, c, self.k)
+                .into_iter()
+                .map(|row| Cluster::singleton(self.ctx, row))
+                .collect()
+        } else {
+            Vec::new()
         }
-        d.total_cmp(&min).is_eq() || (d - min).abs() < 1e-12
-    }
-
-    /// The active slot whose cached nearest neighbour is globally closest.
-    fn closest_pair(&self) -> Option<(usize, usize, f64)> {
-        let mut best: Option<(usize, usize, f64)> = None;
-        for &slot in &self.active {
-            if let Some(pair) = self.nearest[slot] {
-                let n = pair.best;
-                let better = match best {
-                    None => true,
-                    Some((bs, bt, bd)) => {
-                        n.dist.total_cmp(&bd).is_lt()
-                            || (n.dist == bd && (slot, n.target) < (bs, bt))
-                    }
-                };
-                if better {
-                    best = Some((slot, n.target, n.dist));
-                }
-            }
-        }
-        best
     }
 }
 
@@ -460,89 +201,20 @@ pub(crate) fn agglomerative_impl(
         }));
     }
 
-    // Budget-aware runs need a collector for `spent_work` to be
-    // meaningful; install a private one when the caller has none.
-    let budget = kanon_obs::work_budget();
-    let _budget_obs = match (budget, kanon_obs::current()) {
-        (Some(_), None) => Some(kanon_obs::Collector::new().install()),
-        _ => None,
-    };
-
-    let slots: Vec<Option<Cluster>> = (0..n)
-        .map(|i| Some(Cluster::singleton(&ctx, i as u32)))
-        .collect();
-    let mut st = State {
-        ctx,
+    // Hand the merge loop to the shared closest-pair engine; this module
+    // only supplies the policy. The engine owns the fail point, the
+    // budget checkpoints and the nearest-neighbour caches.
+    let singles: Vec<Cluster> = (0..n).map(|i| Cluster::singleton(&ctx, i as u32)).collect();
+    let policy = Alg1Policy {
+        ctx: &ctx,
         distance: cfg.distance,
-        slots,
-        active: (0..n).collect(),
-        nearest: vec![None; n],
+        k: cfg.k,
+        modified: cfg.modified,
     };
-    // Initial full nearest-neighbour scan: O(n²) distance evaluations,
-    // pure per-slot — parallelized across slots. scan_nearest orders
-    // candidates by the total order of `closer`, so the result is
-    // identical at any thread count.
-    st.nearest = kanon_parallel::map(n, |slot| st.scan_nearest(slot));
-
-    let mut done: Vec<Cluster> = Vec::with_capacity(n / cfg.k);
-
-    // Main loop: unify the two closest immature clusters.
-    let mut exhausted: Option<(u64, u64)> = None;
-    while st.active.len() > 1 {
-        kanon_fault::fail_point!("algos/agglomerative/merge");
-        if let Some(limit) = budget {
-            let spent = kanon_obs::spent_work();
-            if spent >= limit {
-                exhausted = Some((limit, spent));
-                break;
-            }
-        }
-        // kanon-lint: allow(L006) two or more active clusters guarantee a closest pair
-        let (i, j, _d) = st.closest_pair().expect("≥2 active clusters have a pair");
-        #[cfg(debug_assertions)]
-        assert!(
-            st.is_global_min_distance(_d),
-            "nearest-neighbour cache returned a non-minimal pair"
-        );
-        // kanon-lint: allow(L006) closest_pair returns live slots
-        let a = st.slots[i].take().expect("slot i live");
-        // kanon-lint: allow(L006) closest_pair returns live slots
-        let b = st.slots[j].take().expect("slot j live");
-        st.deactivate(i);
-        st.deactivate(j);
-        kanon_obs::count(kanon_obs::Counter::MergesPerformed, 1);
-
-        let mut merged = {
-            let mut members = a.members;
-            members.extend_from_slice(&b.members);
-            members.sort_unstable();
-            let mut nodes = a.nodes;
-            st.ctx.join_nodes_into(&mut nodes, &b.nodes);
-            let cost = st.ctx.cost(&nodes);
-            Cluster {
-                members,
-                nodes,
-                cost,
-            }
-        };
-
-        if merged.size() >= cfg.k {
-            let evicted = if cfg.modified && merged.size() > cfg.k {
-                shrink_to_k(&st.ctx, st.distance, &mut merged, cfg.k)
-            } else {
-                Vec::new()
-            };
-            done.push(merged);
-            st.repair_caches();
-            for row in evicted {
-                let c = Cluster::singleton(&st.ctx, row);
-                st.add_active(c);
-            }
-        } else {
-            st.add_active(merged);
-            st.repair_caches();
-        }
-    }
+    let outcome = engine::run(&policy, singles);
+    let mut done = outcome.done;
+    let mut remaining = outcome.remaining;
+    let exhausted = outcome.exhausted;
 
     // Graceful degradation: the budget tripped with several immature
     // clusters outstanding. Skip the remaining O(n²) nearest-neighbour
@@ -551,48 +223,37 @@ pub(crate) fn agglomerative_impl(
     // mature it is done; otherwise it becomes the single leftover handled
     // below — either way the output is a *valid* k-anonymous clustering,
     // just with more generalization than a full run would produce.
-    if exhausted.is_some() && st.active.len() > 1 {
-        let mut remaining: Vec<Cluster> = Vec::with_capacity(st.active.len());
-        let slots: Vec<usize> = st.active.clone();
-        for slot in &slots {
-            // kanon-lint: allow(L006) active slots are live by construction
-            remaining.push(st.slots[*slot].take().expect("active slot live"));
-        }
+    if exhausted.is_some() && remaining.len() > 1 {
         remaining.sort_by_key(|c| c.members[0]);
         let mut combined = remaining.swap_remove(0);
-        for c in remaining {
+        for c in remaining.drain(..) {
             combined.members.extend_from_slice(&c.members);
-            st.ctx.join_nodes_into(&mut combined.nodes, &c.nodes);
+            ctx.join_nodes_into(&mut combined.nodes, &c.nodes);
         }
         combined.members.sort_unstable();
-        combined.cost = st.ctx.cost(&combined.nodes);
+        combined.cost = ctx.cost(&combined.nodes);
         if combined.size() >= cfg.k {
             done.push(combined);
-            st.active.clear();
         } else {
-            let slot = slots[0];
-            st.slots[slot] = Some(combined);
-            st.active = vec![slot];
+            remaining.push(combined);
         }
     }
 
     // Leftover: at most one immature cluster; each of its records joins
     // the mature cluster minimizing dist({R}, S) (line 10 of Algorithm 1).
-    if let Some(&slot) = st.active.first() {
-        // kanon-lint: allow(L006) the first active slot is live
-        let leftover = st.slots[slot].take().expect("leftover live");
+    if let Some(leftover) = remaining.pop() {
         debug_assert!(leftover.size() < cfg.k);
         debug_assert!(
             !done.is_empty(),
             "n ≥ k guarantees at least one mature cluster"
         );
         for &row in &leftover.members {
-            let single = Cluster::singleton(&st.ctx, row);
+            let single = Cluster::singleton(&ctx, row);
             let mut best = 0usize;
             let mut best_d = f64::INFINITY;
             for (ci, c) in done.iter().enumerate() {
-                let cost_u = st.ctx.join_cost(&single.nodes, &c.nodes);
-                let d = st
+                let cost_u = ctx.join_cost(&single.nodes, &c.nodes);
+                let d = cfg
                     .distance
                     .eval(1, single.cost, c.size(), c.cost, c.size() + 1, cost_u);
                 if d.total_cmp(&best_d).is_lt() {
@@ -603,8 +264,8 @@ pub(crate) fn agglomerative_impl(
             let c = &mut done[best];
             c.members.push(row);
             c.members.sort_unstable();
-            st.ctx.join_row_into(&mut c.nodes, row as usize);
-            c.cost = st.ctx.cost(&c.nodes);
+            ctx.join_row_into(&mut c.nodes, row as usize);
+            c.cost = ctx.cost(&c.nodes);
         }
     }
 

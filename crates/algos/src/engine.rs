@@ -1,0 +1,636 @@
+//! The shared closest-pair clustering engine.
+//!
+//! Every agglomerative anonymizer in this workspace has the same inner
+//! loop: keep a pool of *active* clusters, repeatedly unify the two
+//! closest ones, and move a cluster to the output once it satisfies a
+//! maturity condition (size ≥ k for plain k-anonymity; size ≥ k *and*
+//! ℓ distinct sensitive values for ℓ-diversity). Rescanning all pairs on
+//! every merge makes that loop O(n³); this module extracts the
+//! nearest-neighbour cache that makes it O(n²) expected — previously
+//! private to `agglomerative.rs` — so every variant of the loop shares
+//! one engine instead of re-growing its own quadratic scan.
+//!
+//! ## What the engine owns
+//!
+//! * the per-cluster **top-2 nearest-neighbour cache** (`NearestPair`
+//!   with the `Runner` exactness state machine) and its repair rules;
+//! * the parallel initial scan and batched cache-repair rescans
+//!   (`kanon-parallel`, byte-identical at any worker count);
+//! * the merge loop itself: a `kanon-fault` failpoint
+//!   ([`ClusterPolicy::FAIL_POINT`]) and the deterministic work-budget
+//!   checkpoint (`KANON_WORK_BUDGET`) at the top of every iteration, the
+//!   global-min selection with its debug-build exactness assert, and the
+//!   `kanon-obs` counters (`merges_performed`, `cluster_dist_evals`,
+//!   `cache_repairs`, `nn_rescans`).
+//!
+//! ## What callers own
+//!
+//! The cluster payload and policy (distance, merge, maturity, optional
+//! post-maturity eviction) via [`ClusterPolicy`], plus everything outside
+//! the loop: input validation, the budget-exhaustion combine step, and
+//! leftover-record distribution. [`run`] returns the matured clusters,
+//! the still-active remainder (in active order) and the budget verdict.
+//!
+//! ## Determinism contract
+//!
+//! All selections use the total order of `closer` (distance, then slot
+//! index), every parallel primitive combines per-index results in index
+//! order, and counters attach to per-index work — so clusterings, losses
+//! and the deterministic counter block are byte-identical at any
+//! `KANON_THREADS`. The determinism proptests pin this for both engine
+//! clients.
+
+use kanon_obs::Counter;
+
+/// The merge/maturity policy a caller plugs into [`run`].
+///
+/// The engine treats payloads as opaque: it only measures distances,
+/// merges pairs, and asks whether a cluster has matured. Implementations
+/// must be pure (no interior mutability observable across calls) — the
+/// engine evaluates distances in parallel and relies on every evaluation
+/// of the same pair returning the same bits.
+pub trait ClusterPolicy: Sync {
+    /// The cluster payload (members, closure nodes, costs, …).
+    type Payload: Send + Sync;
+
+    /// Name of the `kanon-fault` failpoint armed at the top of every
+    /// merge iteration (see the catalogue in `kanon-fault`'s docs).
+    const FAIL_POINT: &'static str;
+
+    /// `dist(a, b)` under the caller's cluster-distance function. Called
+    /// through the engine's counting wrapper, so implementations must
+    /// *not* count [`Counter::ClusterDistEvals`] themselves.
+    fn distance(&self, a: &Self::Payload, b: &Self::Payload) -> f64;
+
+    /// Unifies two clusters into one.
+    fn merge(&self, a: Self::Payload, b: Self::Payload) -> Self::Payload;
+
+    /// Has this cluster matured (ready to move to the output)?
+    fn is_mature(&self, c: &Self::Payload) -> bool;
+
+    /// Hook invoked on a cluster that just matured, *before* it is moved
+    /// to the output; returns clusters to re-activate. Algorithm 2 uses
+    /// this to shrink ripe clusters back to size k and recycle the
+    /// evicted records as singletons. The default recycles nothing.
+    fn on_mature(&self, c: &mut Self::Payload) -> Vec<Self::Payload> {
+        let _ = c;
+        Vec::new()
+    }
+}
+
+/// What [`run`] hands back to the caller.
+#[derive(Debug)]
+pub struct RunOutcome<C> {
+    /// Clusters that matured, in maturation order.
+    pub done: Vec<C>,
+    /// Clusters still active when the loop ended, in active order. At
+    /// most one (the classic leftover) unless the budget tripped.
+    pub remaining: Vec<C>,
+    /// `Some((budget, spent))` when the deterministic work budget
+    /// tripped mid-run; the caller must degrade gracefully (combine
+    /// `remaining` into a valid output) rather than keep refining.
+    pub exhausted: Option<(u64, u64)>,
+}
+
+/// Nearest-neighbour cache entry: distance and target slot.
+#[derive(Debug, Clone, Copy)]
+struct Nearest {
+    dist: f64,
+    target: usize,
+}
+
+/// What a slot knows about its runner-up candidate.
+#[derive(Debug, Clone, Copy)]
+enum Runner {
+    /// Exact knowledge: `Some` = the true 2nd-nearest at last full scan
+    /// (maintained through newcomer insertions), `None` = fewer than two
+    /// candidates existed. Every candidate outside the top-2 is at least
+    /// as far as the runner-up.
+    Exact(Option<Nearest>),
+    /// Unknown: the previous runner-up was promoted to best by a
+    /// fallback. The invariant that survives is weaker — every candidate
+    /// outside the cache is at least as far as the *best* — so newcomers
+    /// may still take over best, but the runner slot must not be filled
+    /// (an unseen candidate could be closer), and the next best-death
+    /// forces a full rescan.
+    Unknown,
+}
+
+/// Top-2 nearest neighbours of a slot. Keeping the runner-up lets a slot
+/// whose nearest neighbour was merged away fall back without a full
+/// rescan; the [`Runner`] state tracks exactly when that shortcut is
+/// sound.
+#[derive(Debug, Clone, Copy)]
+struct NearestPair {
+    best: Nearest,
+    second: Runner,
+}
+
+/// Strict "closer" order with deterministic index tie-break.
+#[inline]
+pub(crate) fn closer(d1: f64, t1: usize, d2: f64, t2: usize) -> bool {
+    d1.total_cmp(&d2).is_lt() || (d1 == d2 && t1 < t2)
+}
+
+struct State<'p, P: ClusterPolicy> {
+    policy: &'p P,
+    /// Cluster storage; `None` = slot retired (merged away or matured).
+    slots: Vec<Option<P::Payload>>,
+    /// Slots that are currently active (immature clusters, the γ̂ of the
+    /// paper).
+    active: Vec<usize>,
+    /// Per-slot nearest-neighbour cache (meaningful for active slots).
+    nearest: Vec<Option<NearestPair>>,
+}
+
+impl<'p, P: ClusterPolicy> State<'p, P> {
+    fn dist_between(&self, a: &P::Payload, b: &P::Payload) -> f64 {
+        kanon_obs::count(Counter::ClusterDistEvals, 1);
+        self.policy.distance(a, b)
+    }
+
+    /// Scans all active slots (except `slot`) for the two nearest
+    /// neighbours of `slot`. Deterministic tie-break on slot index.
+    fn scan_nearest(&self, slot: usize) -> Option<NearestPair> {
+        kanon_obs::count(Counter::NnRescans, 1);
+        // kanon-lint: allow(L006) slot liveness is a scan invariant; a breach is a bug caught at the try_* boundary
+        let me = self.slots[slot].as_ref().expect("slot must be live");
+        let mut best: Option<Nearest> = None;
+        let mut second: Option<Nearest> = None;
+        for &other in &self.active {
+            if other == slot {
+                continue;
+            }
+            // kanon-lint: allow(L006) active slots are live by construction
+            let oc = self.slots[other].as_ref().expect("active slot live");
+            let d = self.dist_between(me, oc);
+            let cand = Nearest {
+                dist: d,
+                target: other,
+            };
+            match best {
+                None => best = Some(cand),
+                Some(b) if closer(d, other, b.dist, b.target) => {
+                    second = best;
+                    best = Some(cand);
+                }
+                Some(_) => match second {
+                    None => second = Some(cand),
+                    Some(sn) if closer(d, other, sn.dist, sn.target) => second = Some(cand),
+                    Some(_) => {}
+                },
+            }
+        }
+        best.map(|b| NearestPair {
+            best: b,
+            second: Runner::Exact(second),
+        })
+    }
+
+    /// Adds a cluster as a new active slot; refreshes its own cache and
+    /// lets every other active slot consider it as a nearer neighbour.
+    fn add_active(&mut self, cluster: P::Payload) -> usize {
+        let slot = self.slots.len();
+        self.slots.push(Some(cluster));
+        self.nearest.push(None);
+        // Let existing actives insert the newcomer into their top-2, so
+        // that later fallbacks (repair) remain exact without rescans.
+        // The O(active) distance evaluations are pure reads — computed in
+        // parallel; the cache updates below are applied serially in active
+        // order, so the bookkeeping is identical to the serial pass. Each
+        // evaluation is only a handful of joins, so fan out later than the
+        // generic threshold: below ~512 actives the spawns cost more than
+        // the pass.
+        const PAR_DIST_THRESHOLD: usize = 512;
+        let dists: Vec<f64> = {
+            let this = &*self;
+            let eval = move |idx: usize| {
+                // kanon-lint: allow(L006) active slots are live by construction
+                let oc = this.slots[this.active[idx]].as_ref().unwrap();
+                // kanon-lint: allow(L006) the just-inserted slot is live
+                let newcomer = this.slots[slot].as_ref().unwrap();
+                this.dist_between(oc, newcomer)
+            };
+            if this.active.len() >= PAR_DIST_THRESHOLD {
+                kanon_parallel::map(this.active.len(), eval)
+            } else {
+                (0..this.active.len()).map(eval).collect()
+            }
+        };
+        for (&other, &d) in self.active.iter().zip(&dists) {
+            let cand = Nearest {
+                dist: d,
+                target: slot,
+            };
+            match &mut self.nearest[other] {
+                e @ None => {
+                    *e = Some(NearestPair {
+                        best: cand,
+                        second: Runner::Exact(None),
+                    })
+                }
+                Some(pair) => {
+                    let b = pair.best;
+                    let b_dead = self.slots[b.target].is_none();
+                    if closer(d, slot, b.dist, b.target) {
+                        // Newcomer becomes best. Pushing the (alive) old
+                        // best into the runner slot restores exactness:
+                        // every outside candidate was ≥ the old runner-up
+                        // (Exact) or ≥ the old best (Unknown), and the old
+                        // best is ≤ both bounds.
+                        pair.second = if b_dead {
+                            pair.second
+                        } else {
+                            Runner::Exact(Some(b))
+                        };
+                        pair.best = cand;
+                    } else if b_dead && d == b.dist {
+                        // Equal-distance adoption of a dead best: runner
+                        // knowledge is unaffected.
+                        pair.best = cand;
+                    } else {
+                        // Newcomer is not the best; it may only enter an
+                        // *exact* runner slot (with an Unknown runner, an
+                        // unseen candidate could still be closer than it).
+                        if let Runner::Exact(sec) = &mut pair.second {
+                            match sec {
+                                None => *sec = Some(cand),
+                                Some(sn) if closer(d, slot, sn.dist, sn.target) => {
+                                    *sec = Some(cand)
+                                }
+                                Some(_) => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // The newcomer's own top-2 reuses the distances just computed —
+        // policy distances are symmetric — inserted under the same
+        // `closer` total order as scan_nearest, so no distance is
+        // evaluated twice.
+        let mut best: Option<Nearest> = None;
+        let mut second: Option<Nearest> = None;
+        for (idx, &d) in dists.iter().enumerate() {
+            let other = self.active[idx];
+            let cand = Nearest {
+                dist: d,
+                target: other,
+            };
+            match best {
+                None => best = Some(cand),
+                Some(b) if closer(d, other, b.dist, b.target) => {
+                    second = best;
+                    best = Some(cand);
+                }
+                Some(_) => match second {
+                    None => second = Some(cand),
+                    Some(sn) if closer(d, other, sn.dist, sn.target) => second = Some(cand),
+                    Some(_) => {}
+                },
+            }
+        }
+        self.active.push(slot);
+        self.nearest[slot] = best.map(|b| NearestPair {
+            best: b,
+            second: Runner::Exact(second),
+        });
+        slot
+    }
+
+    /// Removes a slot from the active set (retiring or maturing it).
+    fn deactivate(&mut self, slot: usize) {
+        if let Some(pos) = self.active.iter().position(|&s| s == slot) {
+            self.active.swap_remove(pos);
+        }
+    }
+
+    /// Repairs caches whose best target died: fall back to an *exact*
+    /// runner-up when it is still alive (sound — see [`Runner`]),
+    /// otherwise do a full top-2 rescan.
+    fn repair_caches(&mut self) {
+        // Cheap serial pass: keep fresh entries, fall back to an exact
+        // live runner-up, and collect the slots that need a full rescan
+        // (typically zero or a handful per merge — not worth threads).
+        let mut need: Vec<usize> = Vec::new();
+        for idx in 0..self.active.len() {
+            let slot = self.active[idx];
+            let repaired = match self.nearest[slot] {
+                None => None,
+                Some(pair) => {
+                    if self.slots[pair.best.target].is_some() {
+                        Some(pair) // fresh
+                    } else {
+                        match pair.second {
+                            Runner::Exact(Some(sn)) if self.slots[sn.target].is_some() => {
+                                kanon_obs::count(Counter::CacheRepairs, 1);
+                                Some(NearestPair {
+                                    best: sn,
+                                    second: Runner::Unknown,
+                                })
+                            }
+                            _ => None,
+                        }
+                    }
+                }
+            };
+            match repaired {
+                Some(p) => self.nearest[slot] = Some(p),
+                None => need.push(slot),
+            }
+        }
+        if need.is_empty() {
+            return;
+        }
+        // Full rescans are O(active) distance evaluations each — the
+        // expensive, pure part. Few in number, so the per-item threshold
+        // of `map` never triggers; gate on the *scan* size instead and
+        // use the coarse variant.
+        let rescanned: Vec<Option<NearestPair>> =
+            if self.active.len() >= kanon_parallel::MIN_PARALLEL_ITEMS {
+                let this = &*self;
+                kanon_parallel::map_coarse(need.len(), |i| this.scan_nearest(need[i]))
+            } else {
+                need.iter().map(|&s| self.scan_nearest(s)).collect()
+            };
+        for (&slot, r) in need.iter().zip(rescanned) {
+            self.nearest[slot] = r;
+        }
+    }
+
+    /// Debug-build check: the selected merge distance equals the true
+    /// global minimum over all active pairs (the cache's exactness
+    /// invariant). Tie *partners* may differ between the cache and a
+    /// fresh rescan; the minimal *value* must not.
+    #[cfg(debug_assertions)]
+    fn is_global_min_distance(&self, d: f64) -> bool {
+        let mut min = f64::INFINITY;
+        for (x, &a) in self.active.iter().enumerate() {
+            for &b in &self.active[x + 1..] {
+                let dd = self.dist_between(
+                    // kanon-lint: allow(L006) active slots are live by construction
+                    self.slots[a].as_ref().unwrap(),
+                    // kanon-lint: allow(L006) active slots are live by construction
+                    self.slots[b].as_ref().unwrap(),
+                );
+                if dd < min {
+                    min = dd;
+                }
+            }
+        }
+        d.total_cmp(&min).is_eq() || (d - min).abs() < 1e-12
+    }
+
+    /// The active slot whose cached nearest neighbour is globally closest.
+    fn closest_pair(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for &slot in &self.active {
+            if let Some(pair) = self.nearest[slot] {
+                let n = pair.best;
+                let better = match best {
+                    None => true,
+                    Some((bs, bt, bd)) => {
+                        n.dist.total_cmp(&bd).is_lt()
+                            || (n.dist == bd && (slot, n.target) < (bs, bt))
+                    }
+                };
+                if better {
+                    best = Some((slot, n.target, n.dist));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Runs the closest-pair merge loop over `initial` clusters until at
+/// most one is left active (or the work budget trips).
+///
+/// Per iteration: arm [`ClusterPolicy::FAIL_POINT`], checkpoint the
+/// deterministic work budget, select the globally closest active pair
+/// from the caches, merge it, and either output it (mature — recycling
+/// whatever [`ClusterPolicy::on_mature`] evicts) or re-activate it.
+/// Selection order is total (distance, then `(slot, target)`), so the
+/// merge sequence — and therefore the output — is byte-identical at any
+/// thread count.
+pub fn run<P: ClusterPolicy>(policy: &P, initial: Vec<P::Payload>) -> RunOutcome<P::Payload> {
+    // Budget-aware runs need a collector for `spent_work` to be
+    // meaningful; install a private one when the caller has none.
+    let budget = kanon_obs::work_budget();
+    let _budget_obs = match (budget, kanon_obs::current()) {
+        (Some(_), None) => Some(kanon_obs::Collector::new().install()),
+        _ => None,
+    };
+
+    let n = initial.len();
+    let mut st: State<'_, P> = State {
+        policy,
+        slots: initial.into_iter().map(Some).collect(),
+        active: (0..n).collect(),
+        nearest: vec![None; n],
+    };
+    // Initial full nearest-neighbour scan: O(n²) distance evaluations,
+    // pure per-slot — parallelized across slots. scan_nearest orders
+    // candidates by the total order of `closer`, so the result is
+    // identical at any thread count.
+    st.nearest = kanon_parallel::map(n, |slot| st.scan_nearest(slot));
+
+    let mut done: Vec<P::Payload> = Vec::new();
+    let mut exhausted: Option<(u64, u64)> = None;
+    while st.active.len() > 1 {
+        kanon_fault::fail_point!(P::FAIL_POINT);
+        if let Some(limit) = budget {
+            let spent = kanon_obs::spent_work();
+            if spent >= limit {
+                exhausted = Some((limit, spent));
+                break;
+            }
+        }
+        // kanon-lint: allow(L006) two or more active clusters guarantee a closest pair
+        let (i, j, _d) = st.closest_pair().expect("≥2 active clusters have a pair");
+        #[cfg(debug_assertions)]
+        assert!(
+            st.is_global_min_distance(_d),
+            "nearest-neighbour cache returned a non-minimal pair"
+        );
+        // kanon-lint: allow(L006) closest_pair returns live slots
+        let a = st.slots[i].take().expect("slot i live");
+        // kanon-lint: allow(L006) closest_pair returns live slots
+        let b = st.slots[j].take().expect("slot j live");
+        st.deactivate(i);
+        st.deactivate(j);
+        kanon_obs::count(Counter::MergesPerformed, 1);
+
+        let mut merged = policy.merge(a, b);
+        if policy.is_mature(&merged) {
+            let recycled = policy.on_mature(&mut merged);
+            done.push(merged);
+            st.repair_caches();
+            for c in recycled {
+                st.add_active(c);
+            }
+        } else {
+            st.add_active(merged);
+            st.repair_caches();
+        }
+    }
+
+    let remaining: Vec<P::Payload> = st
+        .active
+        .iter()
+        // kanon-lint: allow(L006) active slots are live by construction
+        .map(|&slot| st.slots[slot].take().expect("active slot live"))
+        .collect();
+    RunOutcome {
+        done,
+        remaining,
+        exhausted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Engine unit tests over a payload with a trivially checkable
+    //! optimal structure: points on a line, distance = |a − b| over
+    //! cluster means, maturity = size ≥ k. The algorithm-level pinning
+    //! (byte-identity to naive references, budget semantics, fault
+    //! injection) lives in the integration suites.
+
+    use super::*;
+
+    struct LinePolicy {
+        k: usize,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Pts(Vec<i64>);
+
+    impl Pts {
+        fn mean(&self) -> f64 {
+            self.0.iter().sum::<i64>() as f64 / self.0.len() as f64
+        }
+    }
+
+    impl ClusterPolicy for LinePolicy {
+        type Payload = Pts;
+        const FAIL_POINT: &'static str = "algos/agglomerative/merge";
+
+        fn distance(&self, a: &Pts, b: &Pts) -> f64 {
+            (a.mean() - b.mean()).abs()
+        }
+
+        fn merge(&self, mut a: Pts, b: Pts) -> Pts {
+            a.0.extend(b.0);
+            a.0.sort_unstable();
+            a
+        }
+
+        fn is_mature(&self, c: &Pts) -> bool {
+            c.0.len() >= self.k
+        }
+    }
+
+    #[test]
+    fn pairs_of_adjacent_points_merge_first() {
+        // Points clustered in tight pairs far apart: the engine must
+        // unify exactly the natural pairs.
+        let pts: Vec<Pts> = [0, 1, 100, 101, 200, 201]
+            .iter()
+            .map(|&v| Pts(vec![v]))
+            .collect();
+        let out = run(&LinePolicy { k: 2 }, pts);
+        assert!(out.exhausted.is_none());
+        assert!(out.remaining.is_empty());
+        let mut done: Vec<Vec<i64>> = out.done.into_iter().map(|p| p.0).collect();
+        done.sort();
+        assert_eq!(done, vec![vec![0, 1], vec![100, 101], vec![200, 201]]);
+    }
+
+    #[test]
+    fn leftover_stays_active_when_it_cannot_mature() {
+        // Five points, k = 2: two pairs mature, one point remains.
+        let pts: Vec<Pts> = [0, 1, 100, 101, 500]
+            .iter()
+            .map(|&v| Pts(vec![v]))
+            .collect();
+        let out = run(&LinePolicy { k: 2 }, pts);
+        assert_eq!(out.done.len(), 2);
+        assert_eq!(out.remaining.len(), 1);
+        assert_eq!(out.remaining[0].0, vec![500]);
+    }
+
+    #[test]
+    fn on_mature_recycles_evictions() {
+        // A policy that evicts the largest point of every matured
+        // cluster back into the pool: with k = 2 over four points, the
+        // recycled singletons must keep merging until everything is
+        // consumed (done clusters of exactly two, one leftover pair).
+        struct Evicting;
+        impl ClusterPolicy for Evicting {
+            type Payload = Pts;
+            const FAIL_POINT: &'static str = "algos/agglomerative/merge";
+            fn distance(&self, a: &Pts, b: &Pts) -> f64 {
+                (a.mean() - b.mean()).abs()
+            }
+            fn merge(&self, mut a: Pts, b: Pts) -> Pts {
+                a.0.extend(b.0);
+                a.0.sort_unstable();
+                a
+            }
+            fn is_mature(&self, c: &Pts) -> bool {
+                c.0.len() >= 3
+            }
+            fn on_mature(&self, c: &mut Pts) -> Vec<Pts> {
+                // kanon-lint: allow(L006) matured clusters are non-empty
+                let evicted = c.0.pop().expect("matured cluster is non-empty");
+                vec![Pts(vec![evicted])]
+            }
+        }
+        let pts: Vec<Pts> = (0..7).map(|v| Pts(vec![v])).collect();
+        let out = run(&Evicting, pts);
+        let covered: usize = out
+            .done
+            .iter()
+            .chain(out.remaining.iter())
+            .map(|p| p.0.len())
+            .sum();
+        assert_eq!(covered, 7, "recycling must not lose records");
+        for d in &out.done {
+            // Matured merges have 3 or 4 points (2+1 or 2+2) before the
+            // hook evicts exactly one.
+            assert!(
+                d.0.len() == 2 || d.0.len() == 3,
+                "on_mature shrank every output cluster: {:?}",
+                d.0
+            );
+        }
+        assert!(!out.done.is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_all_remaining_clusters() {
+        let pts: Vec<Pts> = (0..32).map(|v| Pts(vec![v * 10])).collect();
+        let out = kanon_obs::with_work_budget(1, || run(&LinePolicy { k: 4 }, pts));
+        let (budget, spent) = out.exhausted.expect("budget of 1 must trip");
+        assert_eq!(budget, 1);
+        assert!(spent >= 1);
+        // Nothing merged: the initial scan alone exceeds the budget.
+        assert!(out.done.is_empty());
+        assert_eq!(out.remaining.len(), 32);
+    }
+
+    #[test]
+    fn engine_counts_its_work() {
+        let c = kanon_obs::Collector::new();
+        {
+            let _g = c.install();
+            let pts: Vec<Pts> = (0..16).map(|v| Pts(vec![v * v])).collect();
+            run(&LinePolicy { k: 4 }, pts);
+        }
+        let r = c.report();
+        assert!(r.counter(Counter::MergesPerformed) > 0);
+        assert!(r.counter(Counter::NnRescans) >= 16, "initial scan counts");
+        // n = 16 singletons: the initial scan alone is 16·15 evaluations.
+        assert!(r.counter(Counter::ClusterDistEvals) >= 240);
+    }
+}

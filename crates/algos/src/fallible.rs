@@ -34,6 +34,7 @@ use crate::distance::ClusterDistance;
 use crate::forest::forest_impl;
 use crate::global_one_k::GlobalOutput;
 use crate::k1::GenOutput;
+use crate::ldiversity::{ldiversity_impl, LDiverseConfig};
 use crate::pipeline::{global_impl, k1_impl, kk_impl, GlobalConfig, K1Method, KkConfig};
 use kanon_core::error::{KanonError, KanonResult, Result};
 use kanon_core::table::{GeneralizedTable, Table};
@@ -147,6 +148,17 @@ pub fn try_agglomerative_k_anonymize(
     cfg: &AgglomerativeConfig,
 ) -> KanonResult<Budgeted<KAnonOutput>> {
     catch(|| agglomerative_impl(table, costs, cfg))
+}
+
+/// Fallible form of [`crate::l_diverse_k_anonymize`] (k-anonymity +
+/// distinct-ℓ-diversity) with budget-aware graceful degradation.
+pub fn try_l_diverse_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    sensitive: &[u32],
+    cfg: &LDiverseConfig,
+) -> KanonResult<Budgeted<KAnonOutput>> {
+    catch(|| ldiversity_impl(table, costs, sensitive, cfg))
 }
 
 /// Fallible form of [`crate::forest_k_anonymize`] (the forest baseline)

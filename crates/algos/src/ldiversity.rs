@@ -9,10 +9,20 @@
 //! values, and no sensitive value may occur in more than ⌈n/ℓ⌉ records —
 //! the standard eligibility condition; we check the first directly and
 //! surface the second through a final validation pass.
+//!
+//! **Implementation note.** The merge loop runs on the shared
+//! closest-pair engine ([`crate::engine`]) — the same per-cluster
+//! nearest-neighbour cache as Algorithms 1/2, so a run is O(n²) expected
+//! instead of the O(n³) all-pairs rescan the first version of this
+//! module performed on every merge. That first version is preserved
+//! verbatim as [`l_diverse_reference`]: the determinism suite proves the
+//! engine-based run byte-identical to it, and the scaling bench uses it
+//! as the n³ baseline.
 
 use crate::agglomerative::KAnonOutput;
 use crate::cost::CostContext;
 use crate::distance::ClusterDistance;
+use crate::engine::{self, ClusterPolicy};
 use kanon_core::cluster::Clustering;
 use kanon_core::error::{CoreError, Result};
 use kanon_core::hierarchy::NodeId;
@@ -75,18 +85,65 @@ impl Cluster {
     }
 }
 
-/// Agglomerative k-anonymization with a distinct-ℓ-diversity maturity
-/// condition: clusters keep merging until they have ≥ k members *and*
-/// ≥ ℓ distinct sensitive values.
-///
-/// `sensitive[i]` is the sensitive value of row `i` (any dense labelling;
-/// e.g. the CMC contraceptive-method class).
-pub fn l_diverse_k_anonymize(
-    table: &Table,
-    costs: &NodeCostTable,
-    sensitive: &[u32],
-    cfg: &LDiverseConfig,
-) -> Result<KAnonOutput> {
+/// The ℓ-diversity policy for the shared closest-pair engine: the same
+/// closure-cost distance as Algorithm 1, plus the sensitive-value fold on
+/// merge and the two-part maturity condition (size ≥ k ∧ distinct ≥ ℓ).
+struct LDivPolicy<'c, 'a> {
+    ctx: &'c CostContext<'a>,
+    distance: ClusterDistance,
+    k: usize,
+    l: usize,
+}
+
+impl LDivPolicy<'_, '_> {
+    fn dist(&self, a: &Cluster, b: &Cluster) -> f64 {
+        let cost_u = self.ctx.join_cost(&a.nodes, &b.nodes);
+        self.distance.eval_symmetric(
+            a.size(),
+            a.cost,
+            b.size(),
+            b.cost,
+            a.size() + b.size(),
+            cost_u,
+        )
+    }
+}
+
+impl ClusterPolicy for LDivPolicy<'_, '_> {
+    type Payload = Cluster;
+    const FAIL_POINT: &'static str = "algos/ldiversity/merge";
+
+    fn distance(&self, a: &Cluster, b: &Cluster) -> f64 {
+        self.dist(a, b)
+    }
+
+    fn merge(&self, a: Cluster, b: Cluster) -> Cluster {
+        let mut members = a.members;
+        members.extend_from_slice(&b.members);
+        members.sort_unstable();
+        let mut nodes = a.nodes;
+        self.ctx.join_nodes_into(&mut nodes, &b.nodes);
+        let cost = self.ctx.cost(&nodes);
+        let mut sensitive = a.sensitive;
+        for (v, c) in b.sensitive {
+            *sensitive.entry(v).or_insert(0) += c;
+        }
+        Cluster {
+            members,
+            nodes,
+            cost,
+            sensitive,
+        }
+    }
+
+    fn is_mature(&self, c: &Cluster) -> bool {
+        c.size() >= self.k && c.distinct() >= self.l
+    }
+}
+
+/// Validates `(k, ℓ, sensitive)` against the table and returns the number
+/// of distinct sensitive values.
+fn validate(table: &Table, sensitive: &[u32], cfg: &LDiverseConfig) -> Result<usize> {
     let n = table.num_rows();
     if cfg.k == 0 || cfg.k > n {
         return Err(CoreError::InvalidK { k: cfg.k, n });
@@ -104,15 +161,201 @@ pub fn l_diverse_k_anonymize(
         vals.len()
     };
     if cfg.l == 0 || cfg.l > total_distinct {
-        return Err(CoreError::InvalidK {
-            k: cfg.l,
-            n: total_distinct,
+        return Err(CoreError::InvalidL {
+            l: cfg.l,
+            distinct: total_distinct,
         });
     }
+    Ok(total_distinct)
+}
+
+/// Distributes the records of a single leftover (immature) cluster over
+/// the mature clusters, each record joining the cluster minimizing
+/// `dist({R}, S)`. Pushes are sequential (each push updates the target's
+/// closure and cost, which the next record's choice sees), but member
+/// lists are only re-sorted once per *touched* cluster at the end —
+/// member order feeds neither the distance nor the closure, so sorting
+/// lazily is observably identical to sorting after every push.
+fn distribute_leftover(
+    ctx: &CostContext<'_>,
+    cfg: &LDiverseConfig,
+    sensitive: &[u32],
+    done: &mut [Cluster],
+    leftover: &Cluster,
+) -> Result<()> {
+    if done.is_empty() {
+        // No cluster ever matured — infeasible combination.
+        return Err(CoreError::InvalidClustering(format!(
+            "cannot satisfy k = {} with \u{2113} = {} on {} records",
+            cfg.k,
+            cfg.l,
+            sensitive.len()
+        )));
+    }
+    let mut touched = vec![false; done.len()];
+    for &row in &leftover.members {
+        let single = Cluster::singleton(ctx, row, sensitive);
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (ci, c) in done.iter().enumerate() {
+            let cost_u = ctx.join_cost(&single.nodes, &c.nodes);
+            let d = cfg.distance.eval_symmetric(
+                single.size(),
+                single.cost,
+                c.size(),
+                c.cost,
+                single.size() + c.size(),
+                cost_u,
+            );
+            if d.total_cmp(&best_d).is_lt() {
+                best_d = d;
+                best = ci;
+            }
+        }
+        let c = &mut done[best];
+        c.members.push(row);
+        ctx.join_row_into(&mut c.nodes, row as usize);
+        c.cost = ctx.cost(&c.nodes);
+        *c.sensitive.entry(sensitive[row as usize]).or_insert(0) += 1;
+        touched[best] = true;
+    }
+    for (c, _) in done.iter_mut().zip(&touched).filter(|(_, &t)| t) {
+        c.members.sort_unstable();
+    }
+    Ok(())
+}
+
+/// Agglomerative k-anonymization with a distinct-ℓ-diversity maturity
+/// condition: clusters keep merging until they have ≥ k members *and*
+/// ≥ ℓ distinct sensitive values.
+///
+/// `sensitive[i]` is the sensitive value of row `i` (any dense labelling;
+/// e.g. the CMC contraceptive-method class).
+///
+/// Panicking wrapper over [`crate::try_l_diverse_k_anonymize`]: domain
+/// failures come back as `CoreError`; isolated worker panics and injected
+/// faults are re-raised as a `KanonError` panic payload. When a work
+/// budget (`KANON_WORK_BUDGET` / `kanon_obs::with_work_budget`) is
+/// exhausted mid-run, the valid best-effort result is returned silently —
+/// use the `try_` form to observe the `BudgetExhausted` marker.
+pub fn l_diverse_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    sensitive: &[u32],
+    cfg: &LDiverseConfig,
+) -> Result<KAnonOutput> {
+    match crate::try_l_diverse_k_anonymize(table, costs, sensitive, cfg) {
+        Ok(out) => Ok(out.into_inner()),
+        Err(kanon_core::KanonError::Core(e)) => Err(e),
+        Err(other) => std::panic::panic_any(other),
+    }
+}
+
+/// ℓ-diverse implementation with budget-aware graceful degradation.
+pub(crate) fn ldiversity_impl(
+    table: &Table,
+    costs: &NodeCostTable,
+    sensitive: &[u32],
+    cfg: &LDiverseConfig,
+) -> Result<crate::Budgeted<KAnonOutput>> {
+    let n = table.num_rows();
+    validate(table, sensitive, cfg)?;
+    let _span = kanon_obs::span("ldiversity");
     let ctx = CostContext::new(table, costs);
 
-    // Active clusters in a slab; simple global-scan selection (the
-    // ℓ-diverse variant is an extension, clarity over micro-optimality).
+    // Singletons are already mature when k = 1 = ℓ.
+    if cfg.k == 1 && cfg.l == 1 {
+        let clustering = Clustering::from_assignment((0..n as u32).collect())?;
+        let gtable = clustering.to_generalized_table(table)?;
+        let loss = costs.table_loss(&gtable);
+        return Ok(crate::Budgeted::Complete(KAnonOutput {
+            clustering,
+            table: gtable,
+            loss,
+        }));
+    }
+
+    let singles: Vec<Cluster> = (0..n)
+        .map(|i| Cluster::singleton(&ctx, i as u32, sensitive))
+        .collect();
+    let policy = LDivPolicy {
+        ctx: &ctx,
+        distance: cfg.distance,
+        k: cfg.k,
+        l: cfg.l,
+    };
+    let outcome = engine::run(&policy, singles);
+    let mut done = outcome.done;
+    let mut remaining = outcome.remaining;
+    let exhausted = outcome.exhausted;
+
+    // Graceful degradation: the budget tripped with several immature
+    // clusters outstanding. Combine them all into one cluster (ascending
+    // first-member order, deterministic). If the combined cluster matures
+    // it is done; otherwise it becomes the single leftover handled below.
+    // The output stays *valid*: when nothing matured, the combined
+    // cluster holds all n records — n ≥ k members, all sensitive values —
+    // so it matures; and distributing leftover records into mature
+    // clusters can only grow their sizes and sensitive-value sets.
+    if exhausted.is_some() && remaining.len() > 1 {
+        remaining.sort_by_key(|c| c.members[0]);
+        let mut combined = remaining.swap_remove(0);
+        for c in remaining.drain(..) {
+            combined.members.extend_from_slice(&c.members);
+            ctx.join_nodes_into(&mut combined.nodes, &c.nodes);
+            for (v, cnt) in c.sensitive {
+                *combined.sensitive.entry(v).or_insert(0) += cnt;
+            }
+        }
+        combined.members.sort_unstable();
+        combined.cost = ctx.cost(&combined.nodes);
+        if policy.is_mature(&combined) {
+            done.push(combined);
+        } else {
+            remaining.push(combined);
+        }
+    }
+
+    // Leftover cluster: distribute its records over mature clusters.
+    if let Some(leftover) = remaining.pop() {
+        distribute_leftover(&ctx, cfg, sensitive, &mut done, &leftover)?;
+    }
+
+    let clusters: Vec<Vec<u32>> = done.into_iter().map(|c| c.members).collect();
+    let clustering = Clustering::from_clusters(n, clusters)?;
+    let gtable = clustering.to_generalized_table(table)?;
+    let loss = costs.table_loss(&gtable);
+    let output = KAnonOutput {
+        clustering,
+        table: gtable,
+        loss,
+    };
+    Ok(match exhausted {
+        None => crate::Budgeted::Complete(output),
+        Some((budget, spent)) => crate::Budgeted::BudgetExhausted {
+            best_so_far: output,
+            budget,
+            spent,
+        },
+    })
+}
+
+/// The original all-pairs implementation, kept verbatim as the byte-level
+/// reference for the engine-based run and as the O(n³) baseline of the
+/// ℓ-diversity scaling bench (it re-scans every active pair on every
+/// merge). Counts [`kanon_obs::Counter::ClusterDistEvals`] so the bench
+/// can embed the n³-vs-n² evidence. Not part of the supported API.
+#[doc(hidden)]
+pub fn l_diverse_reference(
+    table: &Table,
+    costs: &NodeCostTable,
+    sensitive: &[u32],
+    cfg: &LDiverseConfig,
+) -> Result<KAnonOutput> {
+    let n = table.num_rows();
+    validate(table, sensitive, cfg)?;
+    let ctx = CostContext::new(table, costs);
+
     let mut slots: Vec<Option<Cluster>> = (0..n)
         .map(|i| Some(Cluster::singleton(&ctx, i as u32, sensitive)))
         .collect();
@@ -120,6 +363,7 @@ pub fn l_diverse_k_anonymize(
     let mut done: Vec<Cluster> = Vec::new();
 
     let dist = |a: &Cluster, b: &Cluster, ctx: &CostContext<'_>| -> f64 {
+        kanon_obs::count(kanon_obs::Counter::ClusterDistEvals, 1);
         let cost_u = ctx.join_cost(&a.nodes, &b.nodes);
         cfg.distance.eval_symmetric(
             a.size(),
@@ -133,7 +377,6 @@ pub fn l_diverse_k_anonymize(
 
     let mature = |c: &Cluster| -> bool { c.size() >= cfg.k && c.distinct() >= cfg.l };
 
-    // Singletons can already be mature when k = 1 = ℓ.
     if cfg.k == 1 && cfg.l == 1 {
         let clustering = Clustering::from_assignment((0..n as u32).collect())?;
         let gtable = clustering.to_generalized_table(table)?;
@@ -146,7 +389,7 @@ pub fn l_diverse_k_anonymize(
     }
 
     while active.len() > 1 {
-        // Closest pair among active clusters (quadratic scan).
+        // Closest pair among active clusters (quadratic scan per merge).
         let mut best: Option<(usize, usize, f64)> = None;
         for x in 0..active.len() {
             for y in (x + 1)..active.len() {
@@ -168,7 +411,7 @@ pub fn l_diverse_k_anonymize(
         let b = slots[j].take().unwrap(); // kanon-lint: allow(L006) best indexes live slots
         active.retain(|&s| s != i && s != j);
 
-        let mut merged = {
+        let merged = {
             let mut members = a.members;
             members.extend_from_slice(&b.members);
             members.sort_unstable();
@@ -188,7 +431,6 @@ pub fn l_diverse_k_anonymize(
         };
 
         if mature(&merged) {
-            merged.members.sort_unstable();
             done.push(merged);
         } else {
             let slot = slots.len();
@@ -202,9 +444,8 @@ pub fn l_diverse_k_anonymize(
         // kanon-lint: allow(L006) the first active slot is live
         let leftover = slots[slot].take().unwrap();
         if done.is_empty() {
-            // No cluster ever matured — infeasible combination.
             return Err(CoreError::InvalidClustering(format!(
-                "cannot satisfy k = {} with ℓ = {} on {} records",
+                "cannot satisfy k = {} with \u{2113} = {} on {} records",
                 cfg.k, cfg.l, n
             )));
         }
@@ -310,12 +551,29 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_l_rejected() {
+    fn infeasible_l_rejected_with_dedicated_error() {
+        // Regression: this used to come back as `InvalidK { k: l }`, so
+        // the message reported ℓ as "k". It must be `InvalidL` and the
+        // message must name ℓ.
         let (t, _, costs) = setup(12);
         let homogeneous = vec![7u32; 12];
+        let err = l_diverse_k_anonymize(&t, &costs, &homogeneous, &LDiverseConfig::new(2, 2))
+            .unwrap_err();
+        assert_eq!(err, CoreError::InvalidL { l: 2, distinct: 1 });
+        let msg = err.to_string();
         assert!(
-            l_diverse_k_anonymize(&t, &costs, &homogeneous, &LDiverseConfig::new(2, 2)).is_err()
+            msg.contains("\u{2113}=2"),
+            "message must name \u{2113}: {msg}"
         );
+        assert!(
+            !msg.contains("k="),
+            "message must not call \u{2113} \"k\": {msg}"
+        );
+        // ℓ = 0 is rejected the same way.
+        assert!(matches!(
+            l_diverse_k_anonymize(&t, &costs, &homogeneous, &LDiverseConfig::new(2, 0)),
+            Err(CoreError::InvalidL { l: 0, .. })
+        ));
     }
 
     #[test]
@@ -330,5 +588,59 @@ mod tests {
     fn length_mismatch_rejected() {
         let (t, _, costs) = setup(12);
         assert!(l_diverse_k_anonymize(&t, &costs, &[0, 1], &LDiverseConfig::new(2, 2)).is_err());
+    }
+
+    #[test]
+    fn matches_reference_including_leftover_distribution() {
+        // Byte-level pinning of the engine-based run (with the
+        // sort-once leftover distribution) against the original
+        // sort-after-every-push all-pairs implementation, across sizes
+        // that do and do not leave a leftover cluster. The proptest in
+        // `tests/determinism.rs` extends this to random tables.
+        for n in [7, 11, 12, 17, 18, 23] {
+            let (t, sensitive, costs) = setup(n);
+            for (k, l) in [(2, 2), (3, 2), (3, 3), (5, 2)] {
+                let cfg = LDiverseConfig::new(k, l);
+                let fast = l_diverse_k_anonymize(&t, &costs, &sensitive, &cfg).unwrap();
+                let refr = l_diverse_reference(&t, &costs, &sensitive, &cfg).unwrap();
+                assert_eq!(fast.clustering, refr.clustering, "n={n} k={k} l={l}");
+                assert_eq!(
+                    fast.loss.to_bits(),
+                    refr.loss.to_bits(),
+                    "n={n} k={k} l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_done_distribution_is_a_typed_error() {
+        // The `done.is_empty()` infeasible path: unreachable organically
+        // (the final merge of all unmatured rows always matures — it has
+        // n ≥ k members and every sensitive value), so exercise the
+        // distribution helper directly. It must return the typed error,
+        // not panic.
+        let (t, sensitive, costs) = setup(6);
+        let ctx = CostContext::new(&t, &costs);
+        let cfg = LDiverseConfig::new(3, 2);
+        let leftover = Cluster::singleton(&ctx, 0, &sensitive);
+        let err = distribute_leftover(&ctx, &cfg, &sensitive, &mut [], &leftover).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidClustering(_)));
+        let msg = err.to_string();
+        assert!(msg.contains("k = 3"), "{msg}");
+        assert!(msg.contains("\u{2113} = 2"), "{msg}");
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_valid_output() {
+        let (t, sensitive, costs) = setup(18);
+        let cfg = LDiverseConfig::new(3, 2);
+        let out = kanon_obs::with_work_budget(1, || {
+            crate::try_l_diverse_k_anonymize(&t, &costs, &sensitive, &cfg).unwrap()
+        });
+        assert!(out.is_exhausted());
+        let out = out.into_inner();
+        assert!(out.clustering.min_cluster_size() >= 3);
+        assert!(class_diversity(&out, &sensitive) >= 2);
     }
 }

@@ -47,6 +47,7 @@
 pub mod agglomerative;
 pub mod cost;
 pub mod distance;
+pub mod engine;
 pub mod fallible;
 pub mod forest;
 pub mod fulldomain;
@@ -65,9 +66,11 @@ pub use agglomerative::{
 };
 pub use cost::CostContext;
 pub use distance::{ClusterDistance, DEFAULT_EPSILON};
+pub use engine::{ClusterPolicy, RunOutcome};
 pub use fallible::{
     error_from_panic, try_agglomerative_k_anonymize, try_best_k_anonymize, try_forest_k_anonymize,
-    try_global_1k_anonymize, try_k1_anonymize, try_kk_anonymize, try_one_k_anonymize, Budgeted,
+    try_global_1k_anonymize, try_k1_anonymize, try_kk_anonymize, try_l_diverse_k_anonymize,
+    try_one_k_anonymize, Budgeted,
 };
 pub use forest::forest_k_anonymize;
 pub use fulldomain::{fulldomain_k_anonymize, FullDomainOutput, RecodingLevels};

@@ -16,7 +16,7 @@
 
 use kanon_algos::{
     agglomerative_k_anonymize, forest_k_anonymize, k1_expansion, k1_nearest_neighbors,
-    AgglomerativeConfig,
+    l_diverse_k_anonymize, AgglomerativeConfig, LDiverseConfig,
 };
 use kanon_core::table::Table;
 use kanon_data::art;
@@ -45,6 +45,9 @@ fn fingerprint(table: &Table, costs: &NodeCostTable, k: usize) -> Vec<(String, f
     out.push(("k1-nn".into(), r.loss, format!("{:?}", r.table.rows())));
     let r = k1_expansion(table, costs, k).unwrap();
     out.push(("k1-exp".into(), r.loss, format!("{:?}", r.table.rows())));
+    let sensitive: Vec<u32> = (0..table.num_rows()).map(|i| (i % 3) as u32).collect();
+    let r = l_diverse_k_anonymize(table, costs, &sensitive, &LDiverseConfig::new(k, 2)).unwrap();
+    out.push(("ldiv".into(), r.loss, format!("{:?}", r.clustering)));
     out
 }
 
@@ -110,6 +113,40 @@ proptest! {
             serial.counter(Counter::OracleRecomputes)
                 <= serial.counter(Counter::UpgradeSteps) + 1
         );
+    }
+
+    #[test]
+    fn ldiversity_engine_matches_naive_reference(seed in 0u64..1_000_000, k in 2usize..6, l in 2usize..4) {
+        // The engine-based ℓ-diversity run (shared nearest-neighbour
+        // cache, O(n²) expected) must be byte-identical — clustering and
+        // loss bits — to the original all-pairs O(n³) implementation,
+        // which is kept verbatim as `l_diverse_reference`. Random tables,
+        // sizes straddling the parallel thresholds, and both thread
+        // counts, so the cache's exactness invariants and the leftover
+        // distribution (sort-once vs sort-per-push) are pinned together.
+        let n = 40 + (seed as usize % 30);
+        let table = art::generate(n, seed);
+        let costs = NodeCostTable::compute(&table, &EntropyMeasure);
+        let sensitive: Vec<u32> = (0..n).map(|i| (i % 5) as u32).collect();
+        let cfg = LDiverseConfig::new(k, l);
+        let reference = kanon_algos::ldiversity::l_diverse_reference(
+            &table, &costs, &sensitive, &cfg,
+        ).unwrap();
+        for threads in [1usize, 4] {
+            let fast = with_threads(threads, || {
+                l_diverse_k_anonymize(&table, &costs, &sensitive, &cfg).unwrap()
+            });
+            prop_assert_eq!(
+                format!("{:?}", &fast.clustering),
+                format!("{:?}", &reference.clustering),
+                "clustering differs from naive reference (threads={})", threads
+            );
+            prop_assert!(
+                fast.loss.to_bits() == reference.loss.to_bits(),
+                "loss differs from naive reference: {} vs {} (threads={})",
+                fast.loss, reference.loss, threads
+            );
+        }
     }
 
     #[test]

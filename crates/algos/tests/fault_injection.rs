@@ -8,7 +8,8 @@
 
 use kanon_algos::{
     agglomerative_k_anonymize, try_agglomerative_k_anonymize, try_best_k_anonymize,
-    try_forest_k_anonymize, try_kk_anonymize, AgglomerativeConfig, ClusterDistance, KkConfig,
+    try_forest_k_anonymize, try_kk_anonymize, try_l_diverse_k_anonymize, AgglomerativeConfig,
+    ClusterDistance, KkConfig, LDiverseConfig,
 };
 use kanon_core::KanonError;
 use kanon_data::art;
@@ -35,6 +36,88 @@ fn injected_merge_fault_is_a_typed_error() {
         }
     );
     assert_eq!(err.exit_code(), 1);
+}
+
+/// A synthetic sensitive labelling with three classes: feasible for every
+/// ℓ ≤ 3 and forcing genuine mixing during the merge loop.
+fn sensitive_mod3(n: usize) -> Vec<u32> {
+    (0..n).map(|i| (i % 3) as u32).collect()
+}
+
+/// Distinct sensitive values of the least diverse output class.
+fn min_class_diversity(clustering: &kanon_core::cluster::Clustering, sensitive: &[u32]) -> usize {
+    clustering
+        .clusters()
+        .iter()
+        .map(|c| {
+            let mut vals: Vec<u32> = c.iter().map(|&i| sensitive[i as usize]).collect();
+            vals.sort_unstable();
+            vals.dedup();
+            vals.len()
+        })
+        .min()
+        .unwrap()
+}
+
+#[test]
+fn injected_ldiversity_merge_fault_is_a_typed_error() {
+    // The engine arms the policy's failpoint, so the ℓ-diversity loop now
+    // has the same fault surface as the plain agglomerative one.
+    let _faults = kanon_fault::scoped("algos/ldiversity/merge=once:2");
+    let (table, costs) = setup(24, 7);
+    let sensitive = sensitive_mod3(24);
+    let cfg = LDiverseConfig::new(3, 2);
+    let err = try_l_diverse_k_anonymize(&table, &costs, &sensitive, &cfg).unwrap_err();
+    assert_eq!(
+        err,
+        KanonError::FaultInjected {
+            point: "algos/ldiversity/merge".to_string()
+        }
+    );
+    assert_eq!(err.exit_code(), 1);
+}
+
+#[test]
+fn budget_exhaustion_ldiversity_yields_valid_diverse_partial_result() {
+    let _faults = kanon_fault::scoped("");
+    let (table, costs) = setup(64, 21);
+    let (k, l) = (4, 2);
+    let sensitive = sensitive_mod3(64);
+    let cfg = LDiverseConfig::new(k, l);
+    let full = try_l_diverse_k_anonymize(&table, &costs, &sensitive, &cfg)
+        .unwrap()
+        .into_inner();
+    let budgeted = kanon_obs::with_work_budget(500, || {
+        try_l_diverse_k_anonymize(&table, &costs, &sensitive, &cfg).unwrap()
+    });
+    assert!(budgeted.is_exhausted(), "tiny budget must trip mid-run");
+    let out = budgeted.into_inner();
+    // Degraded output stays valid under BOTH constraints.
+    assert!(out.clustering.min_cluster_size() >= k);
+    assert!(is_k_anonymous(&out.table, k));
+    assert!(min_class_diversity(&out.clustering, &sensitive) >= l);
+    assert!(out.loss >= full.loss - 1e-12);
+}
+
+#[test]
+fn ldiversity_budget_trip_point_is_thread_count_invariant() {
+    let _faults = kanon_fault::scoped("");
+    let (table, costs) = setup(96, 23);
+    let sensitive = sensitive_mod3(96);
+    let cfg = LDiverseConfig::new(4, 2);
+    let runs: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&t| {
+            with_threads(t, || {
+                let out = kanon_obs::with_work_budget(2_000, || {
+                    try_l_diverse_k_anonymize(&table, &costs, &sensitive, &cfg).unwrap()
+                });
+                format!("{:?}", out)
+            })
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[0], runs[2]);
 }
 
 #[test]

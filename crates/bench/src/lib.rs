@@ -15,6 +15,7 @@
 //! | `ablation_modified` | basic vs modified agglomerative |
 //! | `global1k_stats` | (k,k) → global (1,k) statistics |
 //! | `scaling` | runtime scaling in n |
+//! | `ldiv_scaling` | ℓ-diversity engine-vs-naive scaling (E-S2) |
 //!
 //! This library holds the shared machinery: dataset loading, measure
 //! dispatch, the three competitor protocols of Table I, and plain-text

@@ -18,8 +18,8 @@
 #![forbid(unsafe_code)]
 
 use kanon_algos::{
-    try_best_k_anonymize, try_global_1k_anonymize, try_kk_anonymize, Budgeted, ClusterDistance,
-    GlobalConfig, KkConfig,
+    try_best_k_anonymize, try_global_1k_anonymize, try_kk_anonymize, try_l_diverse_k_anonymize,
+    Budgeted, ClusterDistance, GlobalConfig, KkConfig, LDiverseConfig,
 };
 use kanon_core::schema::SharedSchema;
 use kanon_core::table::{GeneralizedTable, Table};
@@ -39,14 +39,18 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  \
          kanon generate  <art|adult|cmc> [--n N] [--seed S] [--out FILE]\n  \
-         kanon anonymize <DATASET> --k K [--notion k|kk|global] \
-         [--measure em|lm] [--in FILE] [--on-bad-row strict|suppress|root] \
+         kanon anonymize <DATASET> --k K [--notion k|kk|global|ldiv] \
+         [--l L] [--sensitive ATTR_IDX] [--measure em|lm] [--in FILE] \
+         [--on-bad-row strict|suppress|root] \
          [--n N] [--seed S] [--out FILE]\n  \
          kanon verify    <DATASET> --k K --in ORIGINAL.csv --anon ANON.csv\n  \
          kanon measure   <DATASET> [--in FILE] [--n N] [--seed S]\n\n\
          DATASET is art|adult|cmc (built-in schemas) or custom;\n\
          custom requires --schema SCHEMA.txt (see kanon_data::schema_text)\n\
          and --in DATA.csv.\n\n\
+         --notion ldiv adds distinct-\u{2113}-diversity on top of k-anonymity:\n\
+         --l L sets \u{2113} and --sensitive ATTR_IDX picks the sensitive\n\
+         attribute (0-based; default: the last attribute).\n\n\
          --on-bad-row controls CSV rows that fail to parse: strict\n\
          (default) fails the run, suppress drops them, root patches\n\
          unreadable cells with the attribute's first domain value.\n\n\
@@ -282,9 +286,44 @@ fn cmd_anonymize(name: &str, flags: &Flags) -> CmdResult {
             );
             out.table
         }
+        "ldiv" => {
+            let l = flags.usize_or("l", 0);
+            if l == 0 {
+                return Err(KanonError::Usage(
+                    "--notion ldiv requires --l L (distinct \u{2113}-diversity)".to_string(),
+                ));
+            }
+            let col = flags.usize_or("sensitive", table.num_attrs() - 1);
+            if col >= table.num_attrs() {
+                return Err(KanonError::Usage(format!(
+                    "--sensitive {col} out of range (table has {} attributes)",
+                    table.num_attrs()
+                )));
+            }
+            let sensitive: Vec<u32> = (0..table.num_rows())
+                .map(|i| table.row(i).get(col).0)
+                .collect();
+            let cfg = LDiverseConfig::new(k, l);
+            // An infeasible ℓ for the chosen column is a malformed
+            // request (exit 2), like an unknown flag — not a runtime
+            // failure of a well-formed one.
+            let out = match try_l_diverse_k_anonymize(&table, &costs, &sensitive, &cfg) {
+                Err(KanonError::Core(e @ kanon_core::CoreError::InvalidL { .. })) => {
+                    return Err(KanonError::Usage(e.to_string()))
+                }
+                r => accept_budgeted("\u{2113}-diverse k-anonymization", r?),
+            };
+            eprintln!(
+                "\u{2113}-diverse k-anonymized (k = {k}, \u{2113} = {l}, sensitive attr {col}); \
+                 loss = {:.4} ({})",
+                out.loss,
+                costs.measure_name()
+            );
+            out.table
+        }
         other => {
             return Err(KanonError::Usage(format!(
-                "unknown notion {other:?} (expected k|kk|global)"
+                "unknown notion {other:?} (expected k|kk|global|ldiv)"
             )))
         }
     };

@@ -180,6 +180,133 @@ fn armed_failpoint_yields_typed_error_never_panic() {
 }
 
 #[test]
+fn ldiv_happy_path_exits_zero() {
+    let out = kanon(
+        &[
+            "anonymize",
+            "art",
+            "--k",
+            "3",
+            "--l",
+            "2",
+            "--notion",
+            "ldiv",
+            "--n",
+            "40",
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 41);
+    assert!(stderr_of(&out).contains("\u{2113}-diverse k-anonymized"));
+}
+
+#[test]
+fn ldiv_without_l_is_a_usage_error() {
+    let out = kanon(&["anonymize", "art", "--k", "3", "--notion", "ldiv"], &[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("requires --l"));
+}
+
+#[test]
+fn infeasible_l_is_a_usage_error_naming_ell() {
+    // ℓ exceeding the distinct sensitive values is a malformed request:
+    // exit 2, and the message must name ℓ (not "k", as it once did).
+    let out = kanon(
+        &[
+            "anonymize",
+            "art",
+            "--k",
+            "3",
+            "--l",
+            "99",
+            "--notion",
+            "ldiv",
+            "--n",
+            "40",
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("diversity parameter \u{2113}=99"), "{err}");
+    assert!(!err.contains("panicked at"), "raw panic leaked: {err}");
+}
+
+#[test]
+fn ldiv_sensitive_out_of_range_is_a_usage_error() {
+    let out = kanon(
+        &[
+            "anonymize",
+            "art",
+            "--k",
+            "3",
+            "--l",
+            "2",
+            "--sensitive",
+            "17",
+            "--notion",
+            "ldiv",
+            "--n",
+            "40",
+        ],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--sensitive 17 out of range"));
+}
+
+#[test]
+fn ldiv_armed_failpoint_yields_typed_error() {
+    let out = kanon(
+        &[
+            "anonymize",
+            "art",
+            "--k",
+            "3",
+            "--l",
+            "2",
+            "--notion",
+            "ldiv",
+            "--n",
+            "40",
+        ],
+        &[("KANON_FAILPOINTS", "algos/ldiversity/merge=once:2")],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("error: injected fault at fail point `algos/ldiversity/merge`"),
+        "{err}"
+    );
+    assert!(!err.contains("panicked at"), "raw panic leaked: {err}");
+}
+
+#[test]
+fn ldiv_work_budget_degrades_gracefully_with_warning() {
+    let out = kanon(
+        &[
+            "anonymize",
+            "art",
+            "--k",
+            "3",
+            "--l",
+            "2",
+            "--notion",
+            "ldiv",
+            "--n",
+            "80",
+        ],
+        &[("KANON_WORK_BUDGET", "500")],
+    );
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("warning: work budget exhausted"), "{err}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 81);
+}
+
+#[test]
 fn injected_worker_panic_reports_the_worker() {
     let out = kanon(
         &[

@@ -31,6 +31,9 @@ pub enum CoreError {
     /// The requested anonymity parameter is not achievable
     /// (e.g. `k` larger than the number of records, or `k == 0`).
     InvalidK { k: usize, n: usize },
+    /// The requested diversity parameter ℓ is not achievable (`ℓ == 0`,
+    /// or `ℓ` larger than the number of distinct sensitive values).
+    InvalidL { l: usize, distinct: usize },
     /// A clustering is not a partition of the table's row indices.
     InvalidClustering(String),
     /// A label could not be resolved against a domain.
@@ -81,6 +84,13 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "anonymity parameter k={k} is invalid for a table of {n} records"
+                )
+            }
+            CoreError::InvalidL { l, distinct } => {
+                write!(
+                    f,
+                    "diversity parameter \u{2113}={l} is invalid: the sensitive \
+                     attribute has {distinct} distinct value(s)"
                 )
             }
             CoreError::InvalidClustering(msg) => write!(f, "invalid clustering: {msg}"),
@@ -211,6 +221,27 @@ mod tests {
         let e = CoreError::InvalidK { k: 10, n: 5 };
         assert!(e.to_string().contains("k=10"));
         assert!(e.to_string().contains("5 records"));
+    }
+
+    #[test]
+    fn invalid_l_names_the_diversity_parameter() {
+        // Regression: an infeasible ℓ used to be reported through
+        // `InvalidK`, so the message called ℓ "k". The dedicated variant
+        // must name ℓ and must not mention k at all.
+        let e = CoreError::InvalidL { l: 4, distinct: 2 };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("\u{2113}=4"),
+            "message must name \u{2113}: {msg}"
+        );
+        assert!(
+            msg.contains("2 distinct"),
+            "message must give the bound: {msg}"
+        );
+        assert!(
+            !msg.contains("k="),
+            "message must not call \u{2113} \"k\": {msg}"
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! | point                        | site                                     |
 //! |------------------------------|------------------------------------------|
 //! | `algos/agglomerative/merge`  | top of the agglomerative merge loop      |
+//! | `algos/ldiversity/merge`     | top of the ℓ-diversity merge loop        |
 //! | `algos/forest/round`         | top of each forest Borůvka round         |
 //! | `algos/k1/row`               | per-row loop of the (k,1) algorithms     |
 //! | `algos/one_k/upgrade`        | per-upgrade loop of Algorithm 6          |

@@ -82,11 +82,17 @@ pub enum Counter {
     OneKUpgrades,
     /// Node-cost tables precomputed over a (table, measure) pair.
     NodeCostTables,
+    /// Cluster-to-cluster distance evaluations performed by the shared
+    /// closest-pair engine (`kanon_algos::engine`).
+    ClusterDistEvals,
+    /// Nearest-neighbour cache entries repaired via the exact runner-up
+    /// shortcut (full rescans are counted under `NnRescans` instead).
+    CacheRepairs,
 }
 
 impl Counter {
     /// Every counter, in canonical report order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 16] = [
         Counter::MergesPerformed,
         Counter::NnRescans,
         Counter::JoinTableHits,
@@ -101,6 +107,8 @@ impl Counter {
         Counter::K1RowsExpanded,
         Counter::OneKUpgrades,
         Counter::NodeCostTables,
+        Counter::ClusterDistEvals,
+        Counter::CacheRepairs,
     ];
 
     /// The counter's canonical snake_case name (the JSON key).
@@ -120,6 +128,8 @@ impl Counter {
             Counter::K1RowsExpanded => "k1_rows_expanded",
             Counter::OneKUpgrades => "one_k_upgrades",
             Counter::NodeCostTables => "node_cost_tables",
+            Counter::ClusterDistEvals => "cluster_dist_evals",
+            Counter::CacheRepairs => "cache_repairs",
         }
     }
 }
@@ -673,9 +683,9 @@ mod tests {
         for c in Counter::ALL {
             assert!(ja.contains(&format!("\"{}\":", c.name())), "{}", c.name());
         }
-        // Fixed order: merges first, node_cost_tables last.
+        // Fixed order: merges first, cache_repairs last.
         assert!(ja.starts_with("{\"merges_performed\":7"));
-        assert!(ja.ends_with("\"node_cost_tables\":0}"));
+        assert!(ja.ends_with("\"cache_repairs\":0}"));
     }
 
     #[test]
