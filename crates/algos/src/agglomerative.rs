@@ -19,9 +19,9 @@
 //! module supplies only the Algorithm 1/2 policy (closure-cost distance,
 //! size-k maturity, the Algorithm 2 shrink) on top of that engine.
 
-use crate::cost::CostContext;
+use crate::cost::{CostContext, SigArena};
 use crate::distance::ClusterDistance;
-use crate::engine::{self, closer, ClusterPolicy};
+use crate::engine::{self, closer, ClusterPolicy, PackedEval};
 use kanon_core::cluster::Clustering;
 use kanon_core::error::{CoreError, Result};
 use kanon_core::hierarchy::NodeId;
@@ -152,6 +152,36 @@ impl ClusterPolicy for Alg1Policy<'_, '_> {
         } else {
             Vec::new()
         }
+    }
+
+    fn packed(&self) -> Option<&dyn PackedEval<Cluster>> {
+        Some(self)
+    }
+}
+
+impl PackedEval<Cluster> for Alg1Policy<'_, '_> {
+    fn new_arena(&self, capacity: usize) -> SigArena {
+        SigArena::with_capacity(self.ctx.num_attrs(), capacity)
+    }
+
+    fn store(&self, c: &Cluster, slot: usize, arena: &mut SigArena) {
+        arena.store(slot, &c.nodes, c.size(), c.cost);
+    }
+
+    // Bit-identical to `distance` above: `arena_join_cost` runs the same
+    // fused probes in the same attribute order as `join_cost`, and the
+    // size/cost operands are the very values `store` copied out of the
+    // payload.
+    fn dist(&self, arena: &SigArena, a: usize, b: usize) -> f64 {
+        let cost_u = self.ctx.arena_join_cost(arena, a, b);
+        self.distance.eval_symmetric(
+            arena.size(a),
+            arena.cost(a),
+            arena.size(b),
+            arena.cost(b),
+            arena.size(a) + arena.size(b),
+            cost_u,
+        )
     }
 }
 

@@ -40,7 +40,45 @@
 //! `KANON_THREADS`. The determinism proptests pin this for both engine
 //! clients.
 
+use crate::cost::SigArena;
 use kanon_obs::Counter;
+
+/// Minimum estimated distance evaluations in one batch before the
+/// engine fans the batch out to the worker pool. Measured, not guessed:
+/// `benches/engine_rescan.rs` times warm-pool batched dispatches
+/// against the serial pass over batch sizes. On the reference box one
+/// fused-kernel evaluation is ~47 ns and a warm dispatch costs
+/// ~25–35 µs end to end, which puts the break-even at ~1100 evals for
+/// 2 workers and ~600 for 8; the constant is the conservative next
+/// power of two above the worst case (see EXPERIMENTS.md E-S3 for the
+/// table; the old per-call-spawn layer gated on ~64 *items* regardless
+/// of per-item cost, which is what made small repair batches negative).
+pub(crate) const MIN_PAR_SCAN_EVALS: usize = 2048;
+
+/// Packed-kernel hooks: a policy whose distance is a pure function of
+/// the cluster triple (signature, size, cost) can expose this
+/// evaluator, and the engine then mirrors every cluster into a flat
+/// SoA [`SigArena`] (one contiguous `u32` node lane per attribute,
+/// indexed by engine slot) and runs all distance scans out of it —
+/// streaming fused `(join, cost)` probes instead of chasing
+/// per-cluster heap vectors.
+///
+/// Contract: `dist(arena, a, b)` must return the same bits — and
+/// increment the same deterministic counters — as
+/// [`ClusterPolicy::distance`] on the payloads stored at `a` and `b`,
+/// for the engine's byte-identity guarantees to hold.
+pub trait PackedEval<C>: Sync {
+    /// Fresh arena with this policy's attribute arity and room for
+    /// `capacity` slots.
+    fn new_arena(&self, capacity: usize) -> SigArena;
+
+    /// Writes `c`'s signature, size and cost into `slot`.
+    fn store(&self, c: &C, slot: usize, arena: &mut SigArena);
+
+    /// Distance between stored slots `a` and `b`; argument order
+    /// matches the engine's payload-path call sites.
+    fn dist(&self, arena: &SigArena, a: usize, b: usize) -> f64;
+}
 
 /// The merge/maturity policy a caller plugs into [`run`].
 ///
@@ -75,6 +113,13 @@ pub trait ClusterPolicy: Sync {
     fn on_mature(&self, c: &mut Self::Payload) -> Vec<Self::Payload> {
         let _ = c;
         Vec::new()
+    }
+
+    /// Opt-in packed acceleration (see [`PackedEval`]); the default
+    /// generic path returns `None` and the engine calls
+    /// [`Self::distance`] on payload references.
+    fn packed(&self) -> Option<&dyn PackedEval<Self::Payload>> {
+        None
     }
 }
 
@@ -141,29 +186,44 @@ struct State<'p, P: ClusterPolicy> {
     active: Vec<usize>,
     /// Per-slot nearest-neighbour cache (meaningful for active slots).
     nearest: Vec<Option<NearestPair>>,
+    /// Packed acceleration: the policy's evaluator plus the SoA
+    /// signature arena, kept in lock-step with `slots`. `None` runs the
+    /// generic payload path.
+    packed: Option<(&'p dyn PackedEval<P::Payload>, SigArena)>,
+    /// Scratch (reused across merges): slots needing a full rescan.
+    repair_scratch: Vec<usize>,
+    /// Scratch (reused across merges): newcomer distance buffer.
+    dist_scratch: Vec<f64>,
 }
 
 impl<'p, P: ClusterPolicy> State<'p, P> {
-    fn dist_between(&self, a: &P::Payload, b: &P::Payload) -> f64 {
+    /// Distance between two live slots: the packed arena path when the
+    /// policy exposes one (bit-identical by the [`PackedEval`]
+    /// contract), else the payload path.
+    fn dist_between(&self, a: usize, b: usize) -> f64 {
         kanon_obs::count(Counter::ClusterDistEvals, 1);
-        self.policy.distance(a, b)
+        if let Some((pk, arena)) = &self.packed {
+            return pk.dist(arena, a, b);
+        }
+        self.policy.distance(
+            // kanon-lint: allow(L006) callers pass live slots by construction
+            self.slots[a].as_ref().expect("slot a live"),
+            // kanon-lint: allow(L006) callers pass live slots by construction
+            self.slots[b].as_ref().expect("slot b live"),
+        )
     }
 
     /// Scans all active slots (except `slot`) for the two nearest
     /// neighbours of `slot`. Deterministic tie-break on slot index.
     fn scan_nearest(&self, slot: usize) -> Option<NearestPair> {
         kanon_obs::count(Counter::NnRescans, 1);
-        // kanon-lint: allow(L006) slot liveness is a scan invariant; a breach is a bug caught at the try_* boundary
-        let me = self.slots[slot].as_ref().expect("slot must be live");
         let mut best: Option<Nearest> = None;
         let mut second: Option<Nearest> = None;
         for &other in &self.active {
             if other == slot {
                 continue;
             }
-            // kanon-lint: allow(L006) active slots are live by construction
-            let oc = self.slots[other].as_ref().expect("active slot live");
-            let d = self.dist_between(me, oc);
+            let d = self.dist_between(slot, other);
             let cand = Nearest {
                 dist: d,
                 target: other,
@@ -193,30 +253,36 @@ impl<'p, P: ClusterPolicy> State<'p, P> {
         let slot = self.slots.len();
         self.slots.push(Some(cluster));
         self.nearest.push(None);
+        if let Some((pk, arena)) = &mut self.packed {
+            // kanon-lint: allow(L006) the just-inserted slot is live
+            let c = self.slots[slot].as_ref().expect("just-inserted slot live");
+            pk.store(c, slot, arena);
+        }
         // Let existing actives insert the newcomer into their top-2, so
         // that later fallbacks (repair) remain exact without rescans.
         // The O(active) distance evaluations are pure reads — computed in
-        // parallel; the cache updates below are applied serially in active
-        // order, so the bookkeeping is identical to the serial pass. Each
-        // evaluation is only a handful of joins, so fan out later than the
-        // generic threshold: below ~512 actives the spawns cost more than
-        // the pass.
-        const PAR_DIST_THRESHOLD: usize = 512;
-        let dists: Vec<f64> = {
+        // parallel into the reused scratch buffer; the cache updates
+        // below are applied serially in active order, so the bookkeeping
+        // is identical to the serial pass. One evaluation is a handful
+        // of fused probes, so fan out only past the measured cutover.
+        let mut dists = std::mem::take(&mut self.dist_scratch);
+        dists.clear();
+        dists.resize(self.active.len(), 0.0);
+        {
             let this = &*self;
-            let eval = move |idx: usize| {
-                // kanon-lint: allow(L006) active slots are live by construction
-                let oc = this.slots[this.active[idx]].as_ref().unwrap();
-                // kanon-lint: allow(L006) the just-inserted slot is live
-                let newcomer = this.slots[slot].as_ref().unwrap();
-                this.dist_between(oc, newcomer)
-            };
-            if this.active.len() >= PAR_DIST_THRESHOLD {
-                kanon_parallel::map(this.active.len(), eval)
+            let eval = |idx: usize| this.dist_between(this.active[idx], slot);
+            if this.active.len() >= MIN_PAR_SCAN_EVALS {
+                kanon_parallel::for_each_chunk_mut(&mut dists, |base, chunk| {
+                    for (off, d) in chunk.iter_mut().enumerate() {
+                        *d = eval(base + off);
+                    }
+                });
             } else {
-                (0..this.active.len()).map(eval).collect()
+                for (idx, d) in dists.iter_mut().enumerate() {
+                    *d = eval(idx);
+                }
             }
-        };
+        }
         for (&other, &d) in self.active.iter().zip(&dists) {
             let cand = Nearest {
                 dist: d,
@@ -290,6 +356,7 @@ impl<'p, P: ClusterPolicy> State<'p, P> {
                 },
             }
         }
+        self.dist_scratch = dists;
         self.active.push(slot);
         self.nearest[slot] = best.map(|b| NearestPair {
             best: b,
@@ -312,7 +379,8 @@ impl<'p, P: ClusterPolicy> State<'p, P> {
         // Cheap serial pass: keep fresh entries, fall back to an exact
         // live runner-up, and collect the slots that need a full rescan
         // (typically zero or a handful per merge — not worth threads).
-        let mut need: Vec<usize> = Vec::new();
+        let mut need = std::mem::take(&mut self.repair_scratch);
+        need.clear();
         for idx in 0..self.active.len() {
             let slot = self.active[idx];
             let repaired = match self.nearest[slot] {
@@ -340,14 +408,16 @@ impl<'p, P: ClusterPolicy> State<'p, P> {
             }
         }
         if need.is_empty() {
+            self.repair_scratch = need;
             return;
         }
         // Full rescans are O(active) distance evaluations each — the
         // expensive, pure part. Few in number, so the per-item threshold
-        // of `map` never triggers; gate on the *scan* size instead and
-        // use the coarse variant.
+        // of `map` never triggers; gate on the total *evaluation* count
+        // of the batch (rescans × actives), the measured break-even for
+        // a warm-pool dispatch, and use the coarse variant.
         let rescanned: Vec<Option<NearestPair>> =
-            if self.active.len() >= kanon_parallel::MIN_PARALLEL_ITEMS {
+            if need.len() * self.active.len() >= MIN_PAR_SCAN_EVALS {
                 let this = &*self;
                 kanon_parallel::map_coarse(need.len(), |i| this.scan_nearest(need[i]))
             } else {
@@ -356,6 +426,7 @@ impl<'p, P: ClusterPolicy> State<'p, P> {
         for (&slot, r) in need.iter().zip(rescanned) {
             self.nearest[slot] = r;
         }
+        self.repair_scratch = need;
     }
 
     /// Debug-build check: the selected merge distance equals the true
@@ -367,12 +438,7 @@ impl<'p, P: ClusterPolicy> State<'p, P> {
         let mut min = f64::INFINITY;
         for (x, &a) in self.active.iter().enumerate() {
             for &b in &self.active[x + 1..] {
-                let dd = self.dist_between(
-                    // kanon-lint: allow(L006) active slots are live by construction
-                    self.slots[a].as_ref().unwrap(),
-                    // kanon-lint: allow(L006) active slots are live by construction
-                    self.slots[b].as_ref().unwrap(),
-                );
+                let dd = self.dist_between(a, b);
                 if dd < min {
                     min = dd;
                 }
@@ -423,11 +489,27 @@ pub fn run<P: ClusterPolicy>(policy: &P, initial: Vec<P::Payload>) -> RunOutcome
     };
 
     let n = initial.len();
+    let slots: Vec<Option<P::Payload>> = initial.into_iter().map(Some).collect();
+    // Mirror every initial cluster into the policy's packed arena (when
+    // it has one). Capacity 2n+1 covers the worst case: every merge adds
+    // one slot, and n clusters admit at most n−1 merges plus recycled
+    // singletons; `store` appends densely past that anyway.
+    let packed = policy.packed().map(|pk| {
+        let mut arena = pk.new_arena(2 * n + 1);
+        for (slot, c) in slots.iter().enumerate() {
+            // kanon-lint: allow(L006) initial slots are all live
+            pk.store(c.as_ref().expect("initial slot live"), slot, &mut arena);
+        }
+        (pk, arena)
+    });
     let mut st: State<'_, P> = State {
         policy,
-        slots: initial.into_iter().map(Some).collect(),
+        slots,
         active: (0..n).collect(),
         nearest: vec![None; n],
+        packed,
+        repair_scratch: Vec::new(),
+        dist_scratch: Vec::new(),
     };
     // Initial full nearest-neighbour scan: O(n²) distance evaluations,
     // pure per-slot — parallelized across slots. scan_nearest orders

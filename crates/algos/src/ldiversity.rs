@@ -20,9 +20,9 @@
 //! as the n³ baseline.
 
 use crate::agglomerative::KAnonOutput;
-use crate::cost::CostContext;
+use crate::cost::{CostContext, SigArena};
 use crate::distance::ClusterDistance;
-use crate::engine::{self, ClusterPolicy};
+use crate::engine::{self, ClusterPolicy, PackedEval};
 use kanon_core::cluster::Clustering;
 use kanon_core::error::{CoreError, Result};
 use kanon_core::hierarchy::NodeId;
@@ -138,6 +138,36 @@ impl ClusterPolicy for LDivPolicy<'_, '_> {
 
     fn is_mature(&self, c: &Cluster) -> bool {
         c.size() >= self.k && c.distinct() >= self.l
+    }
+
+    fn packed(&self) -> Option<&dyn PackedEval<Cluster>> {
+        Some(self)
+    }
+}
+
+impl PackedEval<Cluster> for LDivPolicy<'_, '_> {
+    fn new_arena(&self, capacity: usize) -> SigArena {
+        SigArena::with_capacity(self.ctx.num_attrs(), capacity)
+    }
+
+    fn store(&self, c: &Cluster, slot: usize, arena: &mut SigArena) {
+        arena.store(slot, &c.nodes, c.size(), c.cost);
+    }
+
+    // Bit-identical to `dist` above: `arena_join_cost` runs the same
+    // fused probes in the same attribute order as `join_cost`, and the
+    // size/cost operands are the very values `store` copied out of the
+    // payload (the sensitive-value map plays no part in distances).
+    fn dist(&self, arena: &SigArena, a: usize, b: usize) -> f64 {
+        let cost_u = self.ctx.arena_join_cost(arena, a, b);
+        self.distance.eval_symmetric(
+            arena.size(a),
+            arena.cost(a),
+            arena.size(b),
+            arena.cost(b),
+            arena.size(a) + arena.size(b),
+            cost_u,
+        )
     }
 }
 

@@ -105,6 +105,11 @@ proptest! {
         // Sanity: the pipeline actually exercised the instrumented paths.
         use kanon_obs::Counter;
         prop_assert!(serial.counter(Counter::MergesPerformed) > 0);
+        // The packed-kernel byte counter is deterministic (bytes per
+        // fused probe × probes, both thread-count invariant), so it
+        // lives inside the counters_json equality above; check it
+        // actually moved.
+        prop_assert!(serial.counter(Counter::SignatureBytesStreamed) > 0);
         prop_assert!(serial.counter(Counter::PairCostEvals) > 0);
         prop_assert!(serial.counter(Counter::K1RowsExpanded) > 0);
         prop_assert!(serial.counter(Counter::SccPasses) > 0);

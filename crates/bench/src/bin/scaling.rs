@@ -10,13 +10,14 @@
 //!
 //! Usage:
 //! `cargo run --release -p kanon-bench --bin scaling -- \
-//!    [--n 1000,2000,5000] [--k 10] [--seed 42] [--threads 1,8] \
-//!    [--algos agglom,forest,kk] [--out BENCH_scaling.json]`
+//!    [--n 1000,2000,5000] [--k 10] [--seed 42] [--threads 1,2,4,8] \
+//!    [--algos agglom,forest,kk,ldiv] [--out BENCH_scaling.json]`
 
 #![forbid(unsafe_code)]
 
 use kanon_algos::{
-    agglomerative_k_anonymize, forest_k_anonymize, kk_anonymize, AgglomerativeConfig, KkConfig,
+    agglomerative_k_anonymize, forest_k_anonymize, kk_anonymize, l_diverse_k_anonymize,
+    AgglomerativeConfig, KkConfig, LDiverseConfig,
 };
 use kanon_bench::{measure_costs, Measure};
 use kanon_data::art;
@@ -47,13 +48,16 @@ fn main() {
     let mut ns = vec![1000usize, 2000, 5000];
     let mut k = 10usize;
     let mut seed = 42u64;
-    let mut threads = vec![
-        1usize,
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1),
+    // The default ladder exposes the scaling *curve*, not just the two
+    // endpoints — a pool-dispatch regression that only hurts small
+    // fan-outs shows up at 2 threads long before it shows at 8.
+    let mut threads = vec![1usize, 2, 4, 8];
+    let mut algos = vec![
+        "agglom".to_string(),
+        "forest".to_string(),
+        "kk".to_string(),
+        "ldiv".to_string(),
     ];
-    let mut algos = vec!["agglom".to_string(), "forest".to_string(), "kk".to_string()];
     let mut out_path = "BENCH_scaling.json".to_string();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -89,6 +93,10 @@ fn main() {
     for &n in &ns {
         let t = art::generate(n, seed);
         let costs = measure_costs(&t, Measure::Em);
+        // Sensitive labelling for the ldiv rows: five classes, feasible
+        // for ℓ = 3 and independent of the quasi-identifiers (same
+        // scheme as the ldiv_scaling binary).
+        let sensitive: Vec<u32> = (0..n).map(|i| (i % 5) as u32).collect();
         for algo in &algos {
             for &tc in &threads {
                 let collector = kanon_obs::Collector::new();
@@ -104,7 +112,13 @@ fn main() {
                             }
                             "forest" => forest_k_anonymize(&t, &costs, k).unwrap().loss,
                             "kk" => kk_anonymize(&t, &costs, &KkConfig::new(k)).unwrap().loss,
-                            other => panic!("unknown algo {other} (agglom|forest|kk)"),
+                            "ldiv" => {
+                                let cfg = LDiverseConfig::new(k, 3);
+                                l_diverse_k_anonymize(&t, &costs, &sensitive, &cfg)
+                                    .unwrap()
+                                    .loss
+                            }
+                            other => panic!("unknown algo {other} (agglom|forest|kk|ldiv)"),
                         };
                         (loss, start.elapsed().as_secs_f64() * 1e3)
                     })
@@ -114,6 +128,7 @@ fn main() {
                     algo: match algo.as_str() {
                         "agglom" => "agglom",
                         "forest" => "forest",
+                        "ldiv" => "ldiv",
                         _ => "kk",
                     },
                     n,

@@ -745,43 +745,73 @@ pub struct CounterRegistry {
     pub variants: BTreeMap<String, usize>,
 }
 
-/// Parses the registry from the obs crate source: every match arm of the
-/// form `Counter::Variant => "snake_name"`.
-pub fn parse_counter_registry(src: &str) -> CounterRegistry {
+/// Parses one registry out of the obs crate source: every match arm of
+/// the form `<enum_path>Variant => "snake_name"`. The `enum_path` token
+/// is matched with an identifier boundary on its left, so the
+/// deterministic `Counter::` scan does not swallow `RuntimeCounter::`
+/// arms (and vice versa).
+fn parse_registry(src: &str, enum_path: &str) -> CounterRegistry {
     let mut variants = BTreeMap::new();
     for (idx, line) in src.lines().enumerate() {
-        let Some(pos) = line.find("Counter::") else {
-            continue;
-        };
-        let rest = &line[pos + "Counter::".len()..];
-        let ident: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
-        if ident.is_empty() {
-            continue;
-        }
-        let after = &rest[ident.len()..];
-        if after.trim_start().starts_with("=>") && after.contains('"') {
-            variants.entry(ident).or_insert(idx + 1);
+        let mut search = 0;
+        while let Some(pos) = line[search..].find(enum_path).map(|p| p + search) {
+            search = pos + enum_path.len();
+            let boundary =
+                pos == 0 || !is_ident_char(line[..pos].chars().next_back().unwrap_or(' '));
+            if !boundary {
+                continue;
+            }
+            let rest = &line[search..];
+            let ident: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+            if ident.is_empty() {
+                continue;
+            }
+            let after = &rest[ident.len()..];
+            if after.trim_start().starts_with("=>") && after.contains('"') {
+                variants.entry(ident).or_insert(idx + 1);
+            }
         }
     }
     CounterRegistry { variants }
 }
 
-/// Extracts counter increments from a masked file: occurrences of
-/// `count(…Counter::Variant…)` on one line. Returns `(line, variant)`.
-pub fn find_counter_increments(masked: &Masked) -> Vec<(usize, String)> {
+/// Parses the deterministic-counter registry (`Counter::Variant =>
+/// "snake_name"` arms). These counters feed the thread-count-invariance
+/// gates, so every one must be byte-identical at any `KANON_THREADS`.
+pub fn parse_counter_registry(src: &str) -> CounterRegistry {
+    parse_registry(src, "Counter::")
+}
+
+/// Parses the runtime-counter registry (`RuntimeCounter::Variant =>
+/// "snake_name"` arms): scheduling telemetry (pool dispatches, park
+/// wake-ups, thread spawns) that is legitimately thread-count-dependent
+/// and therefore lives outside the determinism-compared block.
+pub fn parse_runtime_counter_registry(src: &str) -> CounterRegistry {
+    parse_registry(src, "RuntimeCounter::")
+}
+
+/// Shared scanner behind [`find_counter_increments`] and
+/// [`find_runtime_counter_increments`]: occurrences of
+/// `<call>(…<enum_path>Variant…)` on one line.
+fn find_increments(masked: &Masked, call: &str, enum_path: &str) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     for (idx, code) in masked.code_lines.iter().enumerate() {
         let mut search = 0;
-        while let Some(pos) = code[search..].find("count(").map(|p| p + search) {
-            search = pos + "count(".len();
+        while let Some(pos) = code[search..].find(call).map(|p| p + search) {
+            search = pos + call.len();
             // Token check: `count(`, `kanon_obs::count(` — not `recount(`.
             let before_ok = pos == 0 || !is_ident_char(code[..pos].chars().next_back().unwrap());
             if !before_ok {
                 continue;
             }
             let rest = &code[search..];
-            if let Some(cpos) = rest.find("Counter::") {
-                let ident: String = rest[cpos + "Counter::".len()..]
+            if let Some(cpos) = rest.find(enum_path) {
+                let boundary =
+                    cpos == 0 || !is_ident_char(rest[..cpos].chars().next_back().unwrap_or(' '));
+                if !boundary {
+                    continue;
+                }
+                let ident: String = rest[cpos + enum_path.len()..]
                     .chars()
                     .take_while(|&c| is_ident_char(c))
                     .collect();
@@ -792,6 +822,20 @@ pub fn find_counter_increments(masked: &Masked) -> Vec<(usize, String)> {
         }
     }
     out
+}
+
+/// Extracts deterministic-counter increments from a masked file:
+/// occurrences of `count(…Counter::Variant…)` on one line. Returns
+/// `(line, variant)`.
+pub fn find_counter_increments(masked: &Masked) -> Vec<(usize, String)> {
+    find_increments(masked, "count(", "Counter::")
+}
+
+/// Extracts runtime-counter increments from a masked file: occurrences
+/// of `count_runtime(…RuntimeCounter::Variant…)` on one line. Returns
+/// `(line, variant)`.
+pub fn find_runtime_counter_increments(masked: &Masked) -> Vec<(usize, String)> {
+    find_increments(masked, "count_runtime(", "RuntimeCounter::")
 }
 
 // ---------------------------------------------------------------------
@@ -929,52 +973,72 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         }
     }
 
-    // L005: registry from the obs crate vs increments elsewhere.
+    // L005: registries from the obs crate vs increments elsewhere. The
+    // deterministic (`Counter`/`count`) and runtime
+    // (`RuntimeCounter`/`count_runtime`) classes are cross-checked
+    // separately: a runtime counter incremented via `count(` would leak
+    // thread-scheduling noise into the determinism-compared block, and
+    // the parsers' identifier-boundary checks keep the two registries
+    // disjoint.
     let registry_path = "crates/obs/src/lib.rs";
     if let Some(obs) = files.iter().find(|f| f.rel_path == registry_path) {
-        let registry = parse_counter_registry(&obs.source);
-        let mut incremented: BTreeMap<String, (String, usize)> = BTreeMap::new();
-        for f in &files {
-            if f.crate_dir.as_deref() == Some("obs") {
-                continue; // obs's own unit tests are not instrumentation
-            }
-            let masked = mask_source(&f.source);
-            let mut allow_diags = Vec::new();
-            let allows = parse_allows(&f.rel_path, &masked, &mut allow_diags);
-            for (line, variant) in find_counter_increments(&masked) {
-                if !registry.variants.contains_key(&variant) {
-                    if !allows.allows(line, Rule::L005) {
-                        diags.push(Diagnostic {
-                            file: f.rel_path.clone(),
-                            line,
-                            rule: Rule::L005,
-                            message: format!(
-                                "increment of `Counter::{variant}` which is not in the \
-                                 canonical registry ({registry_path})"
-                            ),
-                        });
-                    }
+        let classes = [
+            ("Counter", parse_counter_registry(&obs.source), 0usize),
+            (
+                "RuntimeCounter",
+                parse_runtime_counter_registry(&obs.source),
+                1usize,
+            ),
+        ];
+        for (enum_name, registry, class) in &classes {
+            let mut incremented: BTreeMap<String, (String, usize)> = BTreeMap::new();
+            for f in &files {
+                if f.crate_dir.as_deref() == Some("obs") {
+                    continue; // obs's own unit tests are not instrumentation
+                }
+                let masked = mask_source(&f.source);
+                let mut allow_diags = Vec::new();
+                let allows = parse_allows(&f.rel_path, &masked, &mut allow_diags);
+                let found = if *class == 0 {
+                    find_counter_increments(&masked)
                 } else {
-                    incremented
-                        .entry(variant)
-                        .or_insert((f.rel_path.clone(), line));
+                    find_runtime_counter_increments(&masked)
+                };
+                for (line, variant) in found {
+                    if !registry.variants.contains_key(&variant) {
+                        if !allows.allows(line, Rule::L005) {
+                            diags.push(Diagnostic {
+                                file: f.rel_path.clone(),
+                                line,
+                                rule: Rule::L005,
+                                message: format!(
+                                    "increment of `{enum_name}::{variant}` which is not in the \
+                                     canonical registry ({registry_path})"
+                                ),
+                            });
+                        }
+                    } else {
+                        incremented
+                            .entry(variant)
+                            .or_insert((f.rel_path.clone(), line));
+                    }
                 }
             }
-        }
-        let obs_masked = mask_source(&obs.source);
-        let mut obs_allow_diags = Vec::new();
-        let obs_allows = parse_allows(registry_path, &obs_masked, &mut obs_allow_diags);
-        for (variant, def_line) in &registry.variants {
-            if !incremented.contains_key(variant) && !obs_allows.allows(*def_line, Rule::L005) {
-                diags.push(Diagnostic {
-                    file: registry_path.to_string(),
-                    line: *def_line,
-                    rule: Rule::L005,
-                    message: format!(
-                        "counter `{variant}` is registered but never incremented outside \
-                         the obs crate — dead registry entries hide missing instrumentation"
-                    ),
-                });
+            let obs_masked = mask_source(&obs.source);
+            let mut obs_allow_diags = Vec::new();
+            let obs_allows = parse_allows(registry_path, &obs_masked, &mut obs_allow_diags);
+            for (variant, def_line) in &registry.variants {
+                if !incremented.contains_key(variant) && !obs_allows.allows(*def_line, Rule::L005) {
+                    diags.push(Diagnostic {
+                        file: registry_path.to_string(),
+                        line: *def_line,
+                        rule: Rule::L005,
+                        message: format!(
+                            "counter `{variant}` is registered but never incremented outside \
+                             the obs crate — dead registry entries hide missing instrumentation"
+                        ),
+                    });
+                }
             }
         }
     } else {
@@ -1148,6 +1212,42 @@ mod tests {
         assert_eq!(
             incs,
             vec![(1, "Alpha".to_string()), (2, "Gamma".to_string())]
+        );
+    }
+
+    #[test]
+    fn l005_runtime_registry_is_disjoint_from_deterministic() {
+        let obs = r#"
+            impl Counter {
+                pub const fn name(self) -> &'static str {
+                    match self { Counter::Alpha => "alpha" }
+                }
+            }
+            impl RuntimeCounter {
+                pub const fn name(self) -> &'static str {
+                    match self { RuntimeCounter::PoolParkWakes => "pool_park_wakes" }
+                }
+            }
+        "#;
+        // The `Counter::` scan must not swallow `RuntimeCounter::` arms.
+        let det = parse_counter_registry(obs);
+        assert_eq!(det.variants.keys().collect::<Vec<_>>(), ["Alpha"]);
+        let rt = parse_runtime_counter_registry(obs);
+        assert_eq!(rt.variants.keys().collect::<Vec<_>>(), ["PoolParkWakes"]);
+        // Increment scans are class-specific: `count_runtime(` is not a
+        // `count(` call, and vice versa.
+        let m = mask_source(
+            "count(Counter::Alpha, 1);\n\
+             count_runtime(RuntimeCounter::PoolParkWakes, 2);\n\
+             kanon_obs::count_runtime(kanon_obs::RuntimeCounter::PoolTasksDispatched, 3);\n",
+        );
+        assert_eq!(find_counter_increments(&m), vec![(1, "Alpha".to_string())]);
+        assert_eq!(
+            find_runtime_counter_increments(&m),
+            vec![
+                (2, "PoolParkWakes".to_string()),
+                (3, "PoolTasksDispatched".to_string())
+            ]
         );
     }
 

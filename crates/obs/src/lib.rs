@@ -88,11 +88,18 @@ pub enum Counter {
     /// Nearest-neighbour cache entries repaired via the exact runner-up
     /// shortcut (full rescans are counted under `NnRescans` instead).
     CacheRepairs,
+    /// Bytes streamed through the packed signature kernel's fused
+    /// join/cost tables (24 bytes per fused probe: two `u32` signature
+    /// reads plus one 16-byte interleaved `(node, cost)` entry). Fused
+    /// probes count here *instead of* `JoinTableHits` — the per-probe
+    /// byte weight is fixed, so the total is as thread-count invariant
+    /// as the probe count itself.
+    SignatureBytesStreamed,
 }
 
 impl Counter {
     /// Every counter, in canonical report order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 17] = [
         Counter::MergesPerformed,
         Counter::NnRescans,
         Counter::JoinTableHits,
@@ -109,6 +116,7 @@ impl Counter {
         Counter::NodeCostTables,
         Counter::ClusterDistEvals,
         Counter::CacheRepairs,
+        Counter::SignatureBytesStreamed,
     ];
 
     /// The counter's canonical snake_case name (the JSON key).
@@ -130,9 +138,51 @@ impl Counter {
             Counter::NodeCostTables => "node_cost_tables",
             Counter::ClusterDistEvals => "cluster_dist_evals",
             Counter::CacheRepairs => "cache_repairs",
+            Counter::SignatureBytesStreamed => "signature_bytes_streamed",
         }
     }
 }
+
+/// Runtime (non-deterministic) counters: infrastructure tallies that
+/// legitimately vary with the thread count, pool warm-up state, and
+/// scheduler timing. They live in the report's runtime section next to
+/// `parallel_jobs`/`max_workers`, are rendered by `--stats`, and are
+/// **excluded** from [`Report::counters_json`] and every determinism
+/// comparison. Incremented via [`count_runtime`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum RuntimeCounter {
+    /// Tasks handed to the persistent worker pool (one per chunk of a
+    /// parallel dispatch; 0 for serially-executed jobs).
+    PoolTasksDispatched,
+    /// Times a parked pool worker was woken from its condvar wait to
+    /// execute work.
+    PoolParkWakes,
+    /// OS threads spawned into the persistent pool. Zero after warm-up:
+    /// a steady-state dispatch reuses parked workers instead of
+    /// spawning.
+    PoolThreadsSpawned,
+}
+
+impl RuntimeCounter {
+    /// Every runtime counter, in canonical report order.
+    pub const ALL: [RuntimeCounter; 3] = [
+        RuntimeCounter::PoolTasksDispatched,
+        RuntimeCounter::PoolParkWakes,
+        RuntimeCounter::PoolThreadsSpawned,
+    ];
+
+    /// The counter's canonical snake_case name (the JSON key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            RuntimeCounter::PoolTasksDispatched => "pool_tasks_dispatched",
+            RuntimeCounter::PoolParkWakes => "pool_park_wakes",
+            RuntimeCounter::PoolThreadsSpawned => "pool_threads_spawned",
+        }
+    }
+}
+
+const NUM_RUNTIME_COUNTERS: usize = RuntimeCounter::ALL.len();
 
 const NUM_COUNTERS: usize = Counter::ALL.len();
 
@@ -178,6 +228,7 @@ impl PhaseArena {
 
 struct Inner {
     counters: [AtomicU64; NUM_COUNTERS],
+    runtime: [AtomicU64; NUM_RUNTIME_COUNTERS],
     parallel_jobs: AtomicU64,
     max_workers: AtomicU64,
     phases: Mutex<PhaseArena>,
@@ -187,6 +238,7 @@ impl Inner {
     fn new() -> Self {
         Inner {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            runtime: std::array::from_fn(|_| AtomicU64::new(0)),
             parallel_jobs: AtomicU64::new(0),
             max_workers: AtomicU64::new(0),
             phases: Mutex::new(PhaseArena::default()),
@@ -252,6 +304,10 @@ impl Collector {
         }
         Report {
             counters,
+            runtime: RuntimeCounter::ALL
+                .iter()
+                .map(|&c| (c.name(), self.inner.runtime[c as usize].load(Relaxed)))
+                .collect(),
             parallel_jobs: self.inner.parallel_jobs.load(Relaxed),
             max_workers: self.inner.max_workers.load(Relaxed),
             phases: arena.roots.iter().map(|&r| snap(&arena, r)).collect(),
@@ -331,6 +387,21 @@ fn count_installed(c: Counter, n: u64) {
     CURRENT.with(|cur| {
         if let Some(inner) = &*cur.borrow() {
             inner.counters[c as usize].fetch_add(n, Relaxed);
+        }
+    });
+}
+
+/// Adds `n` to a runtime (non-deterministic) counter on the current
+/// thread's collector. Same fast path as [`count`]; totals land in the
+/// report's runtime section, outside every determinism comparison.
+#[inline]
+pub fn count_runtime(c: RuntimeCounter, n: u64) {
+    if ACTIVE.load(Relaxed) == 0 {
+        return;
+    }
+    CURRENT.with(|cur| {
+        if let Some(inner) = &*cur.borrow() {
+            inner.runtime[c as usize].fetch_add(n, Relaxed);
         }
     });
 }
@@ -415,6 +486,9 @@ pub struct Report {
     /// Deterministic counters in [`Counter::ALL`] order (every key always
     /// present, zeros included).
     counters: Vec<(&'static str, u64)>,
+    /// Runtime counters in [`RuntimeCounter::ALL`] order (runtime
+    /// section — excluded from determinism comparisons).
+    runtime: Vec<(&'static str, u64)>,
     /// Parallel jobs dispatched (runtime section).
     pub parallel_jobs: u64,
     /// Largest effective worker count seen (runtime section).
@@ -443,6 +517,16 @@ impl Report {
     /// The value of one deterministic counter.
     pub fn counter(&self, c: Counter) -> u64 {
         self.counters[c as usize].1
+    }
+
+    /// The value of one runtime counter.
+    pub fn runtime_counter(&self, c: RuntimeCounter) -> u64 {
+        self.runtime[c as usize].1
+    }
+
+    /// The runtime counters as `(name, value)` pairs in canonical order.
+    pub fn runtime_counters(&self) -> &[(&'static str, u64)] {
+        &self.runtime
     }
 
     /// The deterministic counters as `(name, value)` pairs in canonical
@@ -474,9 +558,13 @@ impl Report {
         let mut out = String::from("{\"counters\":");
         out.push_str(&self.counters_json());
         out.push_str(&format!(
-            ",\"parallel\":{{\"jobs\":{},\"max_workers\":{}}},\"phases\":",
+            ",\"parallel\":{{\"jobs\":{},\"max_workers\":{}",
             self.parallel_jobs, self.max_workers
         ));
+        for (name, v) in &self.runtime {
+            out.push_str(&format!(",\"{name}\":{v}"));
+        }
+        out.push_str("},\"phases\":");
         push_json_phases(&mut out, &self.phases);
         out.push('}');
         out
@@ -499,6 +587,9 @@ impl Report {
             "parallel: {} jobs, max {} workers\n",
             self.parallel_jobs, self.max_workers
         ));
+        for (name, v) in &self.runtime {
+            out.push_str(&format!("  {name}  {v}\n"));
+        }
         if !self.phases.is_empty() {
             out.push_str("phases (wall-clock)\n");
             fn render(out: &mut String, p: &PhaseSnapshot, depth: usize) {
@@ -683,9 +774,29 @@ mod tests {
         for c in Counter::ALL {
             assert!(ja.contains(&format!("\"{}\":", c.name())), "{}", c.name());
         }
-        // Fixed order: merges first, cache_repairs last.
+        // Fixed order: merges first, signature bytes last.
         assert!(ja.starts_with("{\"merges_performed\":7"));
-        assert!(ja.ends_with("\"cache_repairs\":0}"));
+        assert!(ja.ends_with("\"signature_bytes_streamed\":0}"));
+    }
+
+    #[test]
+    fn runtime_counters_stay_out_of_deterministic_block() {
+        let c = Collector::new();
+        {
+            let _g = c.install();
+            count_runtime(RuntimeCounter::PoolTasksDispatched, 4);
+            count_runtime(RuntimeCounter::PoolParkWakes, 3);
+        }
+        let r = c.report();
+        assert_eq!(r.runtime_counter(RuntimeCounter::PoolTasksDispatched), 4);
+        assert_eq!(r.runtime_counter(RuntimeCounter::PoolParkWakes), 3);
+        assert_eq!(r.runtime_counter(RuntimeCounter::PoolThreadsSpawned), 0);
+        // Runtime tallies must not leak into the determinism-compared
+        // block, but must show up in the full report and the table.
+        assert!(!r.counters_json().contains("pool_"));
+        assert!(r.to_json().contains("\"pool_tasks_dispatched\":4"));
+        assert!(r.to_json().contains("\"pool_park_wakes\":3"));
+        assert!(r.render_table().contains("pool_tasks_dispatched"));
     }
 
     #[test]

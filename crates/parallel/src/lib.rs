@@ -1,9 +1,13 @@
 //! # kanon-parallel
 //!
-//! The workspace's parallel execution layer: a scoped-thread parallel-for /
-//! map-reduce built directly on `std::thread::scope` and
-//! `available_parallelism` — no external dependencies, per the workspace's
-//! from-scratch policy (DESIGN.md).
+//! The workspace's parallel execution layer: a parallel-for / map-reduce
+//! over a **persistent worker pool** (`pool` module) — lazily started,
+//! condvar-parked workers that survive across dispatches — built only on
+//! `std` primitives, no external dependencies, per the workspace's
+//! from-scratch policy (DESIGN.md). Earlier revisions spawned scoped
+//! threads per call; the pool removes that per-dispatch spawn/join cost
+//! (the `pool_threads_spawned` runtime counter stays flat after warm-up)
+//! while keeping the exact same chunk split and combine order.
 //!
 //! Every primitive is **deterministic**: results are byte-identical to a
 //! serial run at any thread count. `map` writes each index's result into
@@ -69,12 +73,19 @@
 //! specific worker.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
+// kanon-lint: allow(L004) the persistent worker pool must hand borrowed job
+// state to long-lived threads, which safe Rust cannot express; all unsafe is
+// confined to src/pool.rs behind a documented safety argument, and the rest
+// of the crate stays deny(unsafe_code).
 
 use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, OnceLock};
+
+#[allow(unsafe_code)]
+mod pool;
 
 /// Below this many items, primitives run serially on the caller thread.
 pub const MIN_PARALLEL_ITEMS: usize = 64;
@@ -140,6 +151,24 @@ fn workers_for(n: usize) -> usize {
     } else {
         num_threads().min(n).max(1)
     }
+}
+
+/// Number of live pool worker threads. Zero before the first parallel
+/// dispatch and again after [`shutdown_pool`]; flat between dispatches
+/// once the pool is warm (the `pool_threads_spawned` runtime counter is
+/// the per-run view of the same fact).
+pub fn pool_worker_count() -> usize {
+    pool::worker_count()
+}
+
+/// Stops and joins every persistent pool worker, returning the process
+/// to its pre-first-dispatch state; a later dispatch lazily restarts
+/// the pool. Safe to call concurrently with in-flight dispatches (they
+/// complete on the calling thread). Intended for tests asserting clean
+/// thread hygiene and for embedders that want no background threads
+/// while idle.
+pub fn shutdown_pool() {
+    pool::shutdown()
 }
 
 // ---------------------------------------------------------------------------
@@ -268,6 +297,13 @@ fn serial_run<T>(body: impl FnOnce() -> T) -> Result<T, WorkerPanic> {
 }
 
 /// Chunked parallel map over `0..n` with `threads >= 2` workers.
+///
+/// The chunk split is a pure function of `(n, threads)` and each chunk
+/// writes only its own contiguous output slice (handed to the shared
+/// job closure through a per-chunk `Mutex`, locked exactly once and
+/// never contended — chunks are disjoint), so the combined result is
+/// byte-identical to the serial map regardless of which pool thread
+/// runs which chunk.
 fn map_chunked<T, F>(n: usize, threads: usize, f: F) -> Result<Vec<T>, WorkerPanic>
 where
     T: Send,
@@ -279,22 +315,21 @@ where
     let mut results: Vec<Option<T>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
     let sink = PanicSink::default();
-    std::thread::scope(|scope| {
-        for (t, slice) in results.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            let obs = obs.clone();
-            let sink = &sink;
-            scope.spawn(move || {
-                let _obs = kanon_obs::install_current(obs);
-                sink.run(t, || {
-                    let base = t * chunk;
-                    for (off, slot) in slice.iter_mut().enumerate() {
-                        *slot = Some(f(base + off));
-                    }
-                });
+    {
+        let slices: Vec<Mutex<&mut [Option<T>]>> =
+            results.chunks_mut(chunk).map(Mutex::new).collect();
+        let task = |t: usize| {
+            let _obs = kanon_obs::install_current(obs.clone());
+            sink.run(t, || {
+                let mut slice = slices[t].lock().unwrap_or_else(|e| e.into_inner());
+                let base = t * chunk;
+                for (off, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(base + off));
+                }
             });
-        }
-    });
+        };
+        pool::dispatch(slices.len(), threads, &task);
+    }
     sink.check()?;
     Ok(results
         .into_iter()
@@ -354,17 +389,17 @@ where
     let obs = kanon_obs::current();
     let chunk = n.div_ceil(threads);
     let sink = PanicSink::default();
-    std::thread::scope(|scope| {
-        for (t, slice) in data.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            let obs = obs.clone();
-            let sink = &sink;
-            scope.spawn(move || {
-                let _obs = kanon_obs::install_current(obs);
-                sink.run(t, || f(t * chunk, slice));
+    {
+        let slices: Vec<Mutex<&mut [T]>> = data.chunks_mut(chunk).map(Mutex::new).collect();
+        let task = |t: usize| {
+            let _obs = kanon_obs::install_current(obs.clone());
+            sink.run(t, || {
+                let mut slice = slices[t].lock().unwrap_or_else(|e| e.into_inner());
+                f(t * chunk, &mut slice);
             });
-        }
-    });
+        };
+        pool::dispatch(slices.len(), threads, &task);
+    }
     if let Err(e) = sink.check() {
         raise(e);
     }
@@ -392,26 +427,26 @@ where
     kanon_obs::record_parallel_job(threads);
     let obs = kanon_obs::current();
     let chunk = n.div_ceil(threads);
+    // Seed each chunk slot with its identity up front: cloning inside
+    // the shared job closure would demand `T: Sync`, which the public
+    // signature does not (and must not) require.
     let mut partials: Vec<Option<T>> = Vec::new();
-    partials.resize_with(threads.min(n.div_ceil(chunk)), || None);
+    partials.resize_with(threads.min(n.div_ceil(chunk)), || Some(identity.clone()));
     let sink = PanicSink::default();
-    std::thread::scope(|scope| {
-        for (t, slot) in partials.iter_mut().enumerate() {
-            let map_fn = &map_fn;
-            let reduce = &reduce;
-            let identity = identity.clone();
-            let obs = obs.clone();
-            let sink = &sink;
-            scope.spawn(move || {
-                let _obs = kanon_obs::install_current(obs);
-                sink.run(t, || {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(n);
-                    *slot = Some((lo..hi).fold(identity, |acc, i| reduce(acc, map_fn(i))));
-                });
+    {
+        let slots: Vec<Mutex<&mut Option<T>>> = partials.iter_mut().map(Mutex::new).collect();
+        let task = |t: usize| {
+            let _obs = kanon_obs::install_current(obs.clone());
+            sink.run(t, || {
+                let mut slot = slots[t].lock().unwrap_or_else(|e| e.into_inner());
+                let seed = slot.take().expect("slot seeded with identity");
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                **slot = Some((lo..hi).fold(seed, |acc, i| reduce(acc, map_fn(i))));
             });
-        }
-    });
+        };
+        pool::dispatch(slots.len(), threads, &task);
+    }
     if let Err(e) = sink.check() {
         raise(e);
     }
@@ -476,24 +511,20 @@ where
     let mut partials: Vec<Option<T>> = Vec::new();
     partials.resize_with(n.div_ceil(chunk), || None);
     let sink = PanicSink::default();
-    std::thread::scope(|scope| {
-        for (t, slot) in partials.iter_mut().enumerate() {
-            let identity = &identity;
-            let fold = &fold;
-            let obs = obs.clone();
-            let sink = &sink;
-            scope.spawn(move || {
-                let _obs = kanon_obs::install_current(obs);
-                sink.run(t, || {
-                    let mut acc = identity();
-                    for i in t * chunk..((t + 1) * chunk).min(n) {
-                        fold(&mut acc, i);
-                    }
-                    *slot = Some(acc);
-                });
+    {
+        let slots: Vec<Mutex<&mut Option<T>>> = partials.iter_mut().map(Mutex::new).collect();
+        let task = |t: usize| {
+            let _obs = kanon_obs::install_current(obs.clone());
+            sink.run(t, || {
+                let mut acc = identity();
+                for i in t * chunk..((t + 1) * chunk).min(n) {
+                    fold(&mut acc, i);
+                }
+                **slots[t].lock().unwrap_or_else(|e| e.into_inner()) = Some(acc);
             });
-        }
-    });
+        };
+        pool::dispatch(slots.len(), threads, &task);
+    }
     if let Err(e) = sink.check() {
         raise(e);
     }

@@ -1,0 +1,291 @@
+//! Persistent worker pool: the one place in the workspace that owns
+//! `unsafe` code.
+//!
+//! PR 1's primitives spawned fresh OS threads through
+//! `std::thread::scope` on **every** dispatch. That is correct but slow:
+//! the engine's repair/rescan batches dispatch thousands of times per
+//! run, and a thread spawn plus join costs tens of microseconds — enough
+//! to make 4 threads *slower* than 1 at n=2000 (BENCH_scaling.json,
+//! PR 5). This module replaces the per-call spawns with a lazily
+//! started, process-wide pool of parked workers. Dispatch becomes: push
+//! a job descriptor, wake the pool, have the caller participate, wait
+//! for stragglers — no spawn, no join, two condvar hops in the worst
+//! case.
+//!
+//! ## Determinism
+//!
+//! The pool schedules *whole chunks*, never individual indices. The
+//! primitives in `lib.rs` compute the same contiguous chunk split as
+//! before (`chunk = n.div_ceil(threads)`) and pass the chunk index to
+//! the job closure; which OS thread executes which chunk is arbitrary,
+//! but every chunk writes only its own output slots and the caller
+//! combines them in chunk order, so results stay byte-identical to the
+//! scoped-thread implementation at any thread count.
+//!
+//! ## Safety argument
+//!
+//! Jobs borrow the caller's stack (`JobShared` holds a non-`'static`
+//! closure reference), and safe Rust cannot hand such a borrow to a
+//! long-lived thread. The raw-pointer hand-off below is sound because a
+//! `JobShared` pointer is only ever dereferenced in one of two states:
+//!
+//! 1. **Queued.** Workers locate jobs by scanning the pool queue and
+//!    claim a chunk (`next.fetch_add`) *while holding the pool lock*.
+//!    A job is only in the queue while its dispatcher's stack frame is
+//!    alive: `dispatch` removes its own job from the queue (under the
+//!    same lock) before it can return.
+//! 2. **Claimed.** A successful claim (`idx < total`) means chunk `idx`
+//!    has not yet run, so `pending > 0` is held down by this very
+//!    chunk; `dispatch` cannot return until `pending` reaches zero,
+//!    which happens only after the claimer's `finish_chunk`.
+//!
+//! The final hand-back also follows the classic condvar pattern: the
+//! last finisher sets the done flag *under the job's own mutex* and
+//! notifies while still inside the critical section, so its last touch
+//! of the job memory (the unlock) completes before the dispatcher's
+//! re-acquire can observe the flag and free the frame.
+//!
+//! All `unsafe` in the workspace lives in this module; `lib.rs` stays
+//! `deny(unsafe_code)` and every primitive's chunk bookkeeping is safe
+//! code (per-chunk `Mutex` wrappers around disjoint output slices).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use kanon_obs::{count_runtime, RuntimeCounter};
+
+/// One in-flight job. Lives on the dispatcher's stack for the duration
+/// of the dispatch; workers reach it through [`JobPtr`].
+struct JobShared<'a> {
+    /// The chunk body: called once per chunk index in `0..total`.
+    task: &'a (dyn Fn(usize) + Sync),
+    /// Next unclaimed chunk index (claimed via `fetch_add`).
+    next: AtomicUsize,
+    /// Number of chunks in this job.
+    total: usize,
+    /// Chunks claimed-or-unclaimed but not yet finished.
+    pending: AtomicUsize,
+    /// Set by the last finisher, under the mutex, to release the
+    /// dispatcher.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+/// Lifetime-erased pointer to a stack-allocated [`JobShared`].
+///
+/// Safety: see the module-level argument — the pointee outlives every
+/// dereference because claims happen under the pool lock while the job
+/// is queued, and finishes happen while `pending` pins the dispatcher.
+#[derive(Clone, Copy)]
+struct JobPtr(*const JobShared<'static>);
+
+// SAFETY: sharing the pointer across threads is exactly the hand-off
+// the module-level argument covers; the pointee's fields are themselves
+// Sync (atomics, mutex, and a `Sync` closure reference).
+unsafe impl Send for JobPtr {}
+unsafe impl Sync for JobPtr {}
+
+/// Pool state guarded by the pool mutex.
+struct PoolState {
+    /// Jobs with (potentially) unclaimed chunks, oldest first. Each
+    /// dispatcher removes its own entry before returning.
+    queue: Vec<JobPtr>,
+    /// Live worker handles; `workers.len()` is the spawned count.
+    workers: Vec<JoinHandle<()>>,
+    /// When set, workers drain their current chunk and exit.
+    shutdown: bool,
+}
+
+/// The process-wide pool.
+struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    /// Total condvar wake-ups across all workers (runtime telemetry;
+    /// dispatchers attribute deltas to their own collector).
+    wakes: AtomicU64,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: Vec::new(),
+            workers: Vec::new(),
+            shutdown: false,
+        }),
+        work_cv: Condvar::new(),
+        wakes: AtomicU64::new(0),
+    })
+}
+
+/// Decrements `pending`; the last finisher releases the dispatcher.
+fn finish_chunk(job: &JobShared<'_>) {
+    if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let mut done = job.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
+        // Notify while still holding the mutex: the dispatcher cannot
+        // re-acquire (and free the job's stack frame) until this
+        // critical section — our last touch of the job — has ended.
+        job.done_cv.notify_all();
+    }
+}
+
+/// Body of one pool worker: park until work exists, claim one chunk
+/// under the pool lock, run it unlocked, repeat.
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let (ptr, idx) = {
+            let mut st = pool.state.lock().unwrap_or_else(|e| e.into_inner());
+            'claim: loop {
+                if st.shutdown {
+                    return;
+                }
+                for &jp in &st.queue {
+                    // SAFETY: `jp` is in the queue and we hold the pool
+                    // lock, so the dispatcher (which removes its job
+                    // under this lock before returning) is still alive.
+                    let job = unsafe { &*jp.0 };
+                    if job.next.load(Ordering::Relaxed) < job.total {
+                        let idx = job.next.fetch_add(1, Ordering::Relaxed);
+                        if idx < job.total {
+                            break 'claim (jp, idx);
+                        }
+                    }
+                }
+                st = pool.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                pool.wakes.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        // SAFETY: the claim succeeded (`idx < total`), so chunk `idx`
+        // keeps `pending > 0` and the dispatcher cannot return until
+        // our `finish_chunk` below.
+        let job = unsafe { &*ptr.0 };
+        // The chunk body never unwinds (lib.rs wraps it in PanicSink),
+        // but a stray unwind must not leave `pending` stuck and
+        // deadlock the dispatcher — catch, finish, and let this worker
+        // die quietly rather than poison the whole pool.
+        let unwound =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.task)(idx))).is_err();
+        finish_chunk(job);
+        if unwound {
+            return;
+        }
+    }
+}
+
+/// Ensures at least `want` workers exist; returns how many were newly
+/// spawned (zero once the pool is warm — the `--stats` signal that
+/// per-call spawn cost is gone).
+fn ensure_workers(pool: &'static Pool, want: usize) -> u64 {
+    let mut st = pool.state.lock().unwrap_or_else(|e| e.into_inner());
+    if st.shutdown {
+        // A concurrent shutdown is draining; the dispatcher will run
+        // every chunk itself, which is always correct (just serial).
+        return 0;
+    }
+    let mut spawned = 0;
+    while st.workers.len() < want {
+        let name = format!("kanon-pool-{}", st.workers.len());
+        match std::thread::Builder::new()
+            .name(name)
+            .spawn(move || worker_loop(pool))
+        {
+            Ok(h) => {
+                st.workers.push(h);
+                spawned += 1;
+            }
+            Err(_) => break, // resource limit: dispatch still completes via the caller
+        }
+    }
+    spawned
+}
+
+/// Runs `task(0..total)` across the pool: the caller participates, so
+/// progress never depends on a worker being free (nested dispatch from
+/// inside a worker chunk is therefore deadlock-free). Returns after
+/// every chunk has finished; panics inside chunks must be contained by
+/// the task itself (the primitives' `PanicSink` does this).
+pub(crate) fn dispatch(total: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+    if total == 0 {
+        return;
+    }
+    let p = pool();
+    let wakes_before = p.wakes.load(Ordering::Relaxed);
+    let spawned = ensure_workers(p, threads.saturating_sub(1));
+    count_runtime(RuntimeCounter::PoolTasksDispatched, total as u64);
+    if spawned > 0 {
+        count_runtime(RuntimeCounter::PoolThreadsSpawned, spawned);
+    }
+
+    let job = JobShared {
+        task,
+        next: AtomicUsize::new(0),
+        total,
+        pending: AtomicUsize::new(total),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    };
+    let jp = JobPtr(std::ptr::addr_of!(job).cast::<JobShared<'static>>());
+    {
+        let mut st = p.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.queue.push(jp);
+        p.work_cv.notify_all();
+    }
+    // Caller participation: claim chunks exactly like a worker (no lock
+    // needed — the job is our own stack frame).
+    loop {
+        let idx = job.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= total {
+            break;
+        }
+        (job.task)(idx);
+        finish_chunk(&job);
+    }
+    // Unpublish before returning: after this, no worker can discover
+    // the job, so only already-claimed chunks remain in flight.
+    {
+        let mut st = p.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.queue.retain(|q| !std::ptr::eq(q.0, jp.0));
+    }
+    let mut done = job.done.lock().unwrap_or_else(|e| e.into_inner());
+    while !*done {
+        done = job.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+    }
+    drop(done);
+
+    let wake_delta = p.wakes.load(Ordering::Relaxed).wrapping_sub(wakes_before);
+    if wake_delta > 0 {
+        count_runtime(RuntimeCounter::PoolParkWakes, wake_delta);
+    }
+}
+
+/// Number of live pool worker threads (0 before first parallel dispatch
+/// and after [`shutdown`]).
+pub(crate) fn worker_count() -> usize {
+    pool()
+        .state
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .workers
+        .len()
+}
+
+/// Stops and joins every pool worker, then re-arms the pool so a later
+/// dispatch can start fresh workers. In-flight dispatches are safe:
+/// workers finish their current chunk before exiting, and dispatchers
+/// always drain their own job to completion regardless of worker count.
+pub(crate) fn shutdown() {
+    let p = pool();
+    let handles = {
+        let mut st = p.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.shutdown = true;
+        p.work_cv.notify_all();
+        std::mem::take(&mut st.workers)
+    };
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut st = p.state.lock().unwrap_or_else(|e| e.into_inner());
+    st.shutdown = false;
+}

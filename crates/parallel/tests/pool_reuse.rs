@@ -1,0 +1,92 @@
+//! Pool hygiene: reuse determinism and clean shutdown.
+//!
+//! The persistent pool must be invisible to results — a warm pool (second
+//! dispatch reusing parked workers) and any thread count must produce
+//! byte-identical output — and it must be fully stoppable: after
+//! `shutdown_pool` no worker threads remain, and a later dispatch
+//! restarts the pool transparently.
+//!
+//! Runs serially within this binary by construction: each test touches
+//! the process-wide pool, so they are combined into one `#[test]` to
+//! avoid interleaving shutdown with another test's dispatch (shutdown is
+//! *safe* concurrently, but the thread-count assertions would race).
+
+use kanon_obs::{count, Collector, Counter, RuntimeCounter};
+use kanon_parallel::{map, pool_worker_count, shutdown_pool, with_threads};
+
+/// A deterministic stand-in for a distance-scan workload: enough items
+/// to clear MIN_PARALLEL_ITEMS, per-item work with float accumulation in
+/// index order, plus a deterministic counter.
+fn workload() -> (Vec<f64>, String) {
+    let n = 4096;
+    let vals = map(n, |i| {
+        count(Counter::PairCostEvals, 1);
+        let x = (i as f64) * 0.001;
+        x * x - x.sqrt()
+    });
+    // Fold in strict index order so the bits of the sum pin the combine
+    // order, not just the per-slot values.
+    let sum = vals.iter().fold(0.0f64, |a, b| a + b);
+    (vals, format!("{:x}", sum.to_bits()))
+}
+
+#[test]
+fn warm_pool_reuse_is_byte_identical_and_shutdown_is_clean() {
+    // --- Baseline: serial run, no pool involvement.
+    let (serial_vals, serial_bits) = with_threads(1, workload);
+
+    // --- Cold pool, then warm pool, at several thread counts: output
+    // and deterministic counters must be byte-identical every time.
+    for threads in [1, 2, 8] {
+        for pass in ["cold", "warm"] {
+            let c = Collector::new();
+            let (vals, bits) = {
+                let _g = c.install();
+                with_threads(threads, workload)
+            };
+            assert_eq!(vals, serial_vals, "threads={threads} pass={pass}");
+            assert_eq!(bits, serial_bits, "threads={threads} pass={pass}");
+            assert_eq!(c.report().counter(Counter::PairCostEvals), 4096);
+        }
+    }
+
+    // --- Warm-up economics: with the pool warm, another dispatch must
+    // spawn zero threads (the whole point of the pool).
+    let c = Collector::new();
+    {
+        let _g = c.install();
+        with_threads(4, workload);
+    }
+    let r = c.report();
+    assert_eq!(
+        r.runtime_counter(RuntimeCounter::PoolThreadsSpawned),
+        0,
+        "warm pool must not spawn threads"
+    );
+    assert!(
+        r.runtime_counter(RuntimeCounter::PoolTasksDispatched) >= 4,
+        "dispatch telemetry missing"
+    );
+    assert!(pool_worker_count() >= 7, "8-thread pass keeps 7 workers");
+
+    // --- Clean shutdown: every worker joined, none leaked.
+    shutdown_pool();
+    assert_eq!(pool_worker_count(), 0, "shutdown must join all workers");
+
+    // --- Restart: the pool comes back lazily and results still match.
+    let c = Collector::new();
+    let (vals, bits) = {
+        let _g = c.install();
+        with_threads(2, workload)
+    };
+    assert_eq!(vals, serial_vals);
+    assert_eq!(bits, serial_bits);
+    assert_eq!(
+        c.report()
+            .runtime_counter(RuntimeCounter::PoolThreadsSpawned),
+        1,
+        "restart after shutdown spawns exactly the missing worker"
+    );
+    shutdown_pool();
+    assert_eq!(pool_worker_count(), 0);
+}
