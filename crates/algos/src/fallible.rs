@@ -210,6 +210,49 @@ pub fn try_global_1k_anonymize(
     catch(|| global_impl(table, costs, cfg))
 }
 
+/// Fallible form of [`crate::mondrian_k_anonymize`] (top-down Mondrian
+/// baseline) with budget-aware graceful degradation.
+pub fn try_mondrian_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+) -> KanonResult<Budgeted<KAnonOutput>> {
+    try_mondrian_k_anonymize_rooted(table, costs, k, &[])
+}
+
+/// Fallible form of [`crate::mondrian_k_anonymize_rooted`]: Mondrian
+/// with `--on-bad-row root` rooted-cell awareness.
+pub fn try_mondrian_k_anonymize_rooted(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+    rooted_cells: &[(usize, usize)],
+) -> KanonResult<Budgeted<KAnonOutput>> {
+    catch(|| crate::mondrian::mondrian_impl(table, costs, k, rooted_cells))
+}
+
+/// Fallible form of [`crate::sharded_k_anonymize`] (shard-and-conquer
+/// pipeline) with budget-aware graceful degradation.
+pub fn try_sharded_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    cfg: &crate::shard::ShardConfig,
+) -> KanonResult<Budgeted<crate::shard::ShardedOutput>> {
+    catch(|| crate::shard::sharded_impl(table, costs, None, cfg))
+}
+
+/// Fallible form of [`crate::sharded_l_diverse_k_anonymize`]
+/// (shard-and-conquer with distinct-ℓ-diversity) with budget-aware
+/// graceful degradation.
+pub fn try_sharded_l_diverse_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    sensitive: &[u32],
+    cfg: &crate::shard::ShardConfig,
+) -> KanonResult<Budgeted<crate::shard::ShardedOutput>> {
+    catch(|| crate::shard::sharded_impl(table, costs, Some(sensitive), cfg))
+}
+
 /// Fallible form of [`crate::best_k_anonymize`] (the "best k-anon"
 /// protocol) with budget-aware graceful degradation across the grid.
 pub fn try_best_k_anonymize(

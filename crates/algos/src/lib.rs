@@ -16,6 +16,7 @@
 //! | Forest baseline (Aggarwal et al., 3(k−1)-approx) | [`forest_k_anonymize`] |
 //! | Exhaustive optima (test oracles) | [`optimal_k_anonymize`], [`k1_optimal_bruteforce`] |
 //! | End-to-end pipelines | [`kk_anonymize`], [`global_1k_anonymize`], [`best_k_anonymize`] |
+//! | Shard-and-conquer scale-out (n → 10⁶) | [`sharded_k_anonymize`], [`sharded_l_diverse_k_anonymize`] |
 //!
 //! All algorithms are parameterized by a precomputed
 //! [`kanon_measures::NodeCostTable`], so they work identically under the
@@ -60,6 +61,7 @@ pub mod one_k;
 pub mod optimal;
 pub mod pipeline;
 pub mod samarati;
+pub mod shard;
 
 pub use agglomerative::{
     agglomerative_k_anonymize, nn_rescan_pass, AgglomerativeConfig, KAnonOutput,
@@ -70,7 +72,8 @@ pub use engine::{ClusterPolicy, RunOutcome};
 pub use fallible::{
     error_from_panic, try_agglomerative_k_anonymize, try_best_k_anonymize, try_forest_k_anonymize,
     try_global_1k_anonymize, try_k1_anonymize, try_kk_anonymize, try_l_diverse_k_anonymize,
-    try_one_k_anonymize, Budgeted,
+    try_mondrian_k_anonymize, try_mondrian_k_anonymize_rooted, try_one_k_anonymize,
+    try_sharded_k_anonymize, try_sharded_l_diverse_k_anonymize, Budgeted,
 };
 pub use forest::forest_k_anonymize;
 pub use fulldomain::{fulldomain_k_anonymize, FullDomainOutput, RecodingLevels};
@@ -78,7 +81,7 @@ pub use global_one_k::{global_1k_from_kk, GlobalOutput};
 pub use k1::{k1_expansion, k1_nearest_neighbors, k1_optimal_bruteforce, GenOutput};
 pub use ldiversity::{l_diverse_k_anonymize, LDiverseConfig};
 pub use mdav::mdav_k_anonymize;
-pub use mondrian::mondrian_k_anonymize;
+pub use mondrian::{mondrian_k_anonymize, mondrian_k_anonymize_rooted};
 pub use one_k::one_k_anonymize;
 pub use optimal::optimal_k_anonymize;
 pub use pipeline::{
@@ -86,3 +89,6 @@ pub use pipeline::{
     KkConfig,
 };
 pub use samarati::{samarati_k_anonymize, SamaratiOutput};
+pub use shard::{
+    sharded_k_anonymize, sharded_l_diverse_k_anonymize, ShardConfig, ShardStats, ShardedOutput,
+};

@@ -7,6 +7,10 @@
 //! * [`best_k_anonymize`] — the paper's "best k-anon" row of Table I:
 //!   the agglomerative algorithm over a set of distance functions (and
 //!   optionally the modified variant), keeping the cheapest output.
+//! * [`crate::shard::sharded_k_anonymize`] and
+//!   [`crate::shard::sharded_l_diverse_k_anonymize`] — the large-n
+//!   front door (DESIGN.md §5f): shard-and-conquer around the same
+//!   clustering engine, for tables past its quadratic wall.
 
 use crate::agglomerative::{agglomerative_impl, AgglomerativeConfig, KAnonOutput};
 use crate::distance::ClusterDistance;

@@ -1,0 +1,553 @@
+//! Shard-and-conquer pipeline: k-anonymize (or ℓ-diversify) tables far
+//! beyond what the quadratic clustering engines can touch monolithically.
+//!
+//! The paper's agglomerative family is Θ(n²) in distance evaluations, so
+//! a million rows is out of reach directly. This module makes it
+//! tractable in three deterministic phases:
+//!
+//! 1. **Partition** — a Mondrian-style top-down pass (reusing
+//!    [`crate::mondrian`]'s split machinery, including its rooted-cell
+//!    handling) cuts the table into shards of at most
+//!    [`ShardConfig::shard_max`] rows. Splits are chosen for *balance*
+//!    (smallest size imbalance, lowest attribute index on ties) and are
+//!    only taken when both sides keep ≥ k rows — and, under
+//!    ℓ-diversity, ≥ ℓ distinct sensitive values — so every shard is
+//!    independently solvable. A cluster with no feasible split stays as
+//!    one oversized shard rather than violating the constraints.
+//! 2. **Conquer** — each shard runs the shared clustering engine
+//!    (agglomerative, or its ℓ-diverse variant) as a sub-table against
+//!    the *global* [`NodeCostTable`], so per-shard losses are comparable
+//!    and the union of per-shard clusterings is globally valid. Shards
+//!    are dispatched on the persistent worker pool, one coarse task per
+//!    shard with the remaining threads split evenly inside
+//!    (`with_threads`), exactly like the best-k grid — byte-identical
+//!    output at any `KANON_THREADS`.
+//! 3. **Boundary repair** — shard borders can leave *twin* clusters on
+//!    either side that generalize to the very same closure; merging such
+//!    twins is free (the generalized table is unchanged) and undoes the
+//!    needless fragmentation the cut introduced. A defensive second pass
+//!    re-merges any cluster that somehow fails global k (or ℓ) into its
+//!    cheapest neighbour; with valid per-shard outputs it never fires,
+//!    but it turns "impossible" states into repairs instead of invalid
+//!    output. Repairs are counted as `boundary_repairs`.
+//!
+//! The work budget (`KANON_WORK_BUDGET`) is honoured at every phase:
+//! partition checkpoints drain the queue into coarser shards, the
+//! per-shard runs degrade internally, and the whole pipeline reports
+//! [`Budgeted::BudgetExhausted`] while still returning a valid result.
+
+use crate::agglomerative::{agglomerative_impl, AgglomerativeConfig, KAnonOutput};
+use crate::cost::CostContext;
+use crate::distance::ClusterDistance;
+use crate::fallible::{unwrap_or_repanic, Budgeted};
+use crate::ldiversity::{ldiversity_impl, LDiverseConfig};
+use crate::mondrian::{closure_rooted, group_by_child, pack_two_bins, RootedCells};
+use kanon_core::cluster::Clustering;
+use kanon_core::error::{CoreError, Result};
+use kanon_core::table::Table;
+use kanon_measures::NodeCostTable;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Failpoint name firing once per shard-partition split attempt (see the
+/// `kanon-fault` catalogue).
+pub const SHARD_FAIL_POINT: &str = "algos/shard/partition";
+
+/// Configuration for the shard-and-conquer pipeline.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// The anonymity parameter `k ≥ 1`.
+    pub k: usize,
+    /// The diversity parameter `ℓ ≥ 1`; only consulted by
+    /// [`sharded_l_diverse_k_anonymize`].
+    pub l: usize,
+    /// Maximum rows per shard. Defaults to `KANON_SHARD_MAX` (or
+    /// [`kanon_core::config::SHARD_MAX_DEFAULT`]).
+    pub shard_max: usize,
+    /// The cluster distance function used inside each shard.
+    pub distance: ClusterDistance,
+    /// Apply the Algorithm 2 correction inside each shard (k-anonymity
+    /// only; the ℓ-diverse engine has no modified variant).
+    pub modified: bool,
+    /// `(data_row, attr)` cells whose stored leaf is the
+    /// `--on-bad-row root` placeholder (see
+    /// `IngestReport::rooted_cells` (kanon-data)); the
+    /// partitioner treats them as the hierarchy root.
+    pub rooted_cells: Vec<(usize, usize)>,
+}
+
+impl ShardConfig {
+    /// Shard-and-conquer k-anonymity with the default shard cap and
+    /// distance (D3).
+    pub fn new(k: usize) -> Self {
+        ShardConfig {
+            k,
+            l: 1,
+            shard_max: kanon_core::config::default_shard_max(),
+            distance: ClusterDistance::default(),
+            modified: false,
+            rooted_cells: Vec::new(),
+        }
+    }
+
+    /// Sets the diversity parameter ℓ.
+    pub fn with_l(mut self, l: usize) -> Self {
+        self.l = l;
+        self
+    }
+
+    /// Sets the shard size cap.
+    pub fn with_shard_max(mut self, shard_max: usize) -> Self {
+        self.shard_max = shard_max;
+        self
+    }
+
+    /// Selects a distance function.
+    pub fn with_distance(mut self, d: ClusterDistance) -> Self {
+        self.distance = d;
+        self
+    }
+
+    /// Enables the Algorithm 2 modification for the per-shard runs.
+    pub fn with_modified(mut self, m: bool) -> Self {
+        self.modified = m;
+        self
+    }
+
+    /// Supplies the rooted cells of an ingest report.
+    pub fn with_rooted_cells(mut self, cells: Vec<(usize, usize)>) -> Self {
+        self.rooted_cells = cells;
+        self
+    }
+}
+
+/// Per-run shard statistics (mirrored into the `kanon-obs` counters
+/// `shards_built`, `shard_rows_max`, `boundary_repairs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of shards the partition phase produced.
+    pub shards_built: usize,
+    /// Rows in the largest shard (≤ `shard_max` unless some cluster had
+    /// no feasible split).
+    pub shard_rows_max: usize,
+    /// Cluster merges performed by the boundary-repair phase.
+    pub boundary_repairs: usize,
+}
+
+/// Result of a shard-and-conquer run.
+#[derive(Debug, Clone)]
+pub struct ShardedOutput {
+    /// The globally valid clustering, generalized table and loss.
+    pub out: KAnonOutput,
+    /// How the table was sharded and repaired.
+    pub stats: ShardStats,
+}
+
+/// Shard-and-conquer k-anonymization.
+///
+/// Panicking wrapper over [`crate::try_sharded_k_anonymize`]; budget
+/// exhaustion silently yields the valid degraded result.
+pub fn sharded_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    cfg: &ShardConfig,
+) -> Result<ShardedOutput> {
+    unwrap_or_repanic(crate::try_sharded_k_anonymize(table, costs, cfg).map(Budgeted::into_inner))
+}
+
+/// Shard-and-conquer k-anonymization with distinct-ℓ-diversity
+/// (`sensitive[i]` is row i's sensitive value; `cfg.l` is ℓ).
+pub fn sharded_l_diverse_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    sensitive: &[u32],
+    cfg: &ShardConfig,
+) -> Result<ShardedOutput> {
+    unwrap_or_repanic(
+        crate::try_sharded_l_diverse_k_anonymize(table, costs, sensitive, cfg)
+            .map(Budgeted::into_inner),
+    )
+}
+
+/// Distinct sensitive values among `members`.
+fn distinct_of(sensitive: &[u32], members: &[u32]) -> usize {
+    members
+        .iter()
+        .map(|&r| sensitive[r as usize])
+        .collect::<BTreeSet<u32>>()
+        .len()
+}
+
+/// The shard-and-conquer implementation. `sensitive` selects the
+/// ℓ-diverse engine (with `cfg.l`) for the per-shard runs.
+pub(crate) fn sharded_impl(
+    table: &Table,
+    costs: &NodeCostTable,
+    sensitive: Option<&[u32]>,
+    cfg: &ShardConfig,
+) -> Result<Budgeted<ShardedOutput>> {
+    let n = table.num_rows();
+    if cfg.k == 0 || cfg.k > n {
+        return Err(CoreError::InvalidK { k: cfg.k, n });
+    }
+    if cfg.shard_max == 0 {
+        return Err(CoreError::InconsistentInput(
+            "shard-max must be at least 1".to_string(),
+        ));
+    }
+    if let Some(s) = sensitive {
+        if s.len() != n {
+            return Err(CoreError::RowCountMismatch {
+                left: n,
+                right: s.len(),
+            });
+        }
+    }
+    let schema = table.schema().as_ref();
+    let rooted = RootedCells::new(n, schema.num_attrs(), &cfg.rooted_cells)?;
+    let _span = kanon_obs::span("sharded");
+    let ctx = CostContext::new(table, costs);
+
+    let budget = kanon_obs::work_budget();
+    let _budget_obs = match (budget, kanon_obs::current()) {
+        (Some(_), None) => Some(kanon_obs::Collector::new().install()),
+        _ => None,
+    };
+    let mut exhausted: Option<(u64, u64)> = None;
+
+    // Phase 1: partition into bounded shards (serial, deterministic).
+    let mut queue: Vec<Vec<u32>> = vec![(0..n as u32).collect()];
+    let mut shards: Vec<Vec<u32>> = Vec::new();
+    while let Some(members) = queue.pop() {
+        if members.len() <= cfg.shard_max {
+            shards.push(members);
+            continue;
+        }
+        kanon_fault::fail_point!(SHARD_FAIL_POINT);
+        // Degradation keeps every queue element as a (coarser) shard:
+        // the per-shard engines still enforce k/ℓ, so validity holds.
+        if let Some(limit) = budget {
+            let spent = kanon_obs::spent_work();
+            if spent >= limit {
+                exhausted = Some((limit, spent));
+                shards.push(members);
+                shards.append(&mut queue);
+                break;
+            }
+        }
+        let closure = closure_rooted(&ctx, schema, &rooted, &members);
+        // Most balanced feasible binary split; ties to the lowest
+        // attribute (strict `<` over ascending attribute order). No cost
+        // evaluations here — balance is what bounds shard sizes fast.
+        let mut best: Option<(usize, Vec<u32>, Vec<u32>)> = None;
+        for (j, &node) in closure.iter().enumerate() {
+            let h = schema.attr(j).hierarchy();
+            let children = h.children(node);
+            if children.len() < 2 {
+                continue;
+            }
+            let groups = match group_by_child(table, h, j, node, children, &members, &rooted)? {
+                Some(g) => g,
+                None => continue,
+            };
+            let (left, right) = pack_two_bins(&groups);
+            if left.len() < cfg.k || right.len() < cfg.k {
+                continue;
+            }
+            if let Some(s) = sensitive {
+                if distinct_of(s, &left) < cfg.l || distinct_of(s, &right) < cfg.l {
+                    continue;
+                }
+            }
+            let imbalance = left.len().abs_diff(right.len());
+            let better = match &best {
+                None => true,
+                Some((bi, ..)) => imbalance < *bi,
+            };
+            if better {
+                best = Some((imbalance, left, right));
+            }
+        }
+        match best {
+            Some((_, left, right)) => {
+                queue.push(left);
+                queue.push(right);
+            }
+            // No feasible split under the k/ℓ constraints: keep the
+            // oversized shard instead of producing an invalid one.
+            None => shards.push(members),
+        }
+    }
+    for s in &mut shards {
+        s.sort_unstable();
+    }
+    // Disjoint sorted shards: lexicographic order == order by first row.
+    shards.sort();
+    let shard_rows_max = shards.iter().map(Vec::len).max().unwrap_or(0);
+    kanon_obs::count(kanon_obs::Counter::ShardsBuilt, shards.len() as u64);
+    kanon_obs::count(kanon_obs::Counter::ShardRowsMax, shard_rows_max as u64);
+
+    // Phase 2: run the clustering engine per shard against the GLOBAL
+    // cost table (losses stay comparable; sub-clusterings stay globally
+    // valid). Same dispatch shape as the best-k grid: serial when a
+    // budget is armed (deterministic spend attribution), otherwise one
+    // coarse task per shard with the threads split evenly inside.
+    let run_one = |s: usize| -> Result<Budgeted<KAnonOutput>> {
+        let members = &shards[s];
+        let records = members
+            .iter()
+            .map(|&r| table.row(r as usize).clone())
+            .collect();
+        let sub = Table::new(Arc::clone(table.schema()), records)?;
+        match sensitive {
+            None => {
+                let sub_cfg = AgglomerativeConfig::new(cfg.k)
+                    .with_distance(cfg.distance)
+                    .with_modified(cfg.modified);
+                agglomerative_impl(&sub, costs, &sub_cfg)
+            }
+            Some(sv) => {
+                let sub_sv: Vec<u32> = members.iter().map(|&r| sv[r as usize]).collect();
+                let sub_cfg = LDiverseConfig {
+                    k: cfg.k,
+                    l: cfg.l,
+                    distance: cfg.distance,
+                };
+                ldiversity_impl(&sub, costs, &sub_sv, &sub_cfg)
+            }
+        }
+    };
+    let results: Vec<Result<Budgeted<KAnonOutput>>> = if budget.is_some() {
+        (0..shards.len()).map(run_one).collect()
+    } else {
+        let inner = (kanon_parallel::num_threads() / shards.len()).max(1);
+        kanon_parallel::map_coarse(shards.len(), |s| {
+            kanon_parallel::with_threads(inner, || run_one(s))
+        })
+    };
+    let mut clusters: Vec<Vec<u32>> = Vec::new();
+    for (s, result) in results.into_iter().enumerate() {
+        let budgeted = result?;
+        if let Budgeted::BudgetExhausted { budget, spent, .. } = &budgeted {
+            exhausted.get_or_insert((*budget, *spent));
+        }
+        for local in budgeted.into_inner().clustering.clusters() {
+            clusters.push(local.iter().map(|&i| shards[s][i as usize]).collect());
+        }
+    }
+
+    // Phase 3a: free boundary merges — clusters from different shards
+    // whose closures coincide generalize identically, so merging them is
+    // loss-neutral and k/ℓ-preserving.
+    let mut keyed: Vec<(Vec<kanon_core::hierarchy::NodeId>, Vec<u32>)> = clusters
+        .into_iter()
+        .map(|c| (ctx.closure_of(&c), c))
+        .collect();
+    keyed.sort_by(|a, b| (&a.0, a.1[0]).cmp(&(&b.0, b.1[0])));
+    let mut boundary_repairs = 0usize;
+    let mut clusters: Vec<Vec<u32>> = Vec::new();
+    for (key, mut members) in keyed {
+        match clusters.last_mut() {
+            Some(last) if ctx.closure_of(last) == key => {
+                last.append(&mut members);
+                boundary_repairs += 1;
+            }
+            _ => clusters.push(members),
+        }
+    }
+    for c in &mut clusters {
+        c.sort_unstable();
+    }
+
+    // Phase 3b: defensive validity repair. Per-shard outputs are valid,
+    // so this loop normally never fires — but if a cluster ever fails
+    // global k (or ℓ), merge it into the neighbour with the cheapest
+    // joined closure rather than emitting invalid output.
+    loop {
+        let violator = clusters.iter().position(|c| {
+            c.len() < cfg.k || sensitive.is_some_and(|s| distinct_of(s, c) < cfg.l.min(c.len()))
+        });
+        let Some(v) = violator else { break };
+        if clusters.len() < 2 {
+            break; // one cluster holding everything: nothing to merge with
+        }
+        let v_nodes = ctx.closure_of(&clusters[v]);
+        let mut best: Option<(f64, usize)> = None;
+        for (i, c) in clusters.iter().enumerate() {
+            if i == v {
+                continue;
+            }
+            let joined = ctx.join_cost(&v_nodes, &ctx.closure_of(c));
+            let better = match &best {
+                None => true,
+                Some((bc, _)) => joined.total_cmp(bc).is_lt(),
+            };
+            if better {
+                best = Some((joined, i));
+            }
+        }
+        let (_, target) = best.ok_or_else(|| {
+            CoreError::InconsistentInput("boundary repair found no merge target".to_string())
+        })?;
+        let mut moved = clusters.swap_remove(v.max(target));
+        let keep = v.min(target);
+        clusters[keep].append(&mut moved);
+        clusters[keep].sort_unstable();
+        boundary_repairs += 1;
+    }
+    kanon_obs::count(kanon_obs::Counter::BoundaryRepairs, boundary_repairs as u64);
+
+    clusters.sort_by_key(|c| c[0]);
+    let clustering = Clustering::from_clusters(n, clusters)?;
+    let gtable = clustering.to_generalized_table(table)?;
+    let loss = costs.table_loss(&gtable);
+    let output = ShardedOutput {
+        out: KAnonOutput {
+            clustering,
+            table: gtable,
+            loss,
+        },
+        stats: ShardStats {
+            shards_built: shards.len(),
+            shard_rows_max,
+            boundary_repairs,
+        },
+    };
+    Ok(match exhausted {
+        None => Budgeted::Complete(output),
+        Some((budget, spent)) => Budgeted::BudgetExhausted {
+            best_so_far: output,
+            budget,
+            spent,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::record::Record;
+    use kanon_core::schema::{SchemaBuilder, SharedSchema};
+    use kanon_measures::EntropyMeasure;
+
+    fn schema() -> SharedSchema {
+        SchemaBuilder::new()
+            .categorical_with_groups("c", ["a", "b", "c", "d"], &[&["a", "b"], &["c", "d"]])
+            .numeric_with_intervals("age", 0, 19, &[5, 10])
+            .build_shared()
+            .unwrap()
+    }
+
+    fn table(n: u32) -> Table {
+        let s = schema();
+        let rows = (0..n)
+            .map(|i| Record::from_raw([i % 4, (i * 7) % 20]))
+            .collect();
+        Table::new(s, rows).unwrap()
+    }
+
+    #[test]
+    fn sharded_output_is_k_anonymous_and_sharded() {
+        let t = table(240);
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let cfg = ShardConfig::new(3).with_shard_max(40);
+        let out = sharded_k_anonymize(&t, &costs, &cfg).unwrap();
+        assert!(out.out.clustering.min_cluster_size() >= 3);
+        assert!(out.stats.shards_built > 1, "{:?}", out.stats);
+        assert!(out.stats.shard_rows_max <= 40, "{:?}", out.stats);
+        assert!(kanon_core::generalize::is_generalization_of(&t, &out.out.table).unwrap());
+    }
+
+    #[test]
+    fn monolithic_when_table_fits_one_shard() {
+        let t = table(60);
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let sharded = sharded_k_anonymize(&t, &costs, &ShardConfig::new(4)).unwrap();
+        assert_eq!(sharded.stats.shards_built, 1);
+        let mono =
+            crate::agglomerative_k_anonymize(&t, &costs, &AgglomerativeConfig::new(4)).unwrap();
+        // Same partition (the sharded path renumbers clusters by first
+        // member) and bitwise-identical loss.
+        let mut a: Vec<_> = sharded.out.clustering.clusters().to_vec();
+        let mut b: Vec<_> = mono.clustering.clusters().to_vec();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(sharded.out.loss.to_bits(), mono.loss.to_bits());
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let t = table(300);
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let cfg = ShardConfig::new(3).with_shard_max(50);
+        let runs: Vec<_> = [1usize, 2, 8]
+            .iter()
+            .map(|&threads| {
+                kanon_parallel::with_threads(threads, || {
+                    sharded_k_anonymize(&t, &costs, &cfg).unwrap()
+                })
+            })
+            .collect();
+        assert_eq!(runs[0].out.clustering, runs[1].out.clustering);
+        assert_eq!(runs[0].out.clustering, runs[2].out.clustering);
+        assert_eq!(runs[0].out.loss.to_bits(), runs[1].out.loss.to_bits());
+        assert_eq!(runs[0].out.loss.to_bits(), runs[2].out.loss.to_bits());
+        assert_eq!(runs[0].stats, runs[2].stats);
+    }
+
+    #[test]
+    fn ldiverse_shards_hold_global_l() {
+        let t = table(240);
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let sensitive: Vec<u32> = (0..240u32).map(|i| i % 3).collect();
+        let cfg = ShardConfig::new(3).with_l(2).with_shard_max(40);
+        let out = sharded_l_diverse_k_anonymize(&t, &costs, &sensitive, &cfg).unwrap();
+        assert!(out.out.clustering.min_cluster_size() >= 3);
+        for c in out.out.clustering.clusters() {
+            assert!(distinct_of(&sensitive, c) >= 2, "{c:?}");
+        }
+        assert!(out.stats.shards_built > 1);
+    }
+
+    #[test]
+    fn sensitive_length_mismatch_is_a_typed_error() {
+        let t = table(60);
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let cfg = ShardConfig::new(3).with_l(2);
+        let err = sharded_l_diverse_k_anonymize(&t, &costs, &[0, 1], &cfg).unwrap_err();
+        assert!(matches!(err, CoreError::RowCountMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_valid_output() {
+        let t = table(240);
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let cfg = ShardConfig::new(3).with_shard_max(40);
+        let out = kanon_obs::with_work_budget(1, || {
+            crate::try_sharded_k_anonymize(&t, &costs, &cfg).unwrap()
+        });
+        assert!(out.is_exhausted());
+        assert!(out.inner().out.clustering.min_cluster_size() >= 3);
+    }
+
+    #[test]
+    fn rooted_cells_flow_into_the_partitioner() {
+        // Root a cell in attribute 0 and shard aggressively: the
+        // partitioner must treat it as unsplittable there, not panic.
+        let t = table(240);
+        let costs = NodeCostTable::compute(&t, &EntropyMeasure);
+        let cfg = ShardConfig::new(3)
+            .with_shard_max(40)
+            .with_rooted_cells(vec![(0, 0), (17, 0)]);
+        let out = sharded_k_anonymize(&t, &costs, &cfg).unwrap();
+        assert!(out.out.clustering.min_cluster_size() >= 3);
+        let err = sharded_k_anonymize(
+            &t,
+            &costs,
+            &ShardConfig::new(3).with_rooted_cells(vec![(999, 0)]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InconsistentInput(_)), "{err}");
+    }
+}

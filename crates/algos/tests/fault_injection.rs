@@ -307,3 +307,59 @@ fn forest_budget_completion_still_covers_every_row() {
         "degraded clustering must still partition all rows"
     );
 }
+
+#[test]
+fn injected_mondrian_split_fault_is_a_typed_error() {
+    let _faults = kanon_fault::scoped("algos/mondrian/split=once:1");
+    let (table, costs) = setup(40, 13);
+    let err = kanon_algos::try_mondrian_k_anonymize(&table, &costs, 3).unwrap_err();
+    assert_eq!(
+        err,
+        KanonError::FaultInjected {
+            point: "algos/mondrian/split".to_string()
+        }
+    );
+    assert_eq!(err.exit_code(), 1);
+}
+
+#[test]
+fn injected_shard_partition_fault_is_a_typed_error() {
+    let _faults = kanon_fault::scoped("algos/shard/partition=once:1");
+    let (table, costs) = setup(120, 21);
+    let cfg = kanon_algos::ShardConfig::new(3).with_shard_max(30);
+    let err = kanon_algos::try_sharded_k_anonymize(&table, &costs, &cfg).unwrap_err();
+    assert_eq!(
+        err,
+        KanonError::FaultInjected {
+            point: "algos/shard/partition".to_string()
+        }
+    );
+    assert_eq!(err.exit_code(), 1);
+}
+
+#[test]
+fn sharded_budget_degradation_is_valid_and_marked() {
+    let _faults = kanon_fault::scoped("");
+    let (table, costs) = setup(120, 22);
+    let cfg = kanon_algos::ShardConfig::new(3).with_shard_max(30);
+    let budgeted = kanon_obs::with_work_budget(1, || {
+        kanon_algos::try_sharded_k_anonymize(&table, &costs, &cfg).unwrap()
+    });
+    assert!(budgeted.is_exhausted());
+    let out = budgeted.into_inner();
+    assert!(is_k_anonymous(&out.out.table, 3));
+    let covered: usize = out.out.clustering.clusters().iter().map(|c| c.len()).sum();
+    assert_eq!(covered, table.num_rows());
+}
+
+#[test]
+fn mondrian_budget_degradation_is_valid() {
+    let _faults = kanon_fault::scoped("");
+    let (table, costs) = setup(64, 23);
+    let budgeted = kanon_obs::with_work_budget(1, || {
+        kanon_algos::try_mondrian_k_anonymize(&table, &costs, 4).unwrap()
+    });
+    assert!(budgeted.is_exhausted());
+    let out = budgeted.into_inner();
+    assert!(is_k_anonymous(&out.table, 4));
+}

@@ -11,13 +11,18 @@
 //! Usage:
 //! `cargo run --release -p kanon-bench --bin scaling -- \
 //!    [--n 1000,2000,5000] [--k 10] [--seed 42] [--threads 1,2,4,8] \
-//!    [--algos agglom,forest,kk,ldiv] [--out BENCH_scaling.json]`
+//!    [--algos agglom,forest,kk,ldiv,sharded] [--shard-max 2000] \
+//!    [--out BENCH_scaling.json]`
+//!
+//! The `sharded` algo is the shard-and-conquer pipeline (E-S4); it is
+//! the only arm that scales to n = 10⁶, so large-n runs should pass
+//! `--algos sharded` alone.
 
 #![forbid(unsafe_code)]
 
 use kanon_algos::{
     agglomerative_k_anonymize, forest_k_anonymize, kk_anonymize, l_diverse_k_anonymize,
-    AgglomerativeConfig, KkConfig, LDiverseConfig,
+    sharded_k_anonymize, AgglomerativeConfig, KkConfig, LDiverseConfig, ShardConfig,
 };
 use kanon_bench::{measure_costs, Measure};
 use kanon_data::art;
@@ -58,6 +63,7 @@ fn main() {
         "kk".to_string(),
         "ldiv".to_string(),
     ];
+    let mut shard_max = 2000usize;
     let mut out_path = "BENCH_scaling.json".to_string();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -77,6 +83,7 @@ fn main() {
                     .map(|s| s.trim().to_string())
                     .collect()
             }
+            "--shard-max" => shard_max = val(&mut it).parse().expect("--shard-max"),
             "--out" => out_path = val(&mut it),
             other => panic!("unknown flag {other}"),
         }
@@ -118,7 +125,11 @@ fn main() {
                                     .unwrap()
                                     .loss
                             }
-                            other => panic!("unknown algo {other} (agglom|forest|kk|ldiv)"),
+                            "sharded" => {
+                                let cfg = ShardConfig::new(k).with_shard_max(shard_max);
+                                sharded_k_anonymize(&t, &costs, &cfg).unwrap().out.loss
+                            }
+                            other => panic!("unknown algo {other} (agglom|forest|kk|ldiv|sharded)"),
                         };
                         (loss, start.elapsed().as_secs_f64() * 1e3)
                     })
@@ -129,6 +140,7 @@ fn main() {
                         "agglom" => "agglom",
                         "forest" => "forest",
                         "ldiv" => "ldiv",
+                        "sharded" => "sharded",
                         _ => "kk",
                     },
                     n,

@@ -4,7 +4,8 @@
 //!
 //! * `generate <art|adult|cmc> [--n N] [--seed S] [--out FILE]` — emit a
 //!   synthetic dataset as CSV;
-//! * `anonymize <art|adult|cmc> --k K [--notion k|kk|global] [--measure em|lm]
+//! * `anonymize <art|adult|cmc> --k K [--notion k|kk|global|ldiv]
+//!   [--l L] [--sensitive ATTR_IDX] [--shard-max N] [--measure em|lm]
 //!   [--in FILE] [--n N] [--out FILE]` — anonymize a CSV (or a generated
 //!   table) and emit the generalized CSV;
 //! * `verify <art|adult|cmc> --k K --in ORIGINAL --anon GENERALIZED` —
@@ -35,13 +36,23 @@ use std::process::exit;
 /// (0 = ok, 1 = runtime error, 2 = usage error).
 type CmdResult<T = ()> = Result<T, KanonError>;
 
+/// The anonymity notions `--notion` accepts, in display order. The usage
+/// text and the "unknown notion" error both derive from this list, so
+/// they cannot drift apart again.
+const NOTIONS: [&str; 4] = ["k", "kk", "global", "ldiv"];
+
+/// Notions the shard-and-conquer pipeline (`--shard-max`) supports.
+const SHARDED_NOTIONS: [&str; 2] = ["k", "ldiv"];
+
 fn usage() -> ! {
+    let notions = NOTIONS.join("|");
+    let sharded = SHARDED_NOTIONS.join("|");
     eprintln!(
         "usage:\n  \
          kanon generate  <art|adult|cmc> [--n N] [--seed S] [--out FILE]\n  \
-         kanon anonymize <DATASET> --k K [--notion k|kk|global|ldiv] \
-         [--l L] [--sensitive ATTR_IDX] [--measure em|lm] [--in FILE] \
-         [--on-bad-row strict|suppress|root] \
+         kanon anonymize <DATASET> --k K [--notion {notions}] \
+         [--l L] [--sensitive ATTR_IDX] [--shard-max N] [--measure em|lm] \
+         [--in FILE] [--on-bad-row strict|suppress|root] \
          [--n N] [--seed S] [--out FILE]\n  \
          kanon verify    <DATASET> --k K --in ORIGINAL.csv --anon ANON.csv\n  \
          kanon measure   <DATASET> [--in FILE] [--n N] [--seed S]\n\n\
@@ -51,6 +62,11 @@ fn usage() -> ! {
          --notion ldiv adds distinct-\u{2113}-diversity on top of k-anonymity:\n\
          --l L sets \u{2113} and --sensitive ATTR_IDX picks the sensitive\n\
          attribute (0-based; default: the last attribute).\n\n\
+         --shard-max N (notions {sharded} only) runs the shard-and-conquer\n\
+         pipeline: the table is pre-partitioned into shards of at most N\n\
+         rows, each shard is clustered independently, and shard-boundary\n\
+         twin clusters are re-merged. The library default cap is\n\
+         KANON_SHARD_MAX (or 10000).\n\n\
          --on-bad-row controls CSV rows that fail to parse: strict\n\
          (default) fails the run, suppress drops them, root patches\n\
          unreadable cells with the attribute's first domain value.\n\n\
@@ -168,14 +184,21 @@ fn row_policy(flags: &Flags) -> CmdResult<RowPolicy> {
 
 /// Loads a table either from `--in FILE` (CSV with header over the
 /// built-in schema, bad rows routed through `--on-bad-row`) or by
-/// generating `--n` rows.
-fn load_table(name: &str, schema: &SharedSchema, flags: &Flags) -> CmdResult<Table> {
+/// generating `--n` rows. Files are streamed through the chunked loader
+/// (peak transient memory O(longest row), not O(file)). The second
+/// component is the `(row, attr)` cells the `root` policy patched —
+/// downstream consumers (the shard partitioner) treat them as the
+/// hierarchy root.
+fn load_table(
+    name: &str,
+    schema: &SharedSchema,
+    flags: &Flags,
+) -> CmdResult<(Table, Vec<(usize, usize)>)> {
     // Validate the policy flag even for generated tables, so a typo is a
     // usage error rather than silently ignored.
     let policy = row_policy(flags)?;
     if let Some(path) = flags.get("in") {
-        let text = read_file(path)?;
-        let (table, report) = csv::table_from_csv_with_policy(schema, &text, true, policy)?;
+        let (table, report) = kanon_data::table_from_path_with_policy(schema, path, true, policy)?;
         if !report.suppressed_rows.is_empty() {
             eprintln!(
                 "warning: suppressed {} unparseable row(s) of {path}",
@@ -188,18 +211,21 @@ fn load_table(name: &str, schema: &SharedSchema, flags: &Flags) -> CmdResult<Tab
                 report.rooted_cells.len()
             );
         }
-        Ok(table)
+        Ok((table, report.rooted_cells))
     } else {
         let n = flags.usize_or("n", 1000);
         let seed = flags.u64_or("seed", 42);
-        match name {
-            "art" => Ok(art::generate_with_schema(schema, n, seed)),
-            "adult" => Ok(adult::generate_with_schema(schema, n, seed)),
-            "cmc" => Ok(cmc::generate_with_schema(schema, n, seed).table),
-            _ => Err(KanonError::Usage(
-                "custom datasets cannot be generated; pass --in DATA.csv".to_string(),
-            )),
-        }
+        let table = match name {
+            "art" => art::generate_with_schema(schema, n, seed),
+            "adult" => adult::generate_with_schema(schema, n, seed),
+            "cmc" => cmc::generate_with_schema(schema, n, seed).table,
+            _ => {
+                return Err(KanonError::Usage(
+                    "custom datasets cannot be generated; pass --in DATA.csv".to_string(),
+                ))
+            }
+        };
+        Ok((table, Vec::new()))
     }
 }
 
@@ -218,7 +244,7 @@ fn write_out(flags: &Flags, text: &str) -> CmdResult {
 
 fn cmd_generate(name: &str, flags: &Flags) -> CmdResult {
     let schema = dataset_schema(name, flags)?;
-    let table = load_table(name, &schema, flags)?;
+    let (table, _) = load_table(name, &schema, flags)?;
     write_out(flags, &csv::table_to_csv(&table))
 }
 
@@ -234,9 +260,43 @@ fn accept_budgeted<T>(what: &str, b: Budgeted<T>) -> T {
     b.into_inner()
 }
 
+/// Parses `--shard-max` (engages the shard-and-conquer pipeline when
+/// present; only valid for the notions in [`SHARDED_NOTIONS`]).
+fn shard_max(flags: &Flags, notion: &str) -> CmdResult<Option<usize>> {
+    let Some(v) = flags.get("shard-max") else {
+        return Ok(None);
+    };
+    let m: usize = v.parse().unwrap_or(0);
+    if m == 0 {
+        return Err(KanonError::Usage(
+            "--shard-max must be a positive integer".to_string(),
+        ));
+    }
+    if !SHARDED_NOTIONS.contains(&notion) {
+        return Err(KanonError::Usage(format!(
+            "--shard-max only applies to --notion {} (got {notion:?})",
+            SHARDED_NOTIONS.join("|")
+        )));
+    }
+    Ok(Some(m))
+}
+
+/// Reports a finished shard-and-conquer run on stderr.
+fn report_sharded(what: &str, out: &kanon_algos::ShardedOutput, costs: &NodeCostTable) {
+    eprintln!(
+        "{what} via shard-and-conquer ({} shard(s), largest {} rows, \
+         {} boundary repair(s)); loss = {:.4} ({})",
+        out.stats.shards_built,
+        out.stats.shard_rows_max,
+        out.stats.boundary_repairs,
+        out.out.loss,
+        costs.measure_name()
+    );
+}
+
 fn cmd_anonymize(name: &str, flags: &Flags) -> CmdResult {
     let schema = dataset_schema(name, flags)?;
-    let table = load_table(name, &schema, flags)?;
+    let (table, rooted_cells) = load_table(name, &schema, flags)?;
     let k = flags.usize_or("k", 0);
     if k == 0 {
         return Err(KanonError::Usage("anonymize requires --k".to_string()));
@@ -251,7 +311,19 @@ fn cmd_anonymize(name: &str, flags: &Flags) -> CmdResult {
         }
     };
     let notion = flags.get("notion").unwrap_or("kk");
+    let shard_max = shard_max(flags, notion)?;
     let gtable: GeneralizedTable = match notion {
+        "k" if shard_max.is_some() => {
+            let cfg = kanon_algos::ShardConfig::new(k)
+                .with_shard_max(shard_max.unwrap_or_default())
+                .with_rooted_cells(rooted_cells);
+            let out = accept_budgeted(
+                "sharded k-anonymization",
+                kanon_algos::try_sharded_k_anonymize(&table, &costs, &cfg)?,
+            );
+            report_sharded("k-anonymized", &out, &costs);
+            out.out.table
+        }
         "k" => {
             let (out, cfg) = accept_budgeted(
                 "k-anonymization",
@@ -303,6 +375,27 @@ fn cmd_anonymize(name: &str, flags: &Flags) -> CmdResult {
             let sensitive: Vec<u32> = (0..table.num_rows())
                 .map(|i| table.row(i).get(col).0)
                 .collect();
+            if let Some(m) = shard_max {
+                let cfg = kanon_algos::ShardConfig::new(k)
+                    .with_l(l)
+                    .with_shard_max(m)
+                    .with_rooted_cells(rooted_cells);
+                let out = match kanon_algos::try_sharded_l_diverse_k_anonymize(
+                    &table, &costs, &sensitive, &cfg,
+                ) {
+                    Err(KanonError::Core(e @ kanon_core::CoreError::InvalidL { .. })) => {
+                        return Err(KanonError::Usage(e.to_string()))
+                    }
+                    r => accept_budgeted("sharded \u{2113}-diverse k-anonymization", r?),
+                };
+                report_sharded(
+                    &format!("\u{2113}-diverse k-anonymized (k = {k}, \u{2113} = {l}, sensitive attr {col})"),
+                    &out,
+                    &costs,
+                );
+                write_out(flags, &csv::generalized_to_csv(&out.out.table))?;
+                return Ok(());
+            }
             let cfg = LDiverseConfig::new(k, l);
             // An infeasible ℓ for the chosen column is a malformed
             // request (exit 2), like an unknown flag — not a runtime
@@ -323,7 +416,8 @@ fn cmd_anonymize(name: &str, flags: &Flags) -> CmdResult {
         }
         other => {
             return Err(KanonError::Usage(format!(
-                "unknown notion {other:?} (expected k|kk|global|ldiv)"
+                "unknown notion {other:?} (expected {})",
+                NOTIONS.join("|")
             )))
         }
     };
@@ -433,7 +527,7 @@ fn cmd_verify(name: &str, flags: &Flags) -> CmdResult {
 
 fn cmd_measure(name: &str, flags: &Flags) -> CmdResult {
     let schema = dataset_schema(name, flags)?;
-    let table = load_table(name, &schema, flags)?;
+    let (table, _) = load_table(name, &schema, flags)?;
     let stats = TableStats::compute(&table);
     println!(
         "{} rows, {} attributes",

@@ -8,6 +8,9 @@
 //! * `KANON_JOIN_TABLE_LIMIT` — node budget for the dense LCA join table
 //!   (see [`crate::hierarchy::JOIN_TABLE_LIMIT`]); `0` disables the table
 //!   everywhere. Snapshotted once per process.
+//! * `KANON_SHARD_MAX` — default maximum shard size for the
+//!   shard-and-conquer pipeline (`kanon-algos`' shard stage); values < 1
+//!   are ignored. Snapshotted once per process.
 
 use crate::hierarchy::JOIN_TABLE_LIMIT;
 use std::sync::OnceLock;
@@ -23,5 +26,23 @@ pub fn default_join_table_budget() -> usize {
             .ok()
             .and_then(|s| s.trim().parse::<usize>().ok())
             .unwrap_or(JOIN_TABLE_LIMIT)
+    })
+}
+
+/// The built-in default shard-size bound when neither `--shard-max` nor
+/// `KANON_SHARD_MAX` says otherwise.
+pub const SHARD_MAX_DEFAULT: usize = 10_000;
+
+/// The effective default shard-size bound for the shard-and-conquer
+/// pipeline: `KANON_SHARD_MAX` if set, parseable and ≥ 1, else
+/// [`SHARD_MAX_DEFAULT`]. Read once per process.
+pub fn default_shard_max() -> usize {
+    static MAX: OnceLock<usize> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        std::env::var("KANON_SHARD_MAX")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&v| v >= 1)
+            .unwrap_or(SHARD_MAX_DEFAULT)
     })
 }

@@ -41,6 +41,13 @@ pub enum CoreError {
     /// Interval hierarchy widths must be non-decreasing divisors of the
     /// domain layout; this variant reports a bad width sequence.
     BadIntervalWidths(String),
+    /// CSV input ended in the middle of a quoted field (EOF while the
+    /// closing `"` was still pending).
+    UnterminatedQuote,
+    /// Supplied metadata contradicts the table it describes (e.g. a
+    /// rooted-cell annotation pointing outside the table, or a value that
+    /// escapes its cluster's closure node).
+    InconsistentInput(String),
 }
 
 impl fmt::Display for CoreError {
@@ -98,6 +105,13 @@ impl fmt::Display for CoreError {
                 write!(f, "unknown label {label:?} for attribute {attr:?}")
             }
             CoreError::BadIntervalWidths(msg) => write!(f, "bad interval widths: {msg}"),
+            CoreError::UnterminatedQuote => {
+                write!(
+                    f,
+                    "CSV input ends inside a quoted field (missing closing '\"')"
+                )
+            }
+            CoreError::InconsistentInput(msg) => write!(f, "inconsistent input: {msg}"),
         }
     }
 }

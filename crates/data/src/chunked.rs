@@ -1,0 +1,222 @@
+//! Chunked (streaming) CSV ingestion: build a [`Table`] from a reader
+//! without ever holding the full CSV text in memory.
+//!
+//! The whole-text loader ([`crate::table_from_csv_with_policy`]) keeps
+//! the raw text *and* every parsed field alive at once — at a million
+//! rows that is several times the size of the final record store, which
+//! is what actually needs to stay resident. This module consumes the
+//! input one *logical row* at a time: physical lines are accumulated
+//! until the running double-quote count is even (RFC 4180: a newline
+//! inside a quoted field does not end the row), the completed row is
+//! parsed and converted immediately, and its text buffer is reused. Peak
+//! transient memory is O(longest logical row), not O(file).
+//!
+//! Semantics are byte-identical to the whole-text loader for every input
+//! and [`RowPolicy`] — both route each parsed row through the same
+//! conversion (`csv::convert_row`), including the failpoint, blank-line,
+//! arity and unterminated-quote handling. An equivalence test in
+//! `tests/ingest_robustness.rs` pins this on arbitrary bytes.
+
+use crate::csv::{convert_row, parse_csv_report, IngestReport, RowPolicy};
+use kanon_core::error::{CoreError, KanonError, KanonResult};
+use kanon_core::record::Record;
+use kanon_core::schema::SharedSchema;
+use kanon_core::table::Table;
+use std::io::BufRead;
+use std::sync::Arc;
+
+/// Reads a [`Table`] from `reader` one logical CSV row at a time.
+///
+/// `source` names the input in I/O error messages (a path, or something
+/// like `"<stdin>"`). Header validation, row policies and the ingest
+/// report behave exactly like [`crate::table_from_csv_with_policy`].
+pub fn table_from_reader_with_policy<R: BufRead>(
+    schema: &SharedSchema,
+    mut reader: R,
+    source: &str,
+    has_header: bool,
+    policy: RowPolicy,
+) -> KanonResult<(Table, IngestReport)> {
+    let mut report = IngestReport::default();
+    let mut records: Vec<Record> = Vec::new();
+    let mut buf = String::new();
+    let mut header_pending = has_header;
+    let mut row_idx = 0usize;
+
+    loop {
+        let start = buf.len();
+        let read = reader.read_line(&mut buf).map_err(|e| KanonError::Io {
+            path: source.to_string(),
+            message: e.to_string(),
+        })?;
+        let at_eof = read == 0;
+        // A logical row ends at a newline outside quotes, i.e. when the
+        // total number of double quotes so far is even (an escaped `""`
+        // contributes two, so parity tracks the in-quotes state exactly).
+        let complete =
+            !at_eof && quote_count(&buf[start..], quote_count(&buf[..start], 0)).is_multiple_of(2);
+        if !complete && !at_eof {
+            continue; // newline was inside a quoted field — keep reading
+        }
+        if at_eof && buf.is_empty() {
+            break;
+        }
+        let (rows, parse_report) = parse_csv_report(&buf);
+        if parse_report.unterminated_quote {
+            // Only possible at EOF (mid-stream the parity check keeps
+            // reading). Mirror the whole-text loader: strict fails, the
+            // lenient policies suppress the partial final row — unless it
+            // would have been the header, which is always strict.
+            if header_pending || policy == RowPolicy::Strict {
+                return Err(CoreError::UnterminatedQuote.into());
+            }
+            if !rows.is_empty() {
+                report.suppressed_rows.push(row_idx);
+            }
+            break;
+        }
+        for fields in &rows {
+            if header_pending {
+                validate_header(schema, fields)?;
+                header_pending = false;
+                continue;
+            }
+            if let Some(rec) = convert_row(schema, fields, row_idx, policy, &mut report)? {
+                records.push(rec);
+            }
+            row_idx += 1;
+        }
+        buf.clear();
+        if at_eof {
+            break;
+        }
+    }
+    let table = Table::new(Arc::clone(schema), records).map_err(KanonError::Core)?;
+    Ok((table, report))
+}
+
+/// Opens `path` and streams it through [`table_from_reader_with_policy`].
+pub fn table_from_path_with_policy(
+    schema: &SharedSchema,
+    path: &str,
+    has_header: bool,
+    policy: RowPolicy,
+) -> KanonResult<(Table, IngestReport)> {
+    let file = std::fs::File::open(path).map_err(|e| KanonError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })?;
+    table_from_reader_with_policy(
+        schema,
+        std::io::BufReader::new(file),
+        path,
+        has_header,
+        policy,
+    )
+}
+
+/// Number of `"` characters in `s`, offset by `acc` (so parity can be
+/// tracked across appended segments without rescanning).
+fn quote_count(s: &str, acc: usize) -> usize {
+    acc + s.bytes().filter(|&b| b == b'"').count()
+}
+
+/// Header validation identical to the whole-text loader's.
+fn validate_header(schema: &SharedSchema, fields: &[String]) -> KanonResult<()> {
+    if fields.len() != schema.num_attrs() {
+        return Err(CoreError::ArityMismatch {
+            expected: schema.num_attrs(),
+            found: fields.len(),
+        }
+        .into());
+    }
+    for (j, name) in fields.iter().enumerate() {
+        if name.trim() != schema.attr(j).name() {
+            return Err(CoreError::UnknownLabel {
+                attr: schema.attr(j).name().to_string(),
+                label: name.trim().to_string(),
+            }
+            .into());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table_from_csv_with_policy;
+    use kanon_core::schema::SchemaBuilder;
+    use std::io::Cursor;
+
+    fn schema() -> SharedSchema {
+        SchemaBuilder::new()
+            .categorical("g", ["M", "F"])
+            .categorical("c", ["r", "b"])
+            .build_shared()
+            .unwrap()
+    }
+
+    type Loaded<E> = std::result::Result<(Table, IngestReport), E>;
+
+    fn both(
+        text: &str,
+        has_header: bool,
+        policy: RowPolicy,
+    ) -> (Loaded<KanonError>, Loaded<kanon_core::error::CoreError>) {
+        let s = schema();
+        let chunked =
+            table_from_reader_with_policy(&s, Cursor::new(text), "<test>", has_header, policy);
+        let whole = table_from_csv_with_policy(&s, text, has_header, policy);
+        (chunked, whole)
+    }
+
+    #[test]
+    fn matches_whole_text_loader_on_crafted_inputs() {
+        let texts = [
+            "",
+            "g,c\nM,r\nF,b\n",
+            "M,r\nF,b",
+            "M,r\n\nF,b\n",            // blank line keeps its row index
+            "M,r\nM,purple\nF,b\n",    // bad label
+            "M\nM,r,b\nF,b\n",         // ragged rows
+            "\"M\",\"r\"\nF,\"b\"\n",  // quoting
+            "M,\"r\nstill r\"\nF,b\n", // quoted newline spans lines
+            "M,r\r\nF,b\r\n",          // CRLF
+            "M,r\n\"\"",               // trailing quoted-empty row
+            "M,r\nF,\"b",              // unterminated quote
+            "\"unterminated",
+        ];
+        for text in texts {
+            for has_header in [false, true] {
+                for policy in [
+                    RowPolicy::Strict,
+                    RowPolicy::SuppressRow,
+                    RowPolicy::GeneralizeToRoot,
+                ] {
+                    let (chunked, whole) = both(text, has_header, policy);
+                    match (chunked, whole) {
+                        (Ok((ct, cr)), Ok((wt, wr))) => {
+                            assert_eq!(ct.rows(), wt.rows(), "{text:?} {has_header} {policy:?}");
+                            assert_eq!(cr, wr, "{text:?} {has_header} {policy:?}");
+                        }
+                        (Err(KanonError::Core(ce)), Err(we)) => {
+                            assert_eq!(ce, we, "{text:?} {has_header} {policy:?}");
+                        }
+                        (c, w) => {
+                            panic!("divergence on {text:?} {has_header} {policy:?}: {c:?} vs {w:?}")
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let s = schema();
+        let err = table_from_path_with_policy(&s, "/no/such/file.csv", false, RowPolicy::Strict)
+            .unwrap_err();
+        assert!(matches!(err, KanonError::Io { .. }));
+    }
+}

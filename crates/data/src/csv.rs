@@ -71,17 +71,35 @@ fn raise_row_fault() -> ! {
     })
 }
 
-/// Parses CSV text into rows of fields.
-pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+/// What [`parse_csv_report`] observed beyond the parsed rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CsvParseReport {
+    /// EOF was reached while inside a quoted field (the closing `"` never
+    /// came). The partial final row — with the unterminated field's
+    /// content as scanned — is still returned as the last row; the policy
+    /// layer decides its fate.
+    pub unterminated_quote: bool,
+}
+
+/// Parses CSV text into rows of fields, reporting structural anomalies.
+///
+/// Two historical parser bugs are pinned here: a final row consisting of
+/// a single quoted empty field (`""` with no trailing newline) is kept
+/// (the quote marks the field as *present* even though its content is
+/// empty), and an EOF inside a quoted field is surfaced through
+/// [`CsvParseReport::unterminated_quote`] instead of being silently
+/// accepted.
+pub fn parse_csv_report(text: &str) -> (Vec<Vec<String>>, CsvParseReport) {
     let mut rows = Vec::new();
     let mut row: Vec<String> = Vec::new();
     let mut field = String::new();
     let mut chars = text.chars().peekable();
     let mut in_quotes = false;
-    let mut any = false;
+    // True once a quote opened in the current field: `""` is an *empty
+    // present* field, distinct from no field at all.
+    let mut field_open = false;
 
     while let Some(c) = chars.next() {
-        any = true;
         if in_quotes {
             match c {
                 '"' => {
@@ -96,24 +114,43 @@ pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
             }
         } else {
             match c {
-                '"' => in_quotes = true,
+                '"' => {
+                    in_quotes = true;
+                    field_open = true;
+                }
                 ',' => {
                     row.push(std::mem::take(&mut field));
+                    field_open = false;
                 }
                 '\r' => { /* swallow; \n terminates the row */ }
                 '\n' => {
                     row.push(std::mem::take(&mut field));
                     rows.push(std::mem::take(&mut row));
+                    field_open = false;
                 }
                 other => field.push(other),
             }
         }
     }
-    if any && (!field.is_empty() || !row.is_empty()) {
+    if !field.is_empty() || !row.is_empty() || field_open {
         row.push(field);
         rows.push(row);
     }
-    rows
+    (
+        rows,
+        CsvParseReport {
+            unterminated_quote: in_quotes,
+        },
+    )
+}
+
+/// Parses CSV text into rows of fields.
+///
+/// Thin wrapper over [`parse_csv_report`] that discards the anomaly
+/// report — callers that must *reject* malformed input (the table
+/// loaders) use the reporting form.
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    parse_csv_report(text).0
 }
 
 /// Escapes one field for CSV output.
@@ -156,7 +193,25 @@ pub fn table_from_csv_with_policy(
     has_header: bool,
     policy: RowPolicy,
 ) -> Result<(Table, IngestReport)> {
-    let mut rows = parse_csv(text);
+    let (mut rows, parse_report) = parse_csv_report(text);
+    // An unterminated quoted field can only affect the final parsed row.
+    // It is never interpreted as a header; under `Strict` the ingestion
+    // fails (after earlier rows had their chance to surface their own,
+    // stream-earlier errors); the lenient policies suppress it — there is
+    // no trustworthy cell to patch, the field may have swallowed
+    // arbitrarily much of the file.
+    let mut suppressed_tail: Option<usize> = None;
+    let mut unterminated_strict = false;
+    if parse_report.unterminated_quote {
+        if rows.len() <= has_header as usize {
+            return Err(CoreError::UnterminatedQuote);
+        }
+        rows.pop();
+        match policy {
+            RowPolicy::Strict => unterminated_strict = true,
+            _ => suppressed_tail = Some(rows.len() - has_header as usize),
+        }
+    }
     if has_header && !rows.is_empty() {
         let header = rows.remove(0);
         if header.len() != schema.num_attrs() {
@@ -176,65 +231,90 @@ pub fn table_from_csv_with_policy(
     }
     let mut report = IngestReport::default();
     let mut records = Vec::with_capacity(rows.len());
-    'rows: for (row_idx, fields) in rows.iter().enumerate() {
-        if fields.len() == 1 && fields[0].trim().is_empty() {
-            continue; // blank line
+    for (row_idx, fields) in rows.iter().enumerate() {
+        if let Some(rec) = convert_row(schema, fields, row_idx, policy, &mut report)? {
+            records.push(rec);
         }
-        if kanon_fault::armed() && kanon_fault::fires(ROW_FAIL_POINT) {
-            match policy {
-                RowPolicy::Strict => raise_row_fault(),
-                _ => {
-                    report.suppressed_rows.push(row_idx);
-                    continue;
-                }
-            }
-        }
-        if fields.len() != schema.num_attrs() {
-            match policy {
-                RowPolicy::Strict => {
-                    return Err(CoreError::ArityMismatch {
-                        expected: schema.num_attrs(),
-                        found: fields.len(),
-                    })
-                }
-                _ => {
-                    // No cell to patch when the shape itself is wrong.
-                    report.suppressed_rows.push(row_idx);
-                    continue;
-                }
-            }
-        }
-        let mut values = Vec::with_capacity(fields.len());
-        for (j, f) in fields.iter().enumerate() {
-            match schema.attr(j).domain().value_of(f.trim()) {
-                Ok(v) => values.push(v),
-                Err(e) => match policy {
-                    // Add the data row number (1-based, after any header)
-                    // to the lookup error so users can locate the cell.
-                    RowPolicy::Strict => {
-                        return Err(if let CoreError::UnknownLabel { attr, label } = e {
-                            CoreError::UnknownLabel {
-                                attr,
-                                label: format!("{label} (data row {})", row_idx + 1),
-                            }
-                        } else {
-                            e
-                        })
-                    }
-                    RowPolicy::SuppressRow => {
-                        report.suppressed_rows.push(row_idx);
-                        continue 'rows;
-                    }
-                    RowPolicy::GeneralizeToRoot => {
-                        report.rooted_cells.push((row_idx, j));
-                        values.push(ValueId(0));
-                    }
-                },
-            }
-        }
-        records.push(Record::new(values));
+    }
+    if unterminated_strict {
+        return Err(CoreError::UnterminatedQuote);
+    }
+    if let Some(idx) = suppressed_tail {
+        report.suppressed_rows.push(idx);
     }
     Ok((Table::new(Arc::clone(schema), records)?, report))
+}
+
+/// Converts one parsed data row against the schema under `policy`.
+///
+/// `Ok(None)` means the row contributes no record: it was a blank line,
+/// or the policy suppressed it (recorded in `report`). Shared by the
+/// whole-text loader above and the chunked reader
+/// ([`crate::chunked::table_from_reader_with_policy`]), so both produce
+/// byte-identical tables and reports for the same input.
+pub(crate) fn convert_row(
+    schema: &SharedSchema,
+    fields: &[String],
+    row_idx: usize,
+    policy: RowPolicy,
+    report: &mut IngestReport,
+) -> Result<Option<Record>> {
+    if fields.len() == 1 && fields[0].trim().is_empty() {
+        return Ok(None); // blank line
+    }
+    if kanon_fault::armed() && kanon_fault::fires(ROW_FAIL_POINT) {
+        match policy {
+            RowPolicy::Strict => raise_row_fault(),
+            _ => {
+                report.suppressed_rows.push(row_idx);
+                return Ok(None);
+            }
+        }
+    }
+    if fields.len() != schema.num_attrs() {
+        match policy {
+            RowPolicy::Strict => {
+                return Err(CoreError::ArityMismatch {
+                    expected: schema.num_attrs(),
+                    found: fields.len(),
+                })
+            }
+            _ => {
+                // No cell to patch when the shape itself is wrong.
+                report.suppressed_rows.push(row_idx);
+                return Ok(None);
+            }
+        }
+    }
+    let mut values = Vec::with_capacity(fields.len());
+    for (j, f) in fields.iter().enumerate() {
+        match schema.attr(j).domain().value_of(f.trim()) {
+            Ok(v) => values.push(v),
+            Err(e) => match policy {
+                // Add the data row number (1-based, after any header)
+                // to the lookup error so users can locate the cell.
+                RowPolicy::Strict => {
+                    return Err(if let CoreError::UnknownLabel { attr, label } = e {
+                        CoreError::UnknownLabel {
+                            attr,
+                            label: format!("{label} (data row {})", row_idx + 1),
+                        }
+                    } else {
+                        e
+                    })
+                }
+                RowPolicy::SuppressRow => {
+                    report.suppressed_rows.push(row_idx);
+                    return Ok(None);
+                }
+                RowPolicy::GeneralizeToRoot => {
+                    report.rooted_cells.push((row_idx, j));
+                    values.push(ValueId(0));
+                }
+            },
+        }
+    }
+    Ok(Some(Record::new(values)))
 }
 
 /// Serializes a [`Table`] as CSV (with a header row of attribute names).
@@ -308,6 +388,65 @@ mod tests {
     #[test]
     fn parse_empty_text() {
         assert!(parse_csv("").is_empty());
+    }
+
+    #[test]
+    fn trailing_quoted_empty_field_row_is_kept() {
+        // Regression: `""` with no trailing newline used to vanish — the
+        // field was empty and the row was empty, so the tail flush
+        // skipped it. The quote marks the field as present.
+        assert_eq!(parse_csv("\"\""), vec![vec![String::new()]]);
+        assert_eq!(
+            parse_csv("a,b\n\"\""),
+            vec![vec!["a".to_string(), "b".to_string()], vec![String::new()]]
+        );
+        // A genuinely empty tail (just a terminated last row) still
+        // produces no phantom row.
+        assert_eq!(parse_csv("a,b\n"), vec![vec!["a", "b"]]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_reported() {
+        // Regression: EOF inside a quoted field used to be silently
+        // accepted as if the quote had closed.
+        let (rows, rep) = parse_csv_report("a,\"b");
+        assert!(rep.unterminated_quote);
+        assert_eq!(rows, vec![vec!["a", "b"]]);
+        let (rows, rep) = parse_csv_report("\"abc");
+        assert!(rep.unterminated_quote);
+        assert_eq!(rows, vec![vec!["abc"]]);
+        // A properly closed quote does not trip the flag.
+        assert!(!parse_csv_report("a,\"b\"\n").1.unterminated_quote);
+    }
+
+    #[test]
+    fn unterminated_quote_routes_through_policy() {
+        let s = SchemaBuilder::new()
+            .categorical("g", ["M", "F"])
+            .categorical("c", ["r", "b"])
+            .build_shared()
+            .unwrap();
+        let text = "M,r\nF,\"b";
+        assert_eq!(
+            table_from_csv_with_policy(&s, text, false, RowPolicy::Strict).unwrap_err(),
+            CoreError::UnterminatedQuote
+        );
+        for policy in [RowPolicy::SuppressRow, RowPolicy::GeneralizeToRoot] {
+            let (t, report) = table_from_csv_with_policy(&s, text, false, policy).unwrap();
+            assert_eq!(t.num_rows(), 1);
+            assert_eq!(report.suppressed_rows, vec![1]);
+        }
+        // An unterminated header stays strict under every policy.
+        for policy in [
+            RowPolicy::Strict,
+            RowPolicy::SuppressRow,
+            RowPolicy::GeneralizeToRoot,
+        ] {
+            assert_eq!(
+                table_from_csv_with_policy(&s, "g,\"c", true, policy).unwrap_err(),
+                CoreError::UnterminatedQuote
+            );
+        }
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`cmc`] — Contraceptive Method Choice: same treatment, labels
 //!   included for the CM measure;
 //! * [`csv`] — dependency-free CSV I/O for tables and generalized tables;
+//! * [`chunked`] — streaming CSV ingestion (peak transient memory is
+//!   O(longest row), not O(file) — the on-ramp for million-row tables);
 //! * [`sampling`] — seeded categorical sampling shared by the generators.
 //!
 //! All generators take explicit seeds and are fully deterministic.
@@ -20,15 +22,17 @@
 
 pub mod adult;
 pub mod art;
+pub mod chunked;
 pub mod cmc;
 pub mod csv;
 pub mod reconstruct;
 pub mod sampling;
 pub mod schema_text;
 
+pub use chunked::{table_from_path_with_policy, table_from_reader_with_policy};
 pub use csv::{
-    generalized_to_csv, parse_csv, table_from_csv, table_from_csv_with_policy, table_to_csv,
-    write_csv, IngestReport, RowPolicy, ROW_FAIL_POINT,
+    generalized_to_csv, parse_csv, parse_csv_report, table_from_csv, table_from_csv_with_policy,
+    table_to_csv, write_csv, CsvParseReport, IngestReport, RowPolicy, ROW_FAIL_POINT,
 };
 pub use reconstruct::{reconstruct, ReconstructionModel};
 pub use schema_text::{parse_schema, schema_to_text};

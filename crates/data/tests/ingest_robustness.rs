@@ -9,7 +9,8 @@
 use kanon_core::schema::SchemaBuilder;
 use kanon_core::SharedSchema;
 use kanon_data::{
-    adult, cmc, parse_schema, table_from_csv, table_from_csv_with_policy, IngestReport, RowPolicy,
+    adult, cmc, parse_csv, parse_csv_report, parse_schema, table_from_csv,
+    table_from_csv_with_policy, table_from_reader_with_policy, IngestReport, RowPolicy,
 };
 use proptest::prelude::*;
 
@@ -194,6 +195,93 @@ proptest! {
         prop_assert_eq!(t.num_rows(), clean.len());
         let bad: Vec<usize> = (0..rows.len()).filter(|i| !clean.contains(i)).collect();
         prop_assert_eq!(&report.suppressed_rows, &bad);
+    }
+
+    /// Pin the two parser bugs on arbitrary bytes:
+    /// * the `unterminated_quote` flag agrees with quote parity (an
+    ///   escaped `""` contributes two, so parity tracks the in-quotes
+    ///   state exactly);
+    /// * every logical row the input encodes is kept — in particular a
+    ///   final `""` with no trailing newline is a row of one empty
+    ///   field, not silence.
+    #[test]
+    fn parse_report_flag_matches_quote_parity(seed in any::<u64>()) {
+        let text = random_text(seed);
+        let (rows, report) = parse_csv_report(&text);
+        let quotes = text.bytes().filter(|&b| b == b'"').count();
+        prop_assert_eq!(report.unterminated_quote, quotes % 2 == 1, "{:?}", text);
+        // The report-less wrapper returns the same rows.
+        prop_assert_eq!(&rows, &parse_csv(&text));
+        // Terminated input ending without a newline still yields its
+        // final row: appending one must not add a row. (A trailing bare
+        // `\r` is excluded — `\r` + `\n` fuses into a CRLF terminator.)
+        if !report.unterminated_quote && !text.ends_with('\n') && !text.ends_with('\r') && !text.is_empty() {
+            let with_newline = format!("{text}\n");
+            prop_assert_eq!(&rows, &parse_csv(&with_newline), "{:?}", text);
+        }
+    }
+
+    /// A quoted-empty final field is never dropped, whatever surrounds it.
+    #[test]
+    fn trailing_quoted_empty_field_never_loses_the_row(prefix_rows in 0usize..4) {
+        let mut text = String::new();
+        for _ in 0..prefix_rows {
+            text.push_str("M,r\n");
+        }
+        text.push_str("\"\"");
+        let rows = parse_csv(&text);
+        prop_assert_eq!(rows.len(), prefix_rows + 1);
+        prop_assert_eq!(&rows[prefix_rows], &vec![String::new()]);
+    }
+
+    /// The chunked (streaming) loader is byte-for-byte equivalent to the
+    /// whole-text loader on arbitrary input, for every policy.
+    #[test]
+    fn chunked_loader_matches_whole_text_loader(seed in any::<u64>(), policy in 0usize..3, header in 0usize..2) {
+        let text = random_text(seed);
+        let s = two_attr_schema();
+        let whole = table_from_csv_with_policy(&s, &text, header == 1, POLICIES[policy]);
+        let chunked = table_from_reader_with_policy(
+            &s,
+            std::io::Cursor::new(text.as_bytes()),
+            "<prop>",
+            header == 1,
+            POLICIES[policy],
+        );
+        match (whole, chunked) {
+            (Ok((wt, wr)), Ok((ct, cr))) => {
+                prop_assert_eq!(wt.rows(), ct.rows());
+                prop_assert_eq!(wr, cr);
+            }
+            (Err(we), Err(kanon_core::error::KanonError::Core(ce))) => {
+                prop_assert_eq!(we, ce);
+            }
+            (w, c) => prop_assert!(false, "divergence on {:?}: {:?} vs {:?}", text, w, c),
+        }
+    }
+}
+
+#[test]
+fn unterminated_quote_policy_semantics() {
+    let s = two_attr_schema();
+    // Strict surfaces the typed error; lenient policies suppress the
+    // partial final row and keep everything before it.
+    let text = "M,r\nF,\"b";
+    let err = table_from_csv_with_policy(&s, text, false, RowPolicy::Strict).unwrap_err();
+    assert_eq!(err, kanon_core::error::CoreError::UnterminatedQuote);
+    for policy in [RowPolicy::SuppressRow, RowPolicy::GeneralizeToRoot] {
+        let (t, report) = table_from_csv_with_policy(&s, text, false, policy).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(report.suppressed_rows, vec![1], "{policy:?}");
+    }
+    // A header can never be a partial row: strict under every policy.
+    for policy in POLICIES {
+        let err = table_from_csv_with_policy(&s, "g,\"c", true, policy).unwrap_err();
+        assert_eq!(
+            err,
+            kanon_core::error::CoreError::UnterminatedQuote,
+            "{policy:?}"
+        );
     }
 }
 

@@ -95,11 +95,27 @@ pub enum Counter {
     /// byte weight is fixed, so the total is as thread-count invariant
     /// as the probe count itself.
     SignatureBytesStreamed,
+    /// Accepted binary splits in the Mondrian-style top-down
+    /// k-anonymizer (one per queue element that splits).
+    MondrianSplits,
+    /// Child groups packed into the two bins of accepted Mondrian
+    /// splits (the fan-out of the chosen attribute, summed over splits).
+    MondrianGroupsPacked,
+    /// Shards produced by the shard-and-conquer pre-partitioning stage
+    /// (recorded once per sharded run, after partitioning).
+    ShardsBuilt,
+    /// Rows in the largest shard of a sharded run (recorded once per
+    /// run — an additive gauge, thread-count invariant because the
+    /// partition stage is serial and deterministic).
+    ShardRowsMax,
+    /// Boundary-repair merges performed after the per-shard runs
+    /// (equal-closure cluster re-merges plus validity repairs).
+    BoundaryRepairs,
 }
 
 impl Counter {
     /// Every counter, in canonical report order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 22] = [
         Counter::MergesPerformed,
         Counter::NnRescans,
         Counter::JoinTableHits,
@@ -117,6 +133,11 @@ impl Counter {
         Counter::ClusterDistEvals,
         Counter::CacheRepairs,
         Counter::SignatureBytesStreamed,
+        Counter::MondrianSplits,
+        Counter::MondrianGroupsPacked,
+        Counter::ShardsBuilt,
+        Counter::ShardRowsMax,
+        Counter::BoundaryRepairs,
     ];
 
     /// The counter's canonical snake_case name (the JSON key).
@@ -139,6 +160,11 @@ impl Counter {
             Counter::ClusterDistEvals => "cluster_dist_evals",
             Counter::CacheRepairs => "cache_repairs",
             Counter::SignatureBytesStreamed => "signature_bytes_streamed",
+            Counter::MondrianSplits => "mondrian_splits",
+            Counter::MondrianGroupsPacked => "mondrian_groups_packed",
+            Counter::ShardsBuilt => "shards_built",
+            Counter::ShardRowsMax => "shard_rows_max",
+            Counter::BoundaryRepairs => "boundary_repairs",
         }
     }
 }
@@ -774,9 +800,9 @@ mod tests {
         for c in Counter::ALL {
             assert!(ja.contains(&format!("\"{}\":", c.name())), "{}", c.name());
         }
-        // Fixed order: merges first, signature bytes last.
+        // Fixed order: merges first, boundary repairs last.
         assert!(ja.starts_with("{\"merges_performed\":7"));
-        assert!(ja.ends_with("\"signature_bytes_streamed\":0}"));
+        assert!(ja.ends_with("\"boundary_repairs\":0}"));
     }
 
     #[test]
