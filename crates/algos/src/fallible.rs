@@ -253,6 +253,47 @@ pub fn try_sharded_l_diverse_k_anonymize(
     catch(|| crate::shard::sharded_impl(table, costs, Some(sensitive), cfg))
 }
 
+/// Fallible form of [`crate::fulldomain_k_anonymize`] (full-domain
+/// lattice enumeration, the Incognito-model baseline).
+pub fn try_fulldomain_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+) -> KanonResult<crate::FullDomainOutput> {
+    catch(|| crate::fulldomain::fulldomain_impl(table, costs, k))
+}
+
+/// Fallible form of [`crate::mdav_k_anonymize`] (MDAV-style
+/// microaggregation baseline).
+pub fn try_mdav_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+) -> KanonResult<KAnonOutput> {
+    catch(|| crate::mdav::mdav_impl(table, costs, k))
+}
+
+/// Fallible form of [`crate::samarati_k_anonymize`] (Samarati's
+/// binary search with a suppression budget).
+pub fn try_samarati_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+    max_sup: usize,
+) -> KanonResult<crate::SamaratiOutput> {
+    catch(|| crate::samarati::samarati_impl(table, costs, k, max_sup))
+}
+
+/// Fallible form of [`crate::optimal_k_anonymize`] (the exhaustive
+/// test oracle — exponential, use on tiny tables only).
+pub fn try_optimal_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+) -> KanonResult<KAnonOutput> {
+    catch(|| crate::optimal::optimal_impl(table, costs, k))
+}
+
 /// Fallible form of [`crate::best_k_anonymize`] (the "best k-anon"
 /// protocol) with budget-aware graceful degradation across the grid.
 pub fn try_best_k_anonymize(

@@ -57,7 +57,21 @@ fn ancestor_at(h: &Hierarchy, leaf: NodeId, steps: u8) -> NodeId {
 }
 
 /// Finds the minimum-loss k-anonymous full-domain recoding.
+///
+/// Panicking wrapper over [`crate::try_fulldomain_k_anonymize`]: domain
+/// failures come back as `CoreError`; injected faults and organic panics
+/// re-raise as a `KanonError` panic payload.
 pub fn fulldomain_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+) -> Result<FullDomainOutput> {
+    crate::fallible::unwrap_or_repanic(crate::try_fulldomain_k_anonymize(table, costs, k))
+}
+
+/// Full-domain lattice enumeration (the implementation behind the
+/// panicking wrapper and its `try_` twin).
+pub(crate) fn fulldomain_impl(
     table: &Table,
     costs: &NodeCostTable,
     k: usize,

@@ -71,9 +71,10 @@ pub use distance::{ClusterDistance, DEFAULT_EPSILON};
 pub use engine::{ClusterPolicy, RunOutcome};
 pub use fallible::{
     error_from_panic, try_agglomerative_k_anonymize, try_best_k_anonymize, try_forest_k_anonymize,
-    try_global_1k_anonymize, try_k1_anonymize, try_kk_anonymize, try_l_diverse_k_anonymize,
-    try_mondrian_k_anonymize, try_mondrian_k_anonymize_rooted, try_one_k_anonymize,
-    try_sharded_k_anonymize, try_sharded_l_diverse_k_anonymize, Budgeted,
+    try_fulldomain_k_anonymize, try_global_1k_anonymize, try_k1_anonymize, try_kk_anonymize,
+    try_l_diverse_k_anonymize, try_mdav_k_anonymize, try_mondrian_k_anonymize,
+    try_mondrian_k_anonymize_rooted, try_one_k_anonymize, try_optimal_k_anonymize,
+    try_samarati_k_anonymize, try_sharded_k_anonymize, try_sharded_l_diverse_k_anonymize, Budgeted,
 };
 pub use forest::forest_k_anonymize;
 pub use fulldomain::{fulldomain_k_anonymize, FullDomainOutput, RecodingLevels};

@@ -25,7 +25,17 @@ use kanon_core::table::Table;
 use kanon_measures::NodeCostTable;
 
 /// Runs MDAV-style microaggregation.
+///
+/// Panicking wrapper over [`crate::try_mdav_k_anonymize`]: domain
+/// failures come back as `CoreError`; injected faults and organic panics
+/// re-raise as a `KanonError` panic payload.
 pub fn mdav_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Result<KAnonOutput> {
+    crate::fallible::unwrap_or_repanic(crate::try_mdav_k_anonymize(table, costs, k))
+}
+
+/// MDAV round loop (the implementation behind the panicking wrapper and
+/// its `try_` twin).
+pub(crate) fn mdav_impl(table: &Table, costs: &NodeCostTable, k: usize) -> Result<KAnonOutput> {
     let n = table.num_rows();
     if k == 0 || k > n {
         return Err(CoreError::InvalidK { k, n });

@@ -83,7 +83,17 @@ impl Search<'_> {
 }
 
 /// Finds an optimal k-anonymization by exhaustive search.
+///
+/// Panicking wrapper over [`crate::try_optimal_k_anonymize`]: domain
+/// failures come back as `CoreError`; injected faults and organic panics
+/// re-raise as a `KanonError` panic payload.
 pub fn optimal_k_anonymize(table: &Table, costs: &NodeCostTable, k: usize) -> Result<KAnonOutput> {
+    crate::fallible::unwrap_or_repanic(crate::try_optimal_k_anonymize(table, costs, k))
+}
+
+/// Canonical set-partition search (the implementation behind the
+/// panicking wrapper and its `try_` twin).
+pub(crate) fn optimal_impl(table: &Table, costs: &NodeCostTable, k: usize) -> Result<KAnonOutput> {
     let n = table.num_rows();
     if k == 0 || k > n {
         return Err(CoreError::InvalidK { k, n });

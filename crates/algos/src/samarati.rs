@@ -40,7 +40,22 @@ pub struct SamaratiOutput {
 }
 
 /// Runs Samarati's binary search with a suppression budget.
+///
+/// Panicking wrapper over [`crate::try_samarati_k_anonymize`]: domain
+/// failures come back as `CoreError`; injected faults and organic panics
+/// re-raise as a `KanonError` panic payload.
 pub fn samarati_k_anonymize(
+    table: &Table,
+    costs: &NodeCostTable,
+    k: usize,
+    max_sup: usize,
+) -> Result<SamaratiOutput> {
+    crate::fallible::unwrap_or_repanic(crate::try_samarati_k_anonymize(table, costs, k, max_sup))
+}
+
+/// Samarati height binary search (the implementation behind the
+/// panicking wrapper and its `try_` twin).
+pub(crate) fn samarati_impl(
     table: &Table,
     costs: &NodeCostTable,
     k: usize,

@@ -102,6 +102,48 @@ proptest! {
 }
 
 #[test]
+fn baseline_try_twins_match_wrappers() {
+    // The four baselines added in the lint sweep (full-domain, MDAV,
+    // Samarati, exhaustive optimal) get the same byte-identity check as
+    // the algorithm families above, on sizes they can afford.
+    use kanon_algos::{
+        fulldomain_k_anonymize, mdav_k_anonymize, optimal_k_anonymize, samarati_k_anonymize,
+        try_fulldomain_k_anonymize, try_mdav_k_anonymize, try_optimal_k_anonymize,
+        try_samarati_k_anonymize,
+    };
+    let table = art::generate(24, 7);
+    let costs = NodeCostTable::compute(&table, &EntropyMeasure);
+    let k = 3;
+    assert_eq!(
+        format!("{:?}", fulldomain_k_anonymize(&table, &costs, k).unwrap()),
+        format!(
+            "{:?}",
+            try_fulldomain_k_anonymize(&table, &costs, k).unwrap()
+        ),
+    );
+    assert_eq!(
+        format!("{:?}", mdav_k_anonymize(&table, &costs, k).unwrap()),
+        format!("{:?}", try_mdav_k_anonymize(&table, &costs, k).unwrap()),
+    );
+    assert_eq!(
+        format!("{:?}", samarati_k_anonymize(&table, &costs, k, 2).unwrap()),
+        format!(
+            "{:?}",
+            try_samarati_k_anonymize(&table, &costs, k, 2).unwrap()
+        ),
+    );
+    let tiny = art::generate(9, 7);
+    let tiny_costs = NodeCostTable::compute(&tiny, &EntropyMeasure);
+    assert_eq!(
+        format!("{:?}", optimal_k_anonymize(&tiny, &tiny_costs, k).unwrap()),
+        format!(
+            "{:?}",
+            try_optimal_k_anonymize(&tiny, &tiny_costs, k).unwrap()
+        ),
+    );
+}
+
+#[test]
 fn invalid_k_is_a_core_error_not_a_panic() {
     let table = art::generate(12, 1);
     let costs = NodeCostTable::compute(&table, &EntropyMeasure);

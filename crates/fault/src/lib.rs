@@ -53,6 +53,32 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
+/// Canonical failpoint catalogue: every point name that a
+/// `fail_point!` / [`fires`] / [`worker_hit`] site in the workspace may
+/// pass, sorted. Kept in sync with the module-level table above and
+/// cross-checked against the actual sites by `kanon-lint` rule L008
+/// (the lint parses this constant out of the source, so adding a site
+/// without cataloguing it — or cataloguing a point nothing hits — turns
+/// the CI gate red).
+pub const CATALOGUE: [&str; 9] = [
+    "algos/agglomerative/merge",
+    "algos/forest/round",
+    "algos/k1/row",
+    "algos/ldiversity/merge",
+    "algos/mondrian/split",
+    "algos/one_k/upgrade",
+    "algos/shard/partition",
+    "data/csv/row",
+    "parallel/worker",
+];
+
+/// The canonical failpoint catalogue as a slice — the public accessor
+/// consumed by tooling (fault-matrix drivers, diagnostics) that wants
+/// to enumerate every arm-able point.
+pub fn catalogue() -> &'static [&'static str] {
+    &CATALOGUE
+}
+
 /// Unwind payload raised by an armed `every:`/`once:` failpoint.
 ///
 /// Fallible entry points catch unwinds and downcast to this type to
@@ -323,6 +349,18 @@ pub fn scoped(spec: &str) -> ScopedFaults {
 mod tests {
     use super::*;
     use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn catalogue_is_sorted_and_unique() {
+        let mut sorted = CATALOGUE.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            sorted, CATALOGUE,
+            "CATALOGUE must be sorted and free of duplicates"
+        );
+        assert_eq!(catalogue(), &CATALOGUE);
+    }
 
     #[test]
     fn disarmed_points_never_fire() {

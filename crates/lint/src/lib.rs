@@ -8,10 +8,15 @@
 //! iteration reaching output, NaN-unsafe float comparison in comparators)
 //! are both detectable at the source level without type information.
 //!
-//! The scanner is deliberately token/line level — no `syn`, no external
-//! dependencies. Comments and string literals are masked out first, so a
-//! doc comment *mentioning* `HashMap` never fires, and rule probes in
-//! string literals (such as this crate's own tests) are invisible.
+//! The scanner is deliberately zero-dependency — no `syn`. Comments and
+//! string literals are masked out first, so a doc comment *mentioning*
+//! `HashMap` never fires, and rule probes in string literals (such as
+//! this crate's own tests) are invisible. On top of the masked text sit
+//! two layers, each file analyzed exactly once ([`analyze_file`]):
+//!
+//! 1. **line rules** (L001–L006, L009) over the masked lines, and
+//! 2. **item rules** (L007, L008, L010) over a lightweight item parse
+//!    ([`parse`]) and the workspace call graph ([`graph`]) built from it.
 //!
 //! ## Rules
 //!
@@ -23,6 +28,10 @@
 //! | L004 | every crate root and binary carries `#![forbid(unsafe_code)]` |
 //! | L005 | obs counter registry cross-check: every registered counter is incremented somewhere, every increment uses a registered counter |
 //! | L006 | no `.unwrap()` / `.expect(` / `panic!` in non-test code of the panic-free crates (`core`, `algos`, `matching`, `measures`, `data`) — failures must surface as typed errors |
+//! | L007 | every `pub` algorithm entry point in `kanon-algos` has a `try_*` twin, and the panicking variant delegates to the fallible layer |
+//! | L008 | every `fail_point!`/`fires`/`worker_hit` site names a point in the fault crate's catalogue, every catalogue point has a site, and every point is exercised by a fault test or CI fault-matrix step |
+//! | L009 | `unsafe` appears only in the audited allowlist ([`UNSAFE_ALLOWLIST`]), and `unsafe impl Send/Sync` carries an adjacent `SAFETY:` argument |
+//! | L010 | no function of a deterministic crate transitively reaches a nondeterminism source (`env::var`, `Instant::now`, `SystemTime::now`, `available_parallelism`, runtime-counter telemetry) except through a designated config point |
 //!
 //! ## Opt-out
 //!
@@ -43,6 +52,9 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod graph;
+pub mod parse;
 
 /// Crate directories (under `crates/`) whose output feeds published
 /// results and must therefore stay iteration-order deterministic.
@@ -65,6 +77,11 @@ pub const ENV_CONFIG_POINTS: [(&str, &str); 4] = [
     ("parallel", "src/lib.rs"),
 ];
 
+/// The only files allowed to contain `unsafe` code (L009). Everything on
+/// this list has been audited: the worker pool's `unsafe impl Send/Sync`
+/// carries its safety argument next to the impl, which L009 also checks.
+pub const UNSAFE_ALLOWLIST: [&str; 1] = ["crates/parallel/src/pool.rs"];
+
 /// The lint rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
@@ -80,20 +97,32 @@ pub enum Rule {
     L005,
     /// Panicking call in non-test code of a panic-free crate.
     L006,
+    /// Missing or bypassed fallible twin for an algorithm entry point.
+    L007,
+    /// Fail-point site/catalogue/coverage mismatch.
+    L008,
+    /// `unsafe` outside the audited allowlist, or unargued Send/Sync.
+    L009,
+    /// Deterministic crate can reach a nondeterminism source.
+    L010,
 }
 
 impl Rule {
     /// Every rule, in code order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 10] = [
         Rule::L001,
         Rule::L002,
         Rule::L003,
         Rule::L004,
         Rule::L005,
         Rule::L006,
+        Rule::L007,
+        Rule::L008,
+        Rule::L009,
+        Rule::L010,
     ];
 
-    /// The diagnostic code (`L001`…`L005`).
+    /// The diagnostic code (`L001`…`L010`).
     pub const fn code(self) -> &'static str {
         match self {
             Rule::L001 => "L001",
@@ -102,6 +131,10 @@ impl Rule {
             Rule::L004 => "L004",
             Rule::L005 => "L005",
             Rule::L006 => "L006",
+            Rule::L007 => "L007",
+            Rule::L008 => "L008",
+            Rule::L009 => "L009",
+            Rule::L010 => "L010",
         }
     }
 
@@ -114,6 +147,10 @@ impl Rule {
             Rule::L004 => "every crate root and binary carries #![forbid(unsafe_code)]",
             Rule::L005 => "every registered obs counter is incremented; every increment uses a registered counter",
             Rule::L006 => "no unwrap()/expect()/panic! in non-test code of panic-free crates; return typed errors",
+            Rule::L007 => "every pub algorithm entry point in kanon-algos has a try_* twin and the panicking variant delegates to it",
+            Rule::L008 => "every fail point site is in the fault crate catalogue, every catalogue point has a site and a fault test or CI step",
+            Rule::L009 => "unsafe code only in the audited allowlist; unsafe impl Send/Sync requires an adjacent SAFETY: argument",
+            Rule::L010 => "deterministic crates must not reach env/time/telemetry nondeterminism except through designated config points",
         }
     }
 
@@ -149,6 +186,25 @@ impl fmt::Display for Diagnostic {
             self.message
         )
     }
+}
+
+/// Escapes a string for inclusion in a JSON string literal (used by the
+/// binary's `--format json` output and the `--graph-dump` debug dump —
+/// hand-rolled because the crate is deliberately dependency-free).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------
@@ -444,7 +500,7 @@ pub fn parse_allows(file: &str, masked: &Masked, diags: &mut Vec<Diagnostic>) ->
 // Token helpers
 // ---------------------------------------------------------------------
 
-fn is_ident_char(c: char) -> bool {
+pub(crate) fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
@@ -573,17 +629,70 @@ fn operands_around(line: &str, op: usize) -> (String, String) {
 }
 
 // ---------------------------------------------------------------------
-// Per-file rules (L001–L003)
+// Single-pass file analysis + per-file rules (L001–L004, L006, L009)
 // ---------------------------------------------------------------------
+
+/// A fully analyzed workspace file: masked text, `#[cfg(test)]` marks,
+/// allow markers, and the item parse with call sites. Built exactly once
+/// per file by [`analyze_file`]; every rule — line rules and graph rules
+/// alike — reads from this shared analysis, so a workspace sweep scans
+/// and parses each file a single time.
+pub struct FileAnalysis {
+    /// The classified file (path, crate, content).
+    pub file: WorkspaceFile,
+    /// Masked source (comments/strings blanked).
+    pub masked: Masked,
+    /// Per-line `#[cfg(test)]` scope marks.
+    pub in_test: Vec<bool>,
+    /// Parsed `fn` items with their call sites.
+    pub items: Vec<parse::FnItem>,
+    /// Parsed allow markers.
+    pub allows: Allows,
+    /// Diagnostics from malformed or unjustified markers.
+    pub marker_diags: Vec<Diagnostic>,
+}
+
+/// Runs the shared analysis pass over one file.
+pub fn analyze_file(file: WorkspaceFile) -> FileAnalysis {
+    let masked = mask_source(&file.source);
+    let in_test = test_code_lines(&masked);
+    let items = parse::parse_items(&file.rel_path, &masked, &in_test);
+    let mut marker_diags = Vec::new();
+    let allows = parse_allows(&file.rel_path, &masked, &mut marker_diags);
+    FileAnalysis {
+        file,
+        masked,
+        in_test,
+        items,
+        allows,
+        marker_diags,
+    }
+}
 
 /// Lints a single file's source. `rel_path` is workspace-relative (used in
 /// diagnostics and for the L003 config-point check); `crate_dir` is the
 /// directory name under `crates/` (`None` for root-package files,
-/// examples, and workspace-level tests).
+/// examples, and workspace-level tests). Convenience wrapper over
+/// [`analyze_file`] + [`file_rules`] for tests and fixtures; the
+/// workspace sweep analyzes each file once and shares the result.
 pub fn lint_source(rel_path: &str, crate_dir: Option<&str>, src: &str) -> Vec<Diagnostic> {
-    let masked = mask_source(src);
-    let mut diags = Vec::new();
-    let allows = parse_allows(rel_path, &masked, &mut diags);
+    let fa = analyze_file(WorkspaceFile {
+        rel_path: rel_path.to_string(),
+        crate_dir: crate_dir.map(str::to_string),
+        is_root_target: false,
+        source: src.to_string(),
+    });
+    file_rules(&fa)
+}
+
+/// The per-file rules (L001–L003, L006, L009 on every file; L004 on root
+/// targets), fed from the shared analysis.
+pub fn file_rules(fa: &FileAnalysis) -> Vec<Diagnostic> {
+    let rel_path: &str = &fa.file.rel_path;
+    let crate_dir = fa.file.crate_dir.as_deref();
+    let allows = &fa.allows;
+    let masked = &fa.masked;
+    let mut diags = fa.marker_diags.clone();
 
     let deterministic = crate_dir.is_some_and(|d| DETERMINISTIC_CRATES.contains(&d));
     // L006 covers library code only: the crate's `src/` tree, minus
@@ -591,8 +700,11 @@ pub fn lint_source(rel_path: &str, crate_dir: Option<&str>, src: &str) -> Vec<Di
     let panic_free = crate_dir.is_some_and(|d| {
         PANIC_FREE_CRATES.contains(&d) && rel_path.starts_with(&format!("crates/{d}/src/"))
     });
-    let in_test = test_code_lines(&masked);
-    let raw_lines: Vec<&str> = src.lines().collect();
+    // L009: `unsafe` confinement is workspace-wide (tests included — an
+    // unsafe block in a test is still unaudited unsafe code).
+    let unsafe_allowed = UNSAFE_ALLOWLIST.contains(&rel_path);
+    let in_test = &fa.in_test;
+    let raw_lines: Vec<&str> = fa.file.source.lines().collect();
 
     for (idx, code) in masked.code_lines.iter().enumerate() {
         let line = idx + 1;
@@ -707,6 +819,63 @@ pub fn lint_source(rel_path: &str, crate_dir: Option<&str>, src: &str) -> Vec<Di
                     message: format!("`KANON_*` environment read outside config point — {hint}"),
                 });
             }
+        }
+
+        // L009 — unsafe confinement. Outside the allowlist, any `unsafe`
+        // token is a violation; inside it, `unsafe impl Send/Sync` must
+        // carry a nearby safety argument. (`unsafe_code` in attributes
+        // does not match: the `_` extends the token.)
+        if contains_token(code, "unsafe") {
+            if !unsafe_allowed {
+                if !allows.allows(line, Rule::L009) {
+                    diags.push(Diagnostic {
+                        file: rel_path.to_string(),
+                        line,
+                        rule: Rule::L009,
+                        message: format!(
+                            "`unsafe` outside the audited allowlist ({}) — move the code \
+                             behind the existing audited boundary or justify with \
+                             `// kanon-lint: allow(L009) <reason>`",
+                            UNSAFE_ALLOWLIST.join(", ")
+                        ),
+                    });
+                }
+            } else if code.contains("impl")
+                && (contains_token(code, "Send") || contains_token(code, "Sync"))
+            {
+                // An audited `unsafe impl Send/Sync` needs its argument
+                // in a comment on the impl or within the 6 lines above.
+                let lo = idx.saturating_sub(6);
+                let argued = masked.comment_lines[lo..=idx]
+                    .iter()
+                    .any(|c| c.to_ascii_lowercase().contains("safety"));
+                if !argued && !allows.allows(line, Rule::L009) {
+                    diags.push(Diagnostic {
+                        file: rel_path.to_string(),
+                        line,
+                        rule: Rule::L009,
+                        message: "`unsafe impl Send/Sync` without an adjacent safety argument \
+                                  — state why the type is thread-safe in a `// SAFETY:` comment"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // L004 — root targets must forbid unsafe code at the crate level.
+    if fa.file.is_root_target {
+        let has = masked
+            .code_lines
+            .iter()
+            .any(|l| l.replace(' ', "").contains("#![forbid(unsafe_code)]"));
+        if !has && !allows.file_scope.contains(&Rule::L004) {
+            diags.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: 1,
+                rule: Rule::L004,
+                message: "crate root / binary lacks `#![forbid(unsafe_code)]`".to_string(),
+            });
         }
     }
     diags
@@ -959,18 +1128,30 @@ pub fn collect_workspace(root: &Path) -> std::io::Result<Vec<WorkspaceFile>> {
     Ok(files)
 }
 
+/// Analyzes every workspace file exactly once. The result feeds all
+/// rules ([`lint_analyses`]) and the call-graph dump.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<FileAnalysis>> {
+    Ok(collect_workspace(root)?
+        .into_iter()
+        .map(analyze_file)
+        .collect())
+}
+
 /// Runs every rule over the workspace at `root` and returns the sorted
 /// diagnostics. An empty result means the workspace lints clean.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let files = collect_workspace(root)?;
+    let analyses = analyze_workspace(root)?;
+    Ok(lint_analyses(root, &analyses))
+}
+
+/// Runs every rule over a pre-analyzed workspace: per-file rules from
+/// each shared analysis, then the workspace cross-checks (L005) and the
+/// call-graph rules (L007, L008, L010). No file is scanned twice.
+pub fn lint_analyses(root: &Path, analyses: &[FileAnalysis]) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
 
-    // L001–L003 per file; L004 on root targets.
-    for f in &files {
-        diags.extend(lint_source(&f.rel_path, f.crate_dir.as_deref(), &f.source));
-        if f.is_root_target {
-            diags.extend(lint_crate_root(&f.rel_path, &f.source));
-        }
+    for fa in analyses {
+        diags.extend(file_rules(fa));
     }
 
     // L005: registries from the obs crate vs increments elsewhere. The
@@ -981,34 +1162,31 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     // the parsers' identifier-boundary checks keep the two registries
     // disjoint.
     let registry_path = "crates/obs/src/lib.rs";
-    if let Some(obs) = files.iter().find(|f| f.rel_path == registry_path) {
+    if let Some(obs) = analyses.iter().find(|fa| fa.file.rel_path == registry_path) {
         let classes = [
-            ("Counter", parse_counter_registry(&obs.source), 0usize),
+            ("Counter", parse_counter_registry(&obs.file.source), 0usize),
             (
                 "RuntimeCounter",
-                parse_runtime_counter_registry(&obs.source),
+                parse_runtime_counter_registry(&obs.file.source),
                 1usize,
             ),
         ];
         for (enum_name, registry, class) in &classes {
             let mut incremented: BTreeMap<String, (String, usize)> = BTreeMap::new();
-            for f in &files {
-                if f.crate_dir.as_deref() == Some("obs") {
+            for fa in analyses {
+                if fa.file.crate_dir.as_deref() == Some("obs") {
                     continue; // obs's own unit tests are not instrumentation
                 }
-                let masked = mask_source(&f.source);
-                let mut allow_diags = Vec::new();
-                let allows = parse_allows(&f.rel_path, &masked, &mut allow_diags);
                 let found = if *class == 0 {
-                    find_counter_increments(&masked)
+                    find_counter_increments(&fa.masked)
                 } else {
-                    find_runtime_counter_increments(&masked)
+                    find_runtime_counter_increments(&fa.masked)
                 };
                 for (line, variant) in found {
                     if !registry.variants.contains_key(&variant) {
-                        if !allows.allows(line, Rule::L005) {
+                        if !fa.allows.allows(line, Rule::L005) {
                             diags.push(Diagnostic {
-                                file: f.rel_path.clone(),
+                                file: fa.file.rel_path.clone(),
                                 line,
                                 rule: Rule::L005,
                                 message: format!(
@@ -1020,15 +1198,12 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
                     } else {
                         incremented
                             .entry(variant)
-                            .or_insert((f.rel_path.clone(), line));
+                            .or_insert((fa.file.rel_path.clone(), line));
                     }
                 }
             }
-            let obs_masked = mask_source(&obs.source);
-            let mut obs_allow_diags = Vec::new();
-            let obs_allows = parse_allows(registry_path, &obs_masked, &mut obs_allow_diags);
             for (variant, def_line) in &registry.variants {
-                if !incremented.contains_key(variant) && !obs_allows.allows(*def_line, Rule::L005) {
+                if !incremented.contains_key(variant) && !obs.allows.allows(*def_line, Rule::L005) {
                     diags.push(Diagnostic {
                         file: registry_path.to_string(),
                         line: *def_line,
@@ -1050,11 +1225,21 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
         });
     }
 
+    // Graph rules: one call graph shared by L007 and L010; L008 reads the
+    // fault catalogue plus the CI workflow text for coverage.
+    let deps = graph::CrateDeps::load(root);
+    let g = graph::CallGraph::build(analyses, &deps);
+    diags.extend(graph::check_fallible_twins(analyses, &g));
+    let ci_text = std::fs::read_to_string(root.join(".github/workflows/ci.yml")).ok();
+    let report = graph::check_failpoints(analyses, ci_text.as_deref());
+    diags.extend(report.diags);
+    diags.extend(graph::check_determinism_taint(analyses, &g));
+
     diags.sort_by(|a, b| {
         (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
     });
     diags.dedup();
-    Ok(diags)
+    diags
 }
 
 /// Ascends from `start` to the first directory whose `Cargo.toml` declares

@@ -20,6 +20,8 @@ const L004_VIOLATION: &str = include_str!("fixtures/l004_violation.rs");
 const L004_CLEAN: &str = include_str!("fixtures/l004_clean.rs");
 const L005_REGISTRY: &str = include_str!("fixtures/l005_registry.rs");
 const L005_INCREMENTS: &str = include_str!("fixtures/l005_increments.rs");
+const L009_VIOLATION: &str = include_str!("fixtures/l009_violation.rs");
+const L009_ANNOTATED: &str = include_str!("fixtures/l009_annotated.rs");
 
 fn rules_of(diags: &[kanon_lint::Diagnostic]) -> Vec<Rule> {
     diags.iter().map(|d| d.rule).collect()
@@ -141,6 +143,56 @@ fn l005_registry_and_increment_extraction() {
         .filter(|v| !names.contains(&v.as_str()))
         .collect();
     assert_eq!(dead, ["Orphan"], "registered but never incremented");
+}
+
+#[test]
+fn l009_seeded_violation_fires() {
+    let diags = lint_source("crates/algos/src/fixture.rs", Some("algos"), L009_VIOLATION);
+    let l009: Vec<_> = diags.iter().filter(|d| d.rule == Rule::L009).collect();
+    // The unsafe block and the unsafe impl; comment/string mentions are
+    // invisible to the scanner.
+    assert_eq!(l009.len(), 2, "{diags:?}");
+    assert_eq!(l009[0].line, 7);
+    assert_eq!(l009[1].line, 12);
+    assert!(l009[0].message.contains("allowlist"));
+}
+
+#[test]
+fn l009_fires_even_in_test_code() {
+    // Unsafe in a test is still unaudited unsafe code.
+    let diags = lint_source(
+        "crates/algos/tests/fixture.rs",
+        Some("algos"),
+        L009_VIOLATION,
+    );
+    assert!(rules_of(&diags).contains(&Rule::L009), "{diags:?}");
+}
+
+#[test]
+fn l009_annotated_fixture_is_clean() {
+    let diags = lint_source("crates/algos/src/fixture.rs", Some("algos"), L009_ANNOTATED);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l009_allowlist_requires_safety_argument_on_send_sync() {
+    let unargued = "pub struct Handle(*mut u8);\n\nunsafe impl Send for Handle {}\n";
+    let diags = lint_source("crates/parallel/src/pool.rs", Some("parallel"), unargued);
+    let l009: Vec<_> = diags.iter().filter(|d| d.rule == Rule::L009).collect();
+    assert_eq!(l009.len(), 1, "{diags:?}");
+    assert!(l009[0].message.contains("safety argument"), "{diags:?}");
+
+    let argued = "pub struct Handle(*mut u8);\n\n\
+                  // SAFETY: the pointer is only dereferenced on the owning thread.\n\
+                  unsafe impl Send for Handle {}\n";
+    let diags = lint_source("crates/parallel/src/pool.rs", Some("parallel"), argued);
+    assert!(diags.is_empty(), "{diags:?}");
+
+    // Plain unsafe blocks inside the audited file are the point of the
+    // allowlist — no diagnostic.
+    let block = "pub fn read(v: &[u8]) -> u8 {\n    unsafe { *v.as_ptr() }\n}\n";
+    let diags = lint_source("crates/parallel/src/pool.rs", Some("parallel"), block);
+    assert!(diags.is_empty(), "{diags:?}");
 }
 
 #[test]

@@ -1,0 +1,7 @@
+//! L009 fixture: the same stray `unsafe`, but justified with an allow
+//! marker carrying a reason — the diagnostic must be silenced.
+
+pub fn justified(v: &[u32]) -> u32 {
+    // kanon-lint: allow(L009) index is bounds-checked by the caller
+    unsafe { *v.get_unchecked(0) }
+}

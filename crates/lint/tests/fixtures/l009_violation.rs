@@ -1,0 +1,17 @@
+//! L009 fixture: `unsafe` outside the allowlist, twice — an unsafe block
+//! and an unsafe trait impl. A comment mention ("this is not unsafe") and
+//! a string literal must stay invisible to the scanner.
+
+pub fn stray_block(v: &[u32]) -> u32 {
+    // Perfectly in-bounds, but still not allowed outside the pool.
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub struct Wrapper(*const u32);
+
+unsafe impl Send for Wrapper {}
+
+pub fn red_herrings() -> &'static str {
+    // unsafe in a comment is fine
+    "unsafe in a string is fine"
+}
