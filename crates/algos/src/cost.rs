@@ -109,6 +109,7 @@ impl FusedAttr {
 /// engine stores every active cluster here so distance scans stream
 /// per-attribute `u32` lanes plus one fused probe each, instead of
 /// chasing per-cluster `Vec<NodeId>` allocations.
+#[derive(Debug)]
 pub struct SigArena {
     /// One `u32` node-id lane per attribute, all `len()` slots long.
     lanes: Vec<Vec<u32>>,
@@ -157,6 +158,19 @@ impl SigArena {
             self.sizes[slot] = size as u32;
             self.costs[slot] = cost;
         }
+    }
+
+    /// Drops every slot at index `len` and above, keeping the first
+    /// `len` intact (no-op when the arena is already that short). Lets a
+    /// long-lived arena — the serve daemon appends probe slots behind
+    /// its resident mature-cluster signatures for each absorption scan —
+    /// discard the scratch tail without reallocating the lanes.
+    pub fn truncate(&mut self, len: usize) {
+        for lane in &mut self.lanes {
+            lane.truncate(len);
+        }
+        self.sizes.truncate(len);
+        self.costs.truncate(len);
     }
 
     /// Stored cluster size of `slot`.
@@ -470,6 +484,29 @@ mod tests {
         let mut ar = a.clone();
         ctx.join_row_into(&mut ar, 2);
         assert!((ctx.join_row_cost(&a, 2) - ctx.cost(&ar)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arena_truncate_drops_the_scratch_tail_only() {
+        let (t, c) = setup();
+        let ctx = CostContext::new(&t, &c);
+        let a = ctx.closure_of(&[0, 1]);
+        let b = ctx.closure_of(&[2, 3]);
+        let mut arena = SigArena::with_capacity(ctx.num_attrs(), 2);
+        arena.store(0, &a, 2, ctx.cost(&a));
+        let before = ctx.arena_join_cost(&arena, 0, 0).to_bits();
+        // Append a probe slot, use it, then discard it.
+        arena.store(1, &b, 2, ctx.cost(&b));
+        let _ = ctx.arena_join_cost(&arena, 0, 1);
+        arena.truncate(1);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(ctx.arena_join_cost(&arena, 0, 0).to_bits(), before);
+        // Re-appending lands in the freed slot.
+        arena.store(1, &b, 2, ctx.cost(&b));
+        assert_eq!(arena.len(), 2);
+        // Truncating to a longer length is a no-op.
+        arena.truncate(10);
+        assert_eq!(arena.len(), 2);
     }
 
     #[test]

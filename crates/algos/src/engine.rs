@@ -53,7 +53,11 @@ use kanon_obs::Counter;
 /// power of two above the worst case (see EXPERIMENTS.md E-S3 for the
 /// table; the old per-call-spawn layer gated on ~64 *items* regardless
 /// of per-item cost, which is what made small repair batches negative).
-pub(crate) const MIN_PAR_SCAN_EVALS: usize = 2048;
+/// Public because every packed distance scan in the workspace — the
+/// engine's own rescans and the serve daemon's absorption sweep over
+/// resident mature-cluster signatures — faces the same break-even, so
+/// they must share one measured constant instead of re-guessing it.
+pub const MIN_PAR_SCAN_EVALS: usize = 2048;
 
 /// Packed-kernel hooks: a policy whose distance is a pure function of
 /// the cluster triple (signature, size, cost) can expose this

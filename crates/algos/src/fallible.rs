@@ -109,6 +109,13 @@ pub fn error_from_panic(payload: Box<dyn Any + Send>) -> KanonError {
         Ok(fault) => return KanonError::FaultInjected { point: fault.point },
         Err(p) => p,
     };
+    // A malformed KANON_FAILPOINTS spec (unknown point name or mode):
+    // the request environment is wrong, not the run — usage error,
+    // exit code 2.
+    let payload = match payload.downcast::<kanon_fault::SpecError>() {
+        Ok(spec) => return KanonError::Usage(spec.to_string()),
+        Err(p) => p,
+    };
     let message = if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -350,6 +357,14 @@ mod tests {
         );
         let e = error_from_panic(Box::new(KanonError::Usage("u".to_string())));
         assert_eq!(e, KanonError::Usage("u".to_string()));
+        let e = error_from_panic(Box::new(kanon_fault::SpecError {
+            message: "unknown fail point `x`".to_string(),
+        }));
+        assert_eq!(e.exit_code(), 2);
+        assert!(
+            matches!(&e, KanonError::Usage(m) if m.contains("unknown fail point `x`")),
+            "{e:?}"
+        );
         let e = error_from_panic(Box::new(42u32));
         assert!(matches!(e, KanonError::Panic { .. }));
     }

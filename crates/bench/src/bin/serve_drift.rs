@@ -1,0 +1,185 @@
+//! Experiment E-S5 — loss drift of incremental serving vs from-scratch
+//! anonymization.
+//!
+//! Feeds an ART row stream through the `kanon-serve` state machine the
+//! way the daemon does — a base bootstrap, then fixed-size appended
+//! micro-batches (new rows enter as singletons and are absorbed into
+//! mature clusters only when the join is provably free) — and probes,
+//! every few batches, the relative loss drift of the incremental
+//! clustering against a fresh sharded run over the same published rows
+//! (`ServeState::probe_drift`, read-only). A final `reopt` shows the
+//! drift collapsing back to zero when the daemon adopts a from-scratch
+//! clustering, which is the maintenance story of DESIGN.md §5h.
+//!
+//! Emits one JSON row per probe to `BENCH_serve_drift.json` and a
+//! human-readable curve to stdout. Fully deterministic: same flags,
+//! same bytes.
+//!
+//! Usage:
+//! `cargo run --release -p kanon-bench --bin serve_drift -- \
+//!    [--n0 2000] [--batch 100] [--batches 40] [--k 10] [--seed 42] \
+//!    [--every 5] [--measure em|lm] [--shard-max 0] \
+//!    [--out BENCH_serve_drift.json]`
+
+#![forbid(unsafe_code)]
+
+use kanon_data::art;
+use kanon_data::csv::{table_to_csv, RowPolicy};
+use kanon_serve::state::{Measure, ServeConfig, ServeState};
+
+struct Probe {
+    batch: u64,
+    rows: usize,
+    published: usize,
+    pending: usize,
+    clusters: usize,
+    absorbed_total: usize,
+    loss_incremental: f64,
+    loss_scratch: f64,
+    drift: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut n0 = 2000usize;
+    let mut batch = 100usize;
+    let mut batches = 40u64;
+    let mut k = 10usize;
+    let mut seed = 42u64;
+    let mut every = 5u64;
+    let mut measure = "em".to_string();
+    let mut shard_max = 0usize;
+    let mut out_path = "BENCH_serve_drift.json".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let val = |it: &mut std::slice::Iter<String>| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        };
+        match flag.as_str() {
+            "--n0" => n0 = val(&mut it).parse().expect("--n0"),
+            "--batch" => batch = val(&mut it).parse().expect("--batch"),
+            "--batches" => batches = val(&mut it).parse().expect("--batches"),
+            "--k" => k = val(&mut it).parse().expect("--k"),
+            "--seed" => seed = val(&mut it).parse().expect("--seed"),
+            "--every" => every = val(&mut it).parse().expect("--every"),
+            "--measure" => measure = val(&mut it),
+            "--shard-max" => shard_max = val(&mut it).parse().expect("--shard-max"),
+            "--out" => out_path = val(&mut it),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let measure = Measure::parse(&measure).expect("--measure em|lm");
+
+    // One deterministic stream: the base table is the prefix, every
+    // batch a consecutive slice of the remainder — exactly what a
+    // producer appending to a growing dataset looks like.
+    let total = n0 + batch * batches as usize;
+    let full = art::generate(total, seed);
+    let base = full
+        .select_rows(&(0..n0).collect::<Vec<_>>())
+        .expect("base slice");
+
+    let cfg = ServeConfig {
+        k,
+        measure,
+        policy: RowPolicy::Strict,
+        shard_max,
+        reopt_every: 0,
+    };
+    let mut state = ServeState::bootstrap(base, cfg).expect("bootstrap");
+
+    println!(
+        "SERVE DRIFT — ART, n0 = {n0}, batch = {batch}, k = {k}, \
+         measure = {measure:?} (seed {seed})"
+    );
+    println!(
+        "{:>6} {:>8} {:>10} {:>8} {:>9} {:>9} {:>12} {:>12} {:>9}",
+        "batch",
+        "rows",
+        "published",
+        "pending",
+        "clusters",
+        "absorbed",
+        "loss_inc",
+        "loss_scr",
+        "drift"
+    );
+    let mut probes: Vec<Probe> = Vec::new();
+    let mut absorbed_total = 0usize;
+    for b in 1..=batches {
+        let lo = n0 + (b as usize - 1) * batch;
+        let sub = full
+            .select_rows(&(lo..lo + batch).collect::<Vec<_>>())
+            .expect("batch slice");
+        let csv = table_to_csv(&sub);
+        let body = csv.split_once('\n').expect("header row").1;
+        let report = state.apply_batch(body, 0).expect("apply batch");
+        absorbed_total += report.absorbed;
+        if b % every == 0 || b == batches {
+            let probe = state.probe_drift().expect("probe drift");
+            println!(
+                "{b:>6} {:>8} {:>10} {:>8} {:>9} {absorbed_total:>9} {:>12.6} {:>12.6} {:>8.2}%",
+                state.num_rows(),
+                state.published_rows(),
+                state.pending_rows(),
+                state.mature_clusters(),
+                probe.loss_incremental,
+                probe.loss_scratch,
+                probe.drift * 100.0,
+            );
+            probes.push(Probe {
+                batch: b,
+                rows: state.num_rows(),
+                published: state.published_rows(),
+                pending: state.pending_rows(),
+                clusters: state.mature_clusters(),
+                absorbed_total,
+                loss_incremental: probe.loss_incremental,
+                loss_scratch: probe.loss_scratch,
+                drift: probe.drift,
+            });
+        }
+    }
+
+    // The maintenance move: one reopt adopts a from-scratch clustering
+    // over everything (pending included) and zeroes the drift.
+    let reopt = state.reopt().expect("reopt");
+    let after = state.probe_drift().expect("probe after reopt");
+    println!(
+        "\nreopt: loss {:.6} -> {:.6} (drift was {:+.2}%), {} clusters, \
+         post-reopt drift {:+.2}%",
+        reopt.loss_incremental,
+        reopt.loss_scratch,
+        reopt.drift * 100.0,
+        reopt.clusters,
+        after.drift * 100.0,
+    );
+
+    let mut json = String::from("[\n");
+    for p in &probes {
+        json.push_str(&format!(
+            "  {{\"batch\": {}, \"rows\": {}, \"published\": {}, \"pending\": {}, \
+             \"clusters\": {}, \"absorbed_total\": {}, \"loss_incremental\": {:.12}, \
+             \"loss_scratch\": {:.12}, \"drift\": {:.12}}},\n",
+            p.batch,
+            p.rows,
+            p.published,
+            p.pending,
+            p.clusters,
+            p.absorbed_total,
+            p.loss_incremental,
+            p.loss_scratch,
+            p.drift,
+        ));
+    }
+    json.push_str(&format!(
+        "  {{\"batch\": \"post-reopt\", \"loss_incremental\": {:.12}, \
+         \"loss_scratch\": {:.12}, \"drift\": {:.12}, \"clusters\": {}}}\n",
+        after.loss_incremental, after.loss_scratch, after.drift, reopt.clusters
+    ));
+    json.push_str("]\n");
+    std::fs::write(&out_path, json).expect("write drift rows");
+    println!("wrote {} probe rows to {out_path}", probes.len() + 1);
+}

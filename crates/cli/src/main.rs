@@ -11,10 +11,17 @@
 //! * `verify <art|adult|cmc> --k K --in ORIGINAL --anon GENERALIZED` —
 //!   report the anonymity profile of a published table (original CSV +
 //!   generalized CSV over the same built-in schema);
-//! * `measure <art|adult|cmc> [--in FILE]` — print per-attribute statistics.
+//! * `measure <art|adult|cmc> [--in FILE]` — print per-attribute statistics;
+//! * `serve <DATASET> --k K --state-dir DIR [--listen ADDR]` — start the
+//!   crash-safe incremental anonymization daemon (see `kanon-serve`).
 //!
 //! Built-in schemas are used so hierarchies are well-defined; use the
 //! library directly for custom schemas.
+//!
+//! SIGINT/SIGTERM trigger a graceful shutdown: the stats report is
+//! flushed, the worker pool drained, and the process exits with the
+//! conventional 130/143 code. A consumer closing stdout mid-write
+//! (`EPIPE`) maps to exit 141.
 
 #![forbid(unsafe_code)]
 
@@ -55,7 +62,10 @@ fn usage() -> ! {
          [--in FILE] [--on-bad-row strict|suppress|root] \
          [--n N] [--seed S] [--out FILE]\n  \
          kanon verify    <DATASET> --k K --in ORIGINAL.csv --anon ANON.csv\n  \
-         kanon measure   <DATASET> [--in FILE] [--n N] [--seed S]\n\n\
+         kanon measure   <DATASET> [--in FILE] [--n N] [--seed S]\n  \
+         kanon serve     <DATASET> --k K --state-dir DIR [--listen ADDR] \
+         [--measure em|lm] [--in FILE] [--n N] [--seed S] [--shard-max N] \
+         [--reopt-every N] [--snapshot-every N] [--on-bad-row POLICY]\n\n\
          DATASET is art|adult|cmc (built-in schemas) or custom;\n\
          custom requires --schema SCHEMA.txt (see kanon_data::schema_text)\n\
          and --in DATA.csv.\n\n\
@@ -75,8 +85,18 @@ fn usage() -> ! {
          --stats-out FILE to write the report to a file instead. The JSON\n\
          form is emitted as a single line (the last line of stderr).\n\n\
          KANON_WORK_BUDGET=N caps the deterministic work counters; when\n\
-         exhausted, anonymize emits a valid best-effort result and warns.\n\
-         Exit codes: 0 success, 1 runtime error, 2 usage error."
+         exhausted, anonymize emits a valid best-effort result and warns.\n\n\
+         serve holds state resident and anonymizes appended micro-batches\n\
+         over a length-prefixed TCP or Unix-socket protocol; --listen\n\
+         takes host:port (default 127.0.0.1:0, bound port written to\n\
+         <state-dir>/serve.addr) or a socket path containing '/'. The\n\
+         write-ahead journal and snapshots in --state-dir make kill -9\n\
+         recovery byte-identical. Knobs: KANON_SERVE_WORK_RATE,\n\
+         KANON_SERVE_RETRIES, KANON_SERVE_BACKOFF_MS,\n\
+         KANON_SERVE_SNAPSHOT_EVERY, KANON_SERVE_REOPT_EVERY,\n\
+         KANON_SERVE_MAX_FRAME.\n\n\
+         Exit codes: 0 success, 1 runtime error, 2 usage error,\n\
+         130/143 interrupted by SIGINT/SIGTERM, 141 stdout EPIPE."
     );
     exit(2)
 }
@@ -236,8 +256,26 @@ fn write_out(flags: &Flags, text: &str) -> CmdResult {
             message: e.to_string(),
         }),
         None => {
-            print!("{text}");
-            Ok(())
+            // Rust ignores SIGPIPE, so a consumer closing stdout (e.g.
+            // `kanon … | head`) surfaces as a BrokenPipe write error;
+            // map it to the typed interruption (exit 141) rather than a
+            // runtime failure.
+            use std::io::Write as _;
+            let mut out = std::io::stdout().lock();
+            out.write_all(text.as_bytes())
+                .and_then(|()| out.flush())
+                .map_err(|e| {
+                    if e.kind() == std::io::ErrorKind::BrokenPipe {
+                        KanonError::Interrupted {
+                            cause: "EPIPE".to_string(),
+                        }
+                    } else {
+                        KanonError::Io {
+                            path: "<stdout>".to_string(),
+                            message: e.to_string(),
+                        }
+                    }
+                })
         }
     }
 }
@@ -548,6 +586,39 @@ fn cmd_measure(name: &str, flags: &Flags) -> CmdResult {
     Ok(())
 }
 
+/// `kanon serve`: starts the crash-safe incremental anonymization
+/// daemon over the loaded base table. Runs until `SHUTDOWN` (protocol)
+/// or SIGINT/SIGTERM (graceful-shutdown watcher in [`main`]).
+fn cmd_serve(name: &str, flags: &Flags) -> CmdResult {
+    let schema = dataset_schema(name, flags)?;
+    let (table, _rooted) = load_table(name, &schema, flags)?;
+    let k = flags.usize_or("k", 0);
+    if k == 0 {
+        return Err(KanonError::Usage("serve requires --k".to_string()));
+    }
+    let state_dir = flags.get("state-dir").ok_or_else(|| {
+        KanonError::Usage("serve requires --state-dir DIR (journal + snapshots)".to_string())
+    })?;
+    let measure_name = flags.get("measure").unwrap_or("em");
+    let measure = kanon_serve::state::Measure::parse(measure_name).ok_or_else(|| {
+        KanonError::Usage(format!("unknown measure {measure_name:?} (expected em|lm)"))
+    })?;
+    let cfg = kanon_serve::state::ServeConfig {
+        k,
+        measure,
+        policy: row_policy(flags)?,
+        shard_max: flags.usize_or("shard-max", 0),
+        reopt_every: flags.u64_or("reopt-every", kanon_core::config::serve_reopt_every()),
+    };
+    let mut opts = kanon_serve::ServeOptions::new(std::path::PathBuf::from(state_dir));
+    if let Some(listen) = flags.get("listen") {
+        opts.listen = listen.to_string();
+    }
+    opts.snapshot_every = flags.u64_or("snapshot-every", opts.snapshot_every);
+    let mut daemon = kanon_serve::Daemon::start(table, cfg, opts)?;
+    daemon.run()
+}
+
 /// The stats format requested for this invocation: the `--stats[=…]` flag
 /// wins over the `KANON_STATS` environment variable (`--stats=off`
 /// explicitly disables even when the variable is set).
@@ -583,17 +654,45 @@ fn emit_stats(flags: &Flags, fmt: kanon_obs::StatsFormat, report: &kanon_obs::Re
 /// typed error instead of aborting, so the process always exits through
 /// the [`KanonError::exit_code`] contract.
 fn dispatch(cmd: &str, dataset: &str, flags: &Flags) -> CmdResult {
-    let run = || match cmd {
-        "generate" => cmd_generate(dataset, flags),
-        "anonymize" => cmd_anonymize(dataset, flags),
-        "verify" => cmd_verify(dataset, flags),
-        "measure" => cmd_measure(dataset, flags),
-        _ => usage(),
+    let run = || {
+        // Force the KANON_FAILPOINTS env snapshot before any work: a
+        // misspelled point name raises a typed `SpecError` here, which
+        // `error_from_panic` maps to a usage error (exit 2), instead of
+        // being silently ignored for the whole run.
+        let _ = kanon_fault::armed();
+        match cmd {
+            "generate" => cmd_generate(dataset, flags),
+            "anonymize" => cmd_anonymize(dataset, flags),
+            "verify" => cmd_verify(dataset, flags),
+            "measure" => cmd_measure(dataset, flags),
+            "serve" => cmd_serve(dataset, flags),
+            _ => usage(),
+        }
     };
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
         Ok(r) => r,
         Err(payload) => Err(kanon_algos::error_from_panic(payload)),
     }
+}
+
+/// Installs the SIGINT/SIGTERM watcher: on delivery, flush the stats
+/// report (clone of the session collector), drain the worker pool, and
+/// exit with the conventional 130/143 code. The journal-before-apply
+/// discipline of `kanon serve` makes this safe at any instant.
+fn install_shutdown_watcher(
+    flags: &Flags,
+    fmt: Option<kanon_obs::StatsFormat>,
+    collector: Option<kanon_obs::Collector>,
+) {
+    let flags = Flags(flags.0.clone());
+    kanon_serve::signal::watch(Box::new(move |sig| {
+        if let (Some(c), Some(fmt)) = (&collector, fmt) {
+            let _ = emit_stats(&flags, fmt, &c.report());
+        }
+        kanon_parallel::shutdown_pool();
+        eprintln!("error: interrupted by {}", sig.cause());
+        exit(sig.exit_code());
+    }));
 }
 
 fn main() {
@@ -606,6 +705,7 @@ fn main() {
     let flags = Flags::parse(&args[2..]);
     let fmt = stats_format(&flags);
     let collector = fmt.map(|_| kanon_obs::Collector::new());
+    install_shutdown_watcher(&flags, fmt, collector.clone());
     // Silence the default panic hook: every panic is caught at the
     // dispatch boundary and reported once as a typed error.
     std::panic::set_hook(Box::new(|_| {}));
@@ -629,6 +729,7 @@ fn main() {
             code = if code == 0 { e.exit_code() } else { code };
         }
     }
+    kanon_parallel::shutdown_pool();
     exit(code)
 }
 

@@ -11,6 +11,21 @@
 //! * `KANON_SHARD_MAX` — default maximum shard size for the
 //!   shard-and-conquer pipeline (`kanon-algos`' shard stage); values < 1
 //!   are ignored. Snapshotted once per process.
+//! * `KANON_SERVE_WORK_RATE` — work units per millisecond used by
+//!   `kanon serve` to map a request deadline onto the deterministic work
+//!   budget; values < 1 are ignored.
+//! * `KANON_SERVE_RETRIES` — default retry attempts for transient batch
+//!   failures in `kanon serve`.
+//! * `KANON_SERVE_BACKOFF_MS` — base of the daemon's deterministic
+//!   exponential retry backoff (`base · 2^attempt` ms).
+//! * `KANON_SERVE_SNAPSHOT_EVERY` — state snapshot period, in applied
+//!   batches (`0` disables periodic snapshots).
+//! * `KANON_SERVE_REOPT_EVERY` — re-optimization period, in applied
+//!   batches (`0` disables periodic re-optimization).
+//! * `KANON_SERVE_MAX_FRAME` — maximum accepted request frame, in bytes;
+//!   values < 1 are ignored.
+//!
+//! All knobs are snapshotted once per process.
 
 use crate::hierarchy::JOIN_TABLE_LIMIT;
 use std::sync::OnceLock;
@@ -45,4 +60,68 @@ pub fn default_shard_max() -> usize {
             .filter(|&v| v >= 1)
             .unwrap_or(SHARD_MAX_DEFAULT)
     })
+}
+
+/// Shared snapshot-once reader for the `u64`-valued serve knobs.
+fn env_u64(cell: &'static OnceLock<u64>, var: &str, min: u64, default: u64) -> u64 {
+    *cell.get_or_init(|| {
+        std::env::var(var)
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .filter(|&v| v >= min)
+            .unwrap_or(default)
+    })
+}
+
+/// Built-in deadline→budget conversion rate for `kanon serve`, in work
+/// units per millisecond. Deliberately conservative: the daemon maps a
+/// wall-clock deadline onto the *deterministic* work budget, so the same
+/// request always degrades at the same point regardless of machine speed.
+pub const SERVE_WORK_RATE_DEFAULT: u64 = 5_000;
+
+/// Work units per millisecond of request deadline
+/// (`KANON_SERVE_WORK_RATE`, else [`SERVE_WORK_RATE_DEFAULT`]).
+pub fn serve_work_rate() -> u64 {
+    static RATE: OnceLock<u64> = OnceLock::new();
+    env_u64(&RATE, "KANON_SERVE_WORK_RATE", 1, SERVE_WORK_RATE_DEFAULT)
+}
+
+/// Default retry attempts for transient batch failures in `kanon serve`
+/// (`KANON_SERVE_RETRIES`, else 2). `0` means "no retries".
+pub fn serve_retries() -> u64 {
+    static RETRIES: OnceLock<u64> = OnceLock::new();
+    env_u64(&RETRIES, "KANON_SERVE_RETRIES", 0, 2)
+}
+
+/// Base of the daemon's deterministic exponential retry backoff, in
+/// milliseconds (`KANON_SERVE_BACKOFF_MS`, else 10): attempt `i` sleeps
+/// `base · 2^i` ms. The schedule is a pure function of the attempt
+/// index, so retried runs stay reproducible.
+pub fn serve_backoff_ms() -> u64 {
+    static BACKOFF: OnceLock<u64> = OnceLock::new();
+    env_u64(&BACKOFF, "KANON_SERVE_BACKOFF_MS", 0, 10)
+}
+
+/// State snapshot period for `kanon serve`, in applied batches
+/// (`KANON_SERVE_SNAPSHOT_EVERY`, else 8; `0` disables periodic
+/// snapshots — the write-ahead journal alone then carries recovery).
+pub fn serve_snapshot_every() -> u64 {
+    static EVERY: OnceLock<u64> = OnceLock::new();
+    env_u64(&EVERY, "KANON_SERVE_SNAPSHOT_EVERY", 0, 8)
+}
+
+/// Re-optimization period for `kanon serve`, in applied batches
+/// (`KANON_SERVE_REOPT_EVERY`, else 0 = disabled; the CLI flag
+/// `--reopt-every` overrides).
+pub fn serve_reopt_every() -> u64 {
+    static EVERY: OnceLock<u64> = OnceLock::new();
+    env_u64(&EVERY, "KANON_SERVE_REOPT_EVERY", 0, 0)
+}
+
+/// Maximum accepted request frame for the serve protocol, in bytes
+/// (`KANON_SERVE_MAX_FRAME`, else 16 MiB). Bounds the allocation a
+/// hostile length prefix can demand.
+pub fn serve_max_frame() -> u64 {
+    static MAX: OnceLock<u64> = OnceLock::new();
+    env_u64(&MAX, "KANON_SERVE_MAX_FRAME", 1, 16 * 1024 * 1024)
 }

@@ -172,14 +172,30 @@ pub enum KanonError {
     /// The request itself was malformed (bad flags, invalid parameter
     /// combinations). Maps to exit code 2.
     Usage(String),
+    /// The process was interrupted from outside mid-run: a termination
+    /// signal, or the consumer of stdout going away (`EPIPE`). Maps to
+    /// the conventional shell exit codes (130 `SIGINT`, 143 `SIGTERM`,
+    /// 141 `SIGPIPE`) so wrappers can tell "asked to stop" from "failed".
+    Interrupted {
+        /// What interrupted the run: `"SIGINT"`, `"SIGTERM"` or
+        /// `"EPIPE"`.
+        cause: String,
+    },
 }
 
 impl KanonError {
     /// Stable process-exit mapping: `0` success, `1` runtime error,
-    /// `2` usage error.
+    /// `2` usage error, `128+signal` for interruptions (130 `SIGINT`,
+    /// 143 `SIGTERM`, 141 `EPIPE`/`SIGPIPE`).
     pub fn exit_code(&self) -> i32 {
         match self {
             KanonError::Usage(_) => 2,
+            KanonError::Interrupted { cause } => match cause.as_str() {
+                "SIGINT" => 130,
+                "SIGTERM" => 143,
+                "EPIPE" => 141,
+                _ => 1,
+            },
             _ => 1,
         }
     }
@@ -204,6 +220,7 @@ impl fmt::Display for KanonError {
             }
             KanonError::Io { path, message } => write!(f, "{path}: {message}"),
             KanonError::Usage(msg) => write!(f, "usage error: {msg}"),
+            KanonError::Interrupted { cause } => write!(f, "interrupted by {cause}"),
         }
     }
 }
@@ -278,6 +295,25 @@ mod tests {
         let e: KanonError = CoreError::EmptyDomain.into();
         assert_eq!(e, KanonError::Core(CoreError::EmptyDomain));
         assert_eq!(e.to_string(), CoreError::EmptyDomain.to_string());
+    }
+
+    #[test]
+    fn interruption_exit_codes_follow_shell_convention() {
+        for (cause, code) in [("SIGINT", 130), ("SIGTERM", 143), ("EPIPE", 141)] {
+            let e = KanonError::Interrupted {
+                cause: cause.to_string(),
+            };
+            assert_eq!(e.exit_code(), code, "{cause}");
+            assert!(e.to_string().contains(cause));
+        }
+        // Unknown causes degrade to the generic runtime code.
+        assert_eq!(
+            KanonError::Interrupted {
+                cause: "SIGHUP".into()
+            }
+            .exit_code(),
+            1
+        );
     }
 
     #[test]

@@ -47,6 +47,10 @@
 //! | `algos/shard/partition`      | per-split loop of the shard partitioner  |
 //! | `data/csv/row`               | per-row CSV ingestion (poisons the row)  |
 //! | `parallel/worker`            | every spawned worker (index semantics)   |
+//! | `serve/accept`               | per accepted daemon connection (drops it) |
+//! | `serve/batch/apply`          | top of the daemon's batch-apply path     |
+//! | `serve/journal/replay`       | per replayed journal record at recovery  |
+//! | `serve/snapshot/write`       | before a state snapshot (skips the write) |
 #![forbid(unsafe_code)]
 
 use std::collections::BTreeMap;
@@ -60,7 +64,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 /// (the lint parses this constant out of the source, so adding a site
 /// without cataloguing it — or cataloguing a point nothing hits — turns
 /// the CI gate red).
-pub const CATALOGUE: [&str; 9] = [
+pub const CATALOGUE: [&str; 13] = [
     "algos/agglomerative/merge",
     "algos/forest/round",
     "algos/k1/row",
@@ -70,6 +74,10 @@ pub const CATALOGUE: [&str; 9] = [
     "algos/shard/partition",
     "data/csv/row",
     "parallel/worker",
+    "serve/accept",
+    "serve/batch/apply",
+    "serve/journal/replay",
+    "serve/snapshot/write",
 ];
 
 /// The canonical failpoint catalogue as a slice — the public accessor
@@ -92,6 +100,24 @@ pub struct InjectedFault {
 impl std::fmt::Display for InjectedFault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "injected fault at fail point `{}`", self.point)
+    }
+}
+
+/// Unwind payload raised when the `KANON_FAILPOINTS` environment spec is
+/// malformed — an unparsable entry, an unknown mode, or a point name not
+/// in [`CATALOGUE`]. A typo'd fault-injection run must fail loudly as a
+/// *usage* error (fallible entry points downcast this payload into
+/// `KanonError::Usage`, exit code 2), not run green with the fault
+/// silently disarmed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Human-readable description of what is wrong with the spec.
+    pub message: String,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid KANON_FAILPOINTS: {}", self.message)
     }
 }
 
@@ -132,7 +158,12 @@ struct Registry {
 }
 
 impl Registry {
-    fn parse(spec: &str) -> Result<Registry, String> {
+    /// Parses a spec. With `check_names`, every point name mentioned —
+    /// including `off` entries — must be in [`CATALOGUE`]; this is the
+    /// env-variable path, where an unknown name is a typo that would
+    /// otherwise make a fault-injection run silently green. [`scoped`]
+    /// parses without the check so unit tests can arm ad-hoc names.
+    fn parse(spec: &str, check_names: bool) -> Result<Registry, String> {
         let mut points = BTreeMap::new();
         for entry in spec.split(',') {
             let entry = entry.trim();
@@ -145,6 +176,12 @@ impl Registry {
             let (name, mode) = (name.trim(), mode.trim());
             if name.is_empty() {
                 return Err(format!("failpoint entry `{entry}` has an empty name"));
+            }
+            if check_names && !CATALOGUE.contains(&name) {
+                return Err(format!(
+                    "unknown fail point `{name}` (catalogue: {})",
+                    CATALOGUE.join(", ")
+                ));
             }
             if mode == "off" {
                 points.remove(name);
@@ -197,15 +234,18 @@ static SCOPE_LOCK: Mutex<()> = Mutex::new(());
 /// the environment is read exactly once per process and the parsed
 /// registry cached for the lifetime of the program.
 ///
-/// A malformed spec panics with a diagnostic — silently ignoring a typo
-/// in a fault-injection run would make CI green for the wrong reason.
+/// A malformed spec — including a point name missing from
+/// [`CATALOGUE`] — unwinds with a typed [`SpecError`] payload:
+/// silently ignoring a typo in a fault-injection run would make CI
+/// green for the wrong reason, and the typed payload lets the CLI map
+/// it to a usage error (exit code 2) instead of a generic panic.
 fn env_registry() -> &'static Registry {
     static ENV: OnceLock<Registry> = OnceLock::new();
     ENV.get_or_init(|| {
         let spec = std::env::var("KANON_FAILPOINTS").unwrap_or_default();
-        let reg = match Registry::parse(&spec) {
+        let reg = match Registry::parse(&spec, true) {
             Ok(reg) => reg,
-            Err(msg) => panic!("invalid KANON_FAILPOINTS: {msg}"),
+            Err(message) => std::panic::panic_any(SpecError { message }),
         };
         if !reg.points.is_empty() {
             ARMED.store(true, Ordering::Relaxed);
@@ -329,7 +369,7 @@ impl Drop for ScopedFaults {
 /// process-wide state). Panics on a malformed spec.
 pub fn scoped(spec: &str) -> ScopedFaults {
     let serial = SCOPE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-    let reg = match Registry::parse(spec) {
+    let reg = match Registry::parse(spec, false) {
         Ok(reg) => reg,
         Err(msg) => panic!("invalid failpoint spec: {msg}"),
     };
@@ -420,11 +460,44 @@ mod tests {
     #[test]
     fn malformed_specs_are_rejected() {
         for bad in ["p", "p=every", "p=every:x", "p=every:0", "p=sometimes:1"] {
-            assert!(Registry::parse(bad).is_err(), "spec `{bad}` should fail");
+            assert!(
+                Registry::parse(bad, false).is_err(),
+                "spec `{bad}` should fail"
+            );
         }
         // Worker-index semantics make 0 legal for once:/panic:.
-        assert!(Registry::parse("p=panic:0").is_ok());
-        assert!(Registry::parse("p=once:0").is_ok());
+        assert!(Registry::parse("p=panic:0", false).is_ok());
+        assert!(Registry::parse("p=once:0", false).is_ok());
+    }
+
+    #[test]
+    fn env_path_rejects_uncatalogued_names() {
+        // Regression: the env path used to validate modes but silently
+        // accept unknown point names, so a typo'd KANON_FAILPOINTS run
+        // passed CI with the fault never armed.
+        let err = Registry::parse("bogus/point=once:1", true).unwrap_err();
+        assert!(err.contains("unknown fail point `bogus/point`"), "{err}");
+        // `off` entries are names too — a typo there is just as silent.
+        let err = Registry::parse("bogus/point=off", true).unwrap_err();
+        assert!(err.contains("unknown fail point"), "{err}");
+        // Every catalogued name passes with every mode.
+        for point in CATALOGUE {
+            let spec = format!("{point}=once:1");
+            assert!(Registry::parse(&spec, true).is_ok(), "spec `{spec}`");
+        }
+        // The scoped path still accepts ad-hoc names for unit tests.
+        assert!(Registry::parse("bogus/point=once:1", false).is_ok());
+    }
+
+    #[test]
+    fn spec_error_displays_the_variable_name() {
+        let e = SpecError {
+            message: "unknown fail point `x`".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid KANON_FAILPOINTS: unknown fail point `x`"
+        );
     }
 
     #[test]

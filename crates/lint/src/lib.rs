@@ -79,8 +79,12 @@ pub const ENV_CONFIG_POINTS: [(&str, &str); 4] = [
 
 /// The only files allowed to contain `unsafe` code (L009). Everything on
 /// this list has been audited: the worker pool's `unsafe impl Send/Sync`
-/// carries its safety argument next to the impl, which L009 also checks.
-pub const UNSAFE_ALLOWLIST: [&str; 1] = ["crates/parallel/src/pool.rs"];
+/// carries its safety argument next to the impl, which L009 also checks,
+/// and the serve signal watcher's four libc calls (`signal`, `pipe`,
+/// `read`, `write` for the self-pipe trick) each carry a `SAFETY:`
+/// comment.
+pub const UNSAFE_ALLOWLIST: [&str; 2] =
+    ["crates/parallel/src/pool.rs", "crates/serve/src/signal.rs"];
 
 /// The lint rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]

@@ -111,11 +111,24 @@ pub enum Counter {
     /// Boundary-repair merges performed after the per-shard runs
     /// (equal-closure cluster re-merges plus validity repairs).
     BoundaryRepairs,
+    /// Micro-batches applied by the `kanon serve` daemon (journal
+    /// replays at recovery count here too — a replay *is* an apply).
+    ServeBatchesApplied,
+    /// Rows ingested by the serve daemon's batch-apply path (after the
+    /// `--on-bad-row` policy; suppressed rows are not counted).
+    ServeRowsIngested,
+    /// Pending rows absorbed for free into a resident mature cluster by
+    /// the serve daemon's packed absorption scan (closure unchanged).
+    ServeRowsAbsorbed,
+    /// From-scratch re-optimization passes run by the serve daemon.
+    ServeReoptRuns,
+    /// Journal records replayed during serve daemon recovery.
+    ServeJournalReplays,
 }
 
 impl Counter {
     /// Every counter, in canonical report order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 27] = [
         Counter::MergesPerformed,
         Counter::NnRescans,
         Counter::JoinTableHits,
@@ -138,6 +151,11 @@ impl Counter {
         Counter::ShardsBuilt,
         Counter::ShardRowsMax,
         Counter::BoundaryRepairs,
+        Counter::ServeBatchesApplied,
+        Counter::ServeRowsIngested,
+        Counter::ServeRowsAbsorbed,
+        Counter::ServeReoptRuns,
+        Counter::ServeJournalReplays,
     ];
 
     /// The counter's canonical snake_case name (the JSON key).
@@ -165,6 +183,11 @@ impl Counter {
             Counter::ShardsBuilt => "shards_built",
             Counter::ShardRowsMax => "shard_rows_max",
             Counter::BoundaryRepairs => "boundary_repairs",
+            Counter::ServeBatchesApplied => "serve_batches_applied",
+            Counter::ServeRowsIngested => "serve_rows_ingested",
+            Counter::ServeRowsAbsorbed => "serve_rows_absorbed",
+            Counter::ServeReoptRuns => "serve_reopt_runs",
+            Counter::ServeJournalReplays => "serve_journal_replays",
         }
     }
 }
@@ -802,7 +825,7 @@ mod tests {
         }
         // Fixed order: merges first, boundary repairs last.
         assert!(ja.starts_with("{\"merges_performed\":7"));
-        assert!(ja.ends_with("\"boundary_repairs\":0}"));
+        assert!(ja.ends_with("\"serve_journal_replays\":0}"));
     }
 
     #[test]

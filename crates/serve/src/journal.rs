@@ -1,0 +1,278 @@
+//! Write-ahead batch journal.
+//!
+//! Every accepted batch is appended (and fsynced) to `journal.log`
+//! *before* it is applied to in-memory state, so a `kill -9` at any
+//! instant loses at most work that was never acknowledged. On restart
+//! the daemon replays the journal on top of the latest snapshot and
+//! reaches byte-identical state — replay re-runs the same deterministic
+//! clustering code under the same recorded work budget.
+//!
+//! ## Record format
+//!
+//! One record per line-pair, text header + raw payload:
+//!
+//! ```text
+//! KJ1 <seq> <kind> <budget> <len> <crc32>\n
+//! <payload bytes>\n
+//! ```
+//!
+//! * `seq` — monotonically increasing batch sequence number.
+//! * `kind` — `B` (batch body follows) or `R` (the batch with this
+//!   `seq` was rolled back after exhausting retries; payload empty).
+//! * `budget` — the *relative* work-budget units granted to the batch
+//!   (`0` = unbounded). Relative units make replay independent of
+//!   process history: each apply runs under a fresh collector.
+//! * `len`/`crc32` — payload byte length and IEEE CRC-32 (hex).
+//!
+//! A torn tail (truncated or CRC-mismatched final record, the only
+//! corruption a crash mid-append can produce) is detected and
+//! discarded; anything after the first bad record is ignored.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// IEEE CRC-32, bitwise (no table): the journal appends are fsync-bound,
+/// so checksum speed is irrelevant and zero static data keeps it simple.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Kind tag of a journal record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A batch body to (re-)apply.
+    Batch,
+    /// The batch with this seq permanently failed and was rolled back.
+    Rollback,
+}
+
+/// One decoded journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Batch sequence number.
+    pub seq: u64,
+    /// Batch body or rollback marker.
+    pub kind: RecordKind,
+    /// Relative work-budget units granted to the batch; 0 = unbounded.
+    pub budget: u64,
+    /// The batch body bytes (empty for rollbacks).
+    pub payload: Vec<u8>,
+}
+
+/// Append-only journal handle. Appends are durable (fsynced) before
+/// they return.
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` for appending.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// Path this journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and fsyncs. The record is visible to a
+    /// post-crash replay only after this returns.
+    pub fn append(
+        &mut self,
+        seq: u64,
+        kind: RecordKind,
+        budget: u64,
+        payload: &[u8],
+    ) -> io::Result<()> {
+        let tag = match kind {
+            RecordKind::Batch => 'B',
+            RecordKind::Rollback => 'R',
+        };
+        let header = format!(
+            "KJ1 {seq} {tag} {budget} {len} {crc:08x}\n",
+            len = payload.len(),
+            crc = crc32(payload)
+        );
+        let mut buf = Vec::with_capacity(header.len() + payload.len() + 1);
+        buf.extend_from_slice(header.as_bytes());
+        buf.extend_from_slice(payload);
+        buf.push(b'\n');
+        self.file.write_all(&buf)?;
+        self.file.sync_all()
+    }
+}
+
+/// Reads every intact record from `path`. Missing file = empty journal.
+/// Reading stops at the first truncated or corrupt record — a torn tail
+/// from a crash mid-append — and everything before it is returned.
+pub fn read_journal(path: &Path) -> io::Result<Vec<JournalRecord>> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    }
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let Some(rec_len) = decode_record(&bytes[pos..], &mut records) else {
+            break; // torn tail: keep what we have
+        };
+        pos += rec_len;
+    }
+    Ok(records)
+}
+
+/// Decodes one record from the front of `bytes`, pushing it onto `out`.
+/// Returns the record's encoded length, or `None` if the front is not a
+/// complete intact record.
+fn decode_record(bytes: &[u8], out: &mut Vec<JournalRecord>) -> Option<usize> {
+    let nl = bytes.iter().position(|&b| b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..nl]).ok()?;
+    let mut words = header.split(' ');
+    if words.next()? != "KJ1" {
+        return None;
+    }
+    let seq: u64 = words.next()?.parse().ok()?;
+    let kind = match words.next()? {
+        "B" => RecordKind::Batch,
+        "R" => RecordKind::Rollback,
+        _ => return None,
+    };
+    let budget: u64 = words.next()?.parse().ok()?;
+    let len: usize = words.next()?.parse().ok()?;
+    let crc: u32 = u32::from_str_radix(words.next()?, 16).ok()?;
+    if words.next().is_some() {
+        return None;
+    }
+    let start = nl + 1;
+    let end = start.checked_add(len)?;
+    // Payload must be followed by its trailing newline.
+    if end >= bytes.len() || bytes[end] != b'\n' {
+        return None;
+    }
+    let payload = &bytes[start..end];
+    if crc32(payload) != crc {
+        return None;
+    }
+    out.push(JournalRecord {
+        seq,
+        kind,
+        budget,
+        payload: payload.to_vec(),
+    });
+    Some(end + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("kanon-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.log")
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let path = tmp("roundtrip");
+        let mut j = Journal::open(&path).unwrap();
+        j.append(1, RecordKind::Batch, 500, b"a,b\nc,d\n").unwrap();
+        j.append(2, RecordKind::Rollback, 0, b"").unwrap();
+        j.append(3, RecordKind::Batch, 0, b"payload with KJ1 inside\n")
+            .unwrap();
+        drop(j);
+        let recs = read_journal(&path).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].seq, 1);
+        assert_eq!(recs[0].kind, RecordKind::Batch);
+        assert_eq!(recs[0].budget, 500);
+        assert_eq!(recs[0].payload, b"a,b\nc,d\n");
+        assert_eq!(recs[1].kind, RecordKind::Rollback);
+        assert_eq!(recs[2].payload, b"payload with KJ1 inside\n");
+    }
+
+    #[test]
+    fn missing_journal_reads_empty() {
+        let path = tmp("missing");
+        assert!(read_journal(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_at_every_truncation_point() {
+        let path = tmp("torn");
+        let mut j = Journal::open(&path).unwrap();
+        j.append(1, RecordKind::Batch, 0, b"first\n").unwrap();
+        j.append(2, RecordKind::Batch, 7, b"second batch body\n")
+            .unwrap();
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        let first_len = {
+            let mut out = Vec::new();
+            decode_record(&full, &mut out).unwrap()
+        };
+        // Truncating anywhere inside the second record must yield
+        // exactly the first record back.
+        for cut in first_len + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let recs = read_journal(&path).unwrap();
+            assert_eq!(recs.len(), 1, "cut at {cut}");
+            assert_eq!(recs[0].seq, 1);
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay() {
+        let path = tmp("crc");
+        let mut j = Journal::open(&path).unwrap();
+        j.append(1, RecordKind::Batch, 0, b"good\n").unwrap();
+        j.append(2, RecordKind::Batch, 0, b"flipped\n").unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte in the second record.
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let recs = read_journal(&path).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn appends_after_reopen_continue_the_log() {
+        let path = tmp("reopen");
+        let mut j = Journal::open(&path).unwrap();
+        j.append(1, RecordKind::Batch, 0, b"one\n").unwrap();
+        drop(j);
+        let mut j = Journal::open(&path).unwrap();
+        j.append(2, RecordKind::Batch, 0, b"two\n").unwrap();
+        drop(j);
+        let recs = read_journal(&path).unwrap();
+        assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,704 @@
+//! `kanon-serve`: a crash-safe incremental anonymization daemon.
+//!
+//! The daemon holds the hierarchies, the packed signature arena and the
+//! engine's clustering state resident, and anonymizes appended
+//! micro-batches incrementally over a tiny length-prefixed protocol
+//! ([`proto`]). Robustness is the point:
+//!
+//! * **Deadlines** — a `BATCH deadline_ms=N` request maps its deadline
+//!   onto the deterministic work budget (`N × KANON_SERVE_WORK_RATE`
+//!   units); a timed-out apply commits a *valid* `BudgetExhausted`
+//!   partial instead of failing.
+//! * **Retries** — transient faults (`FaultInjected`, `WorkerPanic`)
+//!   are retried with deterministic exponential backoff; permanent
+//!   failures roll the batch back (journal `R` marker) and leave state
+//!   untouched.
+//! * **Recovery** — every batch is journaled (fsync) *before* it is
+//!   applied ([`journal`]), and state snapshots periodically
+//!   ([`state`]); a `kill -9` at any instant recovers to byte-identical
+//!   state on restart.
+//! * **Degradation** — bad rows follow the `--on-bad-row` policy, a
+//!   failed snapshot only lengthens recovery, and the `STATS`/`HEALTH`
+//!   endpoints serve the aggregated `kanon-obs` report.
+//!
+//! Fail points: `serve/accept`, `serve/batch/apply`,
+//! `serve/journal/replay`, `serve/snapshot/write` (see
+//! `kanon_fault::CATALOGUE`).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+// kanon-lint: allow(L004) the self-pipe signal watcher needs four libc
+// calls (signal/pipe/read/write) that have no safe-std equivalent; all
+// unsafe is confined to src/signal.rs behind per-call SAFETY arguments,
+// and the rest of the crate stays deny(unsafe_code).
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use kanon_algos::fallible::error_from_panic;
+use kanon_core::error::{KanonError, KanonResult};
+use kanon_core::table::Table;
+use kanon_obs::{count, count_runtime, Collector, Counter, Report, RuntimeCounter};
+
+pub mod journal;
+pub mod proto;
+#[allow(unsafe_code)]
+pub mod signal;
+pub mod state;
+
+use journal::{Journal, RecordKind};
+use proto::{parse_request, read_frame, write_frame, Request};
+use state::{ServeConfig, ServeState};
+
+/// Fail point: drops an incoming connection before it is served.
+pub const POINT_ACCEPT: &str = "serve/accept";
+
+/// Name of the bound-address file the daemon writes inside the state
+/// directory (clients of `--listen 127.0.0.1:0` read the port here).
+pub const ADDR_FILE: &str = "serve.addr";
+/// Name of the write-ahead journal file inside the state directory.
+pub const JOURNAL_FILE: &str = "journal.log";
+/// Name of the snapshot file inside the state directory.
+pub const SNAPSHOT_FILE: &str = "state.snap";
+
+/// Runtime options of a daemon instance (protocol/lifecycle knobs; the
+/// anonymization parameters live in [`state::ServeConfig`]).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Listen address: `host:port` for TCP, or a filesystem path
+    /// (anything containing `/`) for a Unix socket.
+    pub listen: String,
+    /// Directory holding journal, snapshots and the address file.
+    pub state_dir: PathBuf,
+    /// Snapshot every N applied batches (0 = never).
+    pub snapshot_every: u64,
+    /// Retry attempts for transient faults (`KANON_SERVE_RETRIES`).
+    pub retries: u64,
+    /// Base backoff between retries, doubled per attempt
+    /// (`KANON_SERVE_BACKOFF_MS`).
+    pub backoff_ms: u64,
+    /// Work-budget units granted per deadline millisecond
+    /// (`KANON_SERVE_WORK_RATE`).
+    pub work_rate: u64,
+    /// Maximum accepted frame size in bytes (`KANON_SERVE_MAX_FRAME`).
+    pub max_frame: u64,
+}
+
+impl ServeOptions {
+    /// Options with the `KANON_SERVE_*` environment defaults and an
+    /// ephemeral localhost listener.
+    pub fn new(state_dir: PathBuf) -> ServeOptions {
+        ServeOptions {
+            listen: "127.0.0.1:0".to_string(),
+            state_dir,
+            snapshot_every: kanon_core::config::serve_snapshot_every(),
+            retries: kanon_core::config::serve_retries(),
+            backoff_ms: kanon_core::config::serve_backoff_ms(),
+            work_rate: kanon_core::config::serve_work_rate(),
+            max_frame: kanon_core::config::serve_max_frame(),
+        }
+    }
+}
+
+/// What the connection loop should do after a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Control {
+    Continue,
+    Shutdown,
+}
+
+/// A bound listener: TCP or Unix socket.
+pub enum Listener {
+    /// A TCP listener (`host:port`).
+    Tcp(TcpListener),
+    /// A Unix-domain socket listener (any `--listen` value with a `/`).
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+impl Listener {
+    /// Binds `listen` (TCP `host:port`, or a Unix socket path when the
+    /// value contains `/`). Returns the listener and its display
+    /// address — for TCP with port 0 this is the actual bound port.
+    pub fn bind(listen: &str) -> std::io::Result<(Listener, String)> {
+        #[cfg(unix)]
+        if listen.contains('/') {
+            // A stale socket file from a killed process blocks bind.
+            let _ = std::fs::remove_file(listen);
+            let l = std::os::unix::net::UnixListener::bind(listen)?;
+            return Ok((Listener::Unix(l), listen.to_string()));
+        }
+        let l = TcpListener::bind(listen)?;
+        let addr = l.local_addr()?.to_string();
+        Ok((Listener::Tcp(l), addr))
+    }
+}
+
+/// The daemon: resident state + journal + lifecycle policy.
+pub struct Daemon {
+    state: ServeState,
+    journal: Journal,
+    opts: ServeOptions,
+    /// Lifetime stats: every request's fresh per-request collector is
+    /// folded in here after the request finishes.
+    lifetime: Collector,
+    /// Journal records replayed during startup recovery.
+    replayed: u64,
+}
+
+impl Daemon {
+    /// Starts a daemon: restores the newest snapshot if one exists
+    /// (otherwise bootstraps from `base`), replays the journal tail,
+    /// and opens the journal for appending. After this returns, the
+    /// in-memory state is byte-identical to the pre-crash state.
+    pub fn start(base: Table, cfg: ServeConfig, opts: ServeOptions) -> KanonResult<Daemon> {
+        std::fs::create_dir_all(&opts.state_dir).map_err(|e| io_err(&opts.state_dir, &e))?;
+        let snapshot_path = opts.state_dir.join(SNAPSHOT_FILE);
+        let journal_path = opts.state_dir.join(JOURNAL_FILE);
+        let schema = base.schema().clone();
+        let mut state = if snapshot_path.exists() {
+            let text =
+                std::fs::read_to_string(&snapshot_path).map_err(|e| io_err(&snapshot_path, &e))?;
+            ServeState::restore_snapshot(&text, cfg, schema)?
+        } else {
+            ServeState::bootstrap(base, cfg)?
+        };
+        let lifetime = Collector::new();
+        let replayed = {
+            let _g = lifetime.install();
+            state.replay_journal(&journal_path)?
+        };
+        let journal = Journal::open(&journal_path).map_err(|e| io_err(&journal_path, &e))?;
+        Ok(Daemon {
+            state,
+            journal,
+            opts,
+            lifetime,
+            replayed,
+        })
+    }
+
+    /// Serves requests until `SHUTDOWN` (graceful) or a listener error.
+    /// The bound address is written to `<state-dir>/serve.addr` and
+    /// logged to stderr before the first accept.
+    pub fn run(&mut self) -> KanonResult<()> {
+        let (listener, addr) = Listener::bind(&self.opts.listen.clone())
+            .map_err(|e| io_err(Path::new(&self.opts.listen), &e))?;
+        let addr_path = self.opts.state_dir.join(ADDR_FILE);
+        std::fs::write(&addr_path, format!("{addr}\n")).map_err(|e| io_err(&addr_path, &e))?;
+        eprintln!(
+            "kanon serve: listening on {addr} ({} rows resident, {} replayed)",
+            self.state.num_rows(),
+            self.replayed
+        );
+        loop {
+            let conn: Box<dyn Conn> = match &listener {
+                Listener::Tcp(l) => match l.accept() {
+                    Ok((s, _)) => Box::new(s),
+                    Err(_) => continue,
+                },
+                #[cfg(unix)]
+                Listener::Unix(l) => match l.accept() {
+                    Ok((s, _)) => Box::new(s),
+                    Err(_) => continue,
+                },
+            };
+            if kanon_fault::armed() && kanon_fault::fires(POINT_ACCEPT) {
+                drop(conn); // injected network fault: client sees a reset
+                continue;
+            }
+            if self.serve_connection(conn) == Control::Shutdown {
+                if self.opts.snapshot_every > 0 {
+                    self.snapshot();
+                }
+                return Ok(());
+            }
+        }
+    }
+
+    /// Serves one connection until EOF, an I/O error, or `SHUTDOWN`.
+    fn serve_connection(&mut self, mut conn: Box<dyn Conn>) -> Control {
+        loop {
+            let payload = match read_frame(&mut conn, self.opts.max_frame) {
+                Ok(Some(p)) => p,
+                Ok(None) => return Control::Continue,
+                Err(e) => {
+                    // Oversize/truncated frame: diagnose if the pipe is
+                    // still writable, then drop the connection.
+                    let _ = write_frame(&mut conn, format!("ERR Usage: {e}").as_bytes());
+                    return Control::Continue;
+                }
+            };
+            let (response, control) = match parse_request(&payload) {
+                Ok(req) => self.handle(req),
+                Err(msg) => (format!("ERR Usage: {msg}"), Control::Continue),
+            };
+            if write_frame(&mut conn, response.as_bytes()).is_err() {
+                return Control::Continue; // client went away mid-response
+            }
+            if control == Control::Shutdown {
+                return Control::Shutdown;
+            }
+        }
+    }
+
+    /// Dispatches one parsed request.
+    fn handle(&mut self, req: Request) -> (String, Control) {
+        match req {
+            Request::Batch {
+                deadline_ms,
+                retries,
+                body,
+            } => (
+                self.handle_batch(deadline_ms, retries, &body),
+                Control::Continue,
+            ),
+            Request::Output => (self.handle_output(), Control::Continue),
+            Request::Stats => (self.handle_stats(), Control::Continue),
+            Request::Health => (self.handle_health(), Control::Continue),
+            Request::Reopt => (self.handle_reopt(), Control::Continue),
+            Request::Snapshot => {
+                let resp = match self.snapshot() {
+                    Some(true) => "OK snapshot written".to_string(),
+                    Some(false) => "OK snapshot skipped (fault injected)".to_string(),
+                    None => "ERR Io: snapshot write failed".to_string(),
+                };
+                (resp, Control::Continue)
+            }
+            Request::Shutdown => ("OK shutting down".to_string(), Control::Shutdown),
+        }
+    }
+
+    /// The full batch lifecycle: journal (WAL), apply with deadline
+    /// budget, retry transient faults with exponential backoff, roll
+    /// back permanent failures.
+    fn handle_batch(
+        &mut self,
+        deadline_ms: Option<u64>,
+        retries: Option<u64>,
+        body: &str,
+    ) -> String {
+        let budget = deadline_ms
+            .map(|ms| ms.saturating_mul(self.opts.work_rate))
+            .unwrap_or(0);
+        let seq = self.state.next_seq();
+        if let Err(e) = self
+            .journal
+            .append(seq, RecordKind::Batch, budget, body.as_bytes())
+        {
+            return format!("ERR Io: journal append failed: {e}");
+        }
+        let max_attempts = retries.unwrap_or(self.opts.retries) + 1;
+        let mut attempt: u64 = 0;
+        loop {
+            attempt += 1;
+            // A fresh collector per attempt: the budget is relative
+            // (spent-work baseline 0), which is what makes the recorded
+            // budget reproduce the same cut during journal replay.
+            let collector = Collector::new();
+            let guard = collector.install();
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.state.apply_batch(body, budget)));
+            drop(guard);
+            let outcome = match outcome {
+                Ok(r) => r,
+                Err(payload) => Err(error_from_panic(payload)),
+            };
+            match outcome {
+                Ok(report) => {
+                    self.fold(&collector.report());
+                    let mut extra = String::new();
+                    // `u64::is_multiple_of` needs Rust 1.87; MSRV is 1.75.
+                    #[allow(clippy::manual_is_multiple_of)]
+                    if self.opts.snapshot_every > 0
+                        && self.state.batches_applied() % self.opts.snapshot_every == 0
+                    {
+                        self.snapshot();
+                    }
+                    #[allow(clippy::manual_is_multiple_of)]
+                    if self.state.reopt_every() > 0
+                        && self.state.batches_applied() % self.state.reopt_every() == 0
+                    {
+                        extra = match self.reopt() {
+                            Ok(out) => format!(" drift={:+.6}", out.drift),
+                            Err(e) => format!(" reopt_failed={e}"),
+                        };
+                    }
+                    return format!(
+                        "OK seq={} rows_in={} absorbed={} clustered={} pending={} \
+                         suppressed={} rooted={} budget_exhausted={} attempts={}{}",
+                        report.seq,
+                        report.rows_in,
+                        report.absorbed,
+                        report.clustered,
+                        report.pending,
+                        report.rows_suppressed,
+                        report.cells_rooted,
+                        report.budget_exhausted,
+                        attempt,
+                        extra
+                    );
+                }
+                Err(e) if transient(&e) && attempt < max_attempts => {
+                    let backoff = self
+                        .opts
+                        .backoff_ms
+                        .saturating_mul(1 << (attempt - 1).min(16));
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                }
+                Err(e) => {
+                    // Permanent failure: mark the journaled batch rolled
+                    // back so replay skips it, and burn its seq.
+                    let _ = self.journal.append(seq, RecordKind::Rollback, 0, b"");
+                    self.state.note_rollback(seq);
+                    return format!("ERR {}: {e} (attempts={attempt})", class(&e));
+                }
+            }
+        }
+    }
+
+    fn handle_output(&mut self) -> String {
+        let collector = Collector::new();
+        let guard = collector.install();
+        let out = (|| -> KanonResult<String> {
+            let loss = self.state.published_loss()?;
+            let csv = self.state.published_csv()?;
+            Ok(format!(
+                "OK rows={} loss={:.6}\n{}",
+                self.state.published_rows(),
+                loss,
+                csv
+            ))
+        })();
+        drop(guard);
+        self.fold(&collector.report());
+        out.unwrap_or_else(|e| format!("ERR {}: {e}", class(&e)))
+    }
+
+    fn handle_stats(&self) -> String {
+        // Line 2 is the deterministic counter block (byte-identical
+        // across thread counts and restarts of the same request
+        // history); line 3 is the full report including runtime data.
+        let report = self.lifetime.report();
+        format!("OK\n{}\n{}", report.counters_json(), report.to_json())
+    }
+
+    fn handle_health(&self) -> String {
+        format!(
+            "OK {{\"status\":\"ok\",\"rows\":{},\"published\":{},\"pending\":{},\
+             \"clusters\":{},\"batches\":{},\"seq\":{},\"reopts\":{},\"replayed\":{},\
+             \"drift\":{}}}",
+            self.state.num_rows(),
+            self.state.published_rows(),
+            self.state.pending_rows(),
+            self.state.mature_clusters(),
+            self.state.batches_applied(),
+            self.state.next_seq() - 1,
+            self.state.reopt_runs(),
+            self.replayed,
+            match self.state.last_drift() {
+                Some(d) => format!("{d:.6}"),
+                None => "null".to_string(),
+            }
+        )
+    }
+
+    fn handle_reopt(&mut self) -> String {
+        match self.reopt() {
+            Ok(out) => format!(
+                "OK loss_incremental={:.6} loss_scratch={:.6} drift={:+.6} clusters={}",
+                out.loss_incremental, out.loss_scratch, out.drift, out.clusters
+            ),
+            Err(e) => format!("ERR {}: {e}", class(&e)),
+        }
+    }
+
+    fn reopt(&mut self) -> KanonResult<state::ReoptOutcome> {
+        let collector = Collector::new();
+        let guard = collector.install();
+        let out = self.state.reopt();
+        drop(guard);
+        self.fold(&collector.report());
+        out
+    }
+
+    /// Writes a snapshot; `Some(false)` = skipped by the
+    /// `serve/snapshot/write` fault, `None` = I/O error. Both degrade:
+    /// the daemon stays up, recovery just replays a longer journal.
+    fn snapshot(&mut self) -> Option<bool> {
+        let path = self.opts.state_dir.join(SNAPSHOT_FILE);
+        match self.state.write_snapshot(&path) {
+            Ok(written) => Some(written),
+            Err(e) => {
+                eprintln!("kanon serve: snapshot write failed: {e}");
+                None
+            }
+        }
+    }
+
+    /// Folds one request's report into the lifetime collector.
+    fn fold(&self, report: &Report) {
+        let _g = self.lifetime.install();
+        for &c in Counter::ALL.iter() {
+            let v = report.counter(c);
+            if v > 0 {
+                count(c, v);
+            }
+        }
+        for &c in RuntimeCounter::ALL.iter() {
+            let v = report.runtime_counter(c);
+            if v > 0 {
+                count_runtime(c, v);
+            }
+        }
+    }
+
+    /// The resident state (read access for tests and the CLI).
+    pub fn state(&self) -> &ServeState {
+        &self.state
+    }
+
+    /// Journal records replayed during startup recovery.
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+}
+
+/// Both `Read` and `Write` (TCP and Unix streams qualify).
+trait Conn: Read + Write {}
+impl<T: Read + Write> Conn for T {}
+
+/// Transient errors are worth retrying: an injected fault's `once:K`
+/// ordinal advances per hit, and a worker panic may be one poisoned
+/// dispatch — both can succeed on the next attempt. Everything else
+/// (bad data, budget, usage) would fail identically again.
+fn transient(e: &KanonError) -> bool {
+    matches!(
+        e,
+        KanonError::FaultInjected { .. } | KanonError::WorkerPanic { .. }
+    )
+}
+
+/// The `ERR <class>` tag mirrors the `KanonError` variant name.
+fn class(e: &KanonError) -> &'static str {
+    match e {
+        KanonError::Core(_) => "Core",
+        KanonError::FaultInjected { .. } => "FaultInjected",
+        KanonError::WorkerPanic { .. } => "WorkerPanic",
+        KanonError::Panic { .. } => "Panic",
+        KanonError::BudgetExhausted { .. } => "BudgetExhausted",
+        KanonError::Io { .. } => "Io",
+        KanonError::Usage(_) => "Usage",
+        KanonError::Interrupted { .. } => "Interrupted",
+    }
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> KanonError {
+    KanonError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kanon_core::schema::SchemaBuilder;
+    use kanon_core::schema::SharedSchema;
+    use kanon_data::csv::{table_from_csv_with_policy, RowPolicy};
+    use state::Measure;
+
+    fn schema() -> SharedSchema {
+        SchemaBuilder::new()
+            .categorical_with_groups(
+                "zip",
+                ["10", "11", "20", "21"],
+                &[&["10", "11"], &["20", "21"]],
+            )
+            .categorical_with_groups(
+                "age",
+                ["20s", "30s", "60s", "70s"],
+                &[&["20s", "30s"], &["60s", "70s"]],
+            )
+            .build_shared()
+            .unwrap()
+    }
+
+    fn base_table() -> Table {
+        let csv = "10,20s\n10,30s\n11,20s\n20,60s\n21,70s\n20,70s\n";
+        table_from_csv_with_policy(&schema(), csv, false, RowPolicy::Strict)
+            .unwrap()
+            .0
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            k: 2,
+            measure: Measure::Lm,
+            policy: RowPolicy::Strict,
+            shard_max: 0,
+            reopt_every: 0,
+        }
+    }
+
+    fn opts(tag: &str) -> ServeOptions {
+        let dir =
+            std::env::temp_dir().join(format!("kanon-serve-lib-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ServeOptions {
+            listen: "127.0.0.1:0".to_string(),
+            state_dir: dir,
+            snapshot_every: 0,
+            retries: 2,
+            backoff_ms: 0,
+            work_rate: 5_000,
+            max_frame: 1 << 20,
+        }
+    }
+
+    fn request(d: &mut Daemon, req: &[u8]) -> String {
+        let (resp, _) = d.handle(parse_request(req).unwrap());
+        resp
+    }
+
+    #[test]
+    fn batch_output_stats_health_round_trip() {
+        let mut d = Daemon::start(base_table(), cfg(), opts("roundtrip")).unwrap();
+        let resp = request(&mut d, b"BATCH\n10,20s\n");
+        assert!(resp.starts_with("OK seq=1 rows_in=1"), "{resp}");
+        let resp = request(&mut d, b"OUTPUT");
+        assert!(resp.starts_with("OK rows="), "{resp}");
+        let resp = request(&mut d, b"STATS");
+        assert!(resp.contains("\"serve_batches_applied\":1"), "{resp}");
+        let resp = request(&mut d, b"HEALTH");
+        assert!(resp.contains("\"status\":\"ok\""), "{resp}");
+        assert!(resp.contains("\"batches\":1"), "{resp}");
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_succeed() {
+        let mut d = Daemon::start(base_table(), cfg(), opts("retry")).unwrap();
+        let _g = kanon_fault::scoped("serve/batch/apply=once:1");
+        let resp = request(&mut d, b"BATCH\n10,20s\n");
+        assert!(resp.starts_with("OK "), "{resp}");
+        assert!(resp.contains("attempts=2"), "{resp}");
+    }
+
+    #[test]
+    fn exhausted_retries_roll_the_batch_back() {
+        let mut o = opts("rollback");
+        o.retries = 1;
+        let mut d = Daemon::start(base_table(), cfg(), o).unwrap();
+        // Fire on every hit: attempt 1 and its single retry both fail.
+        let _g = kanon_fault::scoped("serve/batch/apply=every:1");
+        let resp = request(&mut d, b"BATCH\n10,20s\n");
+        assert!(resp.starts_with("ERR FaultInjected:"), "{resp}");
+        assert!(resp.contains("attempts=2"), "{resp}");
+        drop(_g);
+        // State untouched; the next batch gets a fresh seq past the
+        // rolled-back one.
+        assert_eq!(d.state().num_rows(), 6);
+        let resp = request(&mut d, b"BATCH\n10,20s\n");
+        assert!(resp.starts_with("OK seq=2 "), "{resp}");
+    }
+
+    #[test]
+    fn deadline_maps_to_budget_and_commits_valid_partial() {
+        let mut d = Daemon::start(base_table(), cfg(), opts("deadline")).unwrap();
+        // An absurdly tight deadline: 1ms at 1 unit/ms.
+        let mut o = d.opts.clone();
+        o.work_rate = 1;
+        d.opts = o;
+        let resp = request(
+            &mut d,
+            b"BATCH deadline_ms=1\n10,60s\n11,70s\n10,70s\n11,60s\n",
+        );
+        // Either the tiny run fits the budget or a valid partial commits;
+        // both are OK responses, never a hard failure.
+        assert!(resp.starts_with("OK "), "{resp}");
+    }
+
+    #[test]
+    fn crash_recovery_reaches_byte_identical_output() {
+        let o = opts("recovery");
+        let mut d = Daemon::start(base_table(), cfg(), o.clone()).unwrap();
+        request(&mut d, b"BATCH\n10,60s\n11,70s\n");
+        request(&mut d, b"BATCH\n10,70s\n11,60s\n");
+        let live_out = request(&mut d, b"OUTPUT");
+        let live_health = request(&mut d, b"HEALTH");
+        drop(d); // "kill": no snapshot (snapshot_every=0), journal only
+
+        let mut r = Daemon::start(base_table(), cfg(), o).unwrap();
+        assert_eq!(r.replayed(), 2);
+        let mut rec_out = request(&mut r, b"OUTPUT");
+        // HEALTH differs only in the replayed count.
+        let rec_health = request(&mut r, b"HEALTH").replace("\"replayed\":2", "\"replayed\":0");
+        assert_eq!(rec_out, live_out);
+        assert_eq!(rec_health, live_health);
+        // And the journal tail keeps replaying over a snapshot too.
+        request(&mut r, b"SNAPSHOT");
+        request(&mut r, b"BATCH\n10,20s\n");
+        rec_out = request(&mut r, b"OUTPUT");
+        drop(r);
+        let mut r2 = Daemon::start(base_table(), cfg(), opts2_keep("recovery")).unwrap();
+        assert_eq!(r2.replayed(), 1); // only the post-snapshot batch
+        assert_eq!(request(&mut r2, b"OUTPUT"), rec_out);
+    }
+
+    /// Same state dir as [`opts`] but *without* wiping it.
+    fn opts2_keep(tag: &str) -> ServeOptions {
+        let dir =
+            std::env::temp_dir().join(format!("kanon-serve-lib-{tag}-{}", std::process::id()));
+        ServeOptions {
+            listen: "127.0.0.1:0".to_string(),
+            state_dir: dir,
+            snapshot_every: 0,
+            retries: 2,
+            backoff_ms: 0,
+            work_rate: 5_000,
+            max_frame: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn usage_errors_do_not_kill_the_connection_loop() {
+        let mut d = Daemon::start(base_table(), cfg(), opts("usage")).unwrap();
+        let (resp, control) = match parse_request(b"NOPE") {
+            Ok(req) => d.handle(req),
+            Err(msg) => (format!("ERR Usage: {msg}"), Control::Continue),
+        };
+        assert!(resp.starts_with("ERR Usage:"), "{resp}");
+        assert_eq!(control, Control::Continue);
+        // Bad rows under Strict: typed Core error, state intact.
+        let resp = request(&mut d, b"BATCH\n99,99\n");
+        assert!(resp.starts_with("ERR Core:"), "{resp}");
+        assert_eq!(d.state().num_rows(), 6);
+    }
+
+    #[test]
+    fn tcp_listener_serves_frames_end_to_end() {
+        let o = opts("tcp");
+        let state_dir = o.state_dir.clone();
+        let mut d = Daemon::start(base_table(), cfg(), o).unwrap();
+        let handle = std::thread::spawn(move || d.run());
+        // Wait for the address file.
+        let addr_path = state_dir.join(ADDR_FILE);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_path) {
+                if text.ends_with('\n') {
+                    break text.trim().to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+        write_frame(&mut conn, b"BATCH\n10,20s\n").unwrap();
+        let resp = read_frame(&mut conn, 1 << 20).unwrap().unwrap();
+        assert!(resp.starts_with(b"OK seq=1"), "{resp:?}");
+        write_frame(&mut conn, b"SHUTDOWN").unwrap();
+        let resp = read_frame(&mut conn, 1 << 20).unwrap().unwrap();
+        assert!(resp.starts_with(b"OK shutting down"), "{resp:?}");
+        handle.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,220 @@
+//! Wire protocol of the serve daemon: length-prefixed frames carrying
+//! small text requests.
+//!
+//! ## Frame format
+//!
+//! Every request and every response is one frame: a 4-byte big-endian
+//! payload length followed by exactly that many payload bytes. The
+//! request payload is UTF-8 text — a command line, then (for `BATCH`)
+//! the batch body:
+//!
+//! ```text
+//! BATCH [deadline_ms=N] [retries=N] '\n' <csv rows, no header>
+//! OUTPUT | STATS | HEALTH | REOPT | SNAPSHOT | SHUTDOWN
+//! ```
+//!
+//! Responses are text frames starting `OK …` or `ERR <class>: <msg>`
+//! (`class` mirrors the [`kanon_core::KanonError`] variant name). The
+//! parser here is total: any byte sequence maps to `Ok(Request)` or
+//! `Err(String)`, never a panic — property-tested in
+//! `tests/proto_proptest.rs`.
+
+use std::io::{self, Read, Write};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Append a micro-batch of rows (CSV, no header) to the table.
+    Batch {
+        /// Request deadline in milliseconds; mapped onto the
+        /// deterministic work budget via `KANON_SERVE_WORK_RATE`.
+        deadline_ms: Option<u64>,
+        /// Retry-attempt override for this request.
+        retries: Option<u64>,
+        /// The CSV body (rows only, no header line).
+        body: String,
+    },
+    /// Fetch the generalized CSV of every published row.
+    Output,
+    /// Fetch the daemon's aggregated `kanon_obs` report as JSON.
+    Stats,
+    /// Fetch a one-line JSON health summary.
+    Health,
+    /// Force a from-scratch re-optimization pass.
+    Reopt,
+    /// Force a state snapshot.
+    Snapshot,
+    /// Gracefully stop the daemon.
+    Shutdown,
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean end-of-stream (EOF
+/// before the first length byte); a frame longer than `max_frame`
+/// bytes or truncated mid-frame is an error.
+pub fn read_frame(r: &mut impl Read, max_frame: u64) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 1 {
+        match r.read(&mut len_buf[..1])? {
+            0 => return Ok(None),
+            n => got += n,
+        }
+    }
+    r.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_be_bytes(len_buf) as u64;
+    if len > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_frame}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes one frame and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32 length",
+        )
+    })?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Parses one request payload. Total over arbitrary bytes: every input
+/// yields `Ok` or a diagnostic `Err`, never a panic.
+pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("request is not UTF-8: {e}"))?;
+    let (head, body) = match text.split_once('\n') {
+        Some((h, b)) => (h, b),
+        None => (text, ""),
+    };
+    let mut words = head.split_whitespace();
+    let cmd = words.next().unwrap_or("");
+    let simple = |req: Request, words: &mut dyn Iterator<Item = &str>| match words.next() {
+        None => Ok(req),
+        Some(extra) => Err(format!(
+            "command `{cmd}` takes no arguments (got `{extra}`)"
+        )),
+    };
+    match cmd {
+        "BATCH" => {
+            let mut deadline_ms = None;
+            let mut retries = None;
+            for opt in words {
+                let (key, value) = opt
+                    .split_once('=')
+                    .ok_or_else(|| format!("BATCH option `{opt}` is not `key=value`"))?;
+                let value: u64 = value
+                    .parse()
+                    .map_err(|_| format!("BATCH option `{key}` needs an unsigned integer"))?;
+                match key {
+                    "deadline_ms" => deadline_ms = Some(value),
+                    "retries" => retries = Some(value),
+                    other => {
+                        return Err(format!(
+                            "unknown BATCH option `{other}` (expected deadline_ms|retries)"
+                        ))
+                    }
+                }
+            }
+            Ok(Request::Batch {
+                deadline_ms,
+                retries,
+                body: body.to_string(),
+            })
+        }
+        "OUTPUT" => simple(Request::Output, &mut words),
+        "STATS" => simple(Request::Stats, &mut words),
+        "HEALTH" => simple(Request::Health, &mut words),
+        "REOPT" => simple(Request::Reopt, &mut words),
+        "SNAPSHOT" => simple(Request::Snapshot, &mut words),
+        "SHUTDOWN" => simple(Request::Shutdown, &mut words),
+        "" => Err("empty request".to_string()),
+        other => Err(format!(
+            "unknown command `{other}` (expected BATCH|OUTPUT|STATS|HEALTH|REOPT|SNAPSHOT|SHUTDOWN)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"HEALTH").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"HEALTH");
+        assert_eq!(read_frame(&mut r, 1024).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[0u8; 100]).unwrap();
+        let err = read_frame(&mut &buf[..], 10).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frames_are_errors_not_hangs() {
+        // Length says 100 bytes, stream has 3.
+        let mut buf = 100u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        assert!(read_frame(&mut &buf[..], 1024).is_err());
+        // Truncated length prefix.
+        let buf = [0u8, 0u8];
+        assert!(read_frame(&mut &buf[..], 1024).is_err());
+    }
+
+    #[test]
+    fn requests_parse() {
+        assert_eq!(parse_request(b"OUTPUT").unwrap(), Request::Output);
+        assert_eq!(parse_request(b"SHUTDOWN").unwrap(), Request::Shutdown);
+        let req = parse_request(b"BATCH deadline_ms=50 retries=1\na,b\nc,d\n").unwrap();
+        assert_eq!(
+            req,
+            Request::Batch {
+                deadline_ms: Some(50),
+                retries: Some(1),
+                body: "a,b\nc,d\n".to_string()
+            }
+        );
+        let req = parse_request(b"BATCH\n").unwrap();
+        assert_eq!(
+            req,
+            Request::Batch {
+                deadline_ms: None,
+                retries: None,
+                body: String::new()
+            }
+        );
+    }
+
+    #[test]
+    fn bad_requests_are_diagnosed() {
+        assert!(parse_request(b"").unwrap_err().contains("empty"));
+        assert!(parse_request(b"NOPE")
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(parse_request(b"OUTPUT extra")
+            .unwrap_err()
+            .contains("takes no arguments"));
+        assert!(parse_request(b"BATCH deadline_ms=abc\n")
+            .unwrap_err()
+            .contains("unsigned"));
+        assert!(parse_request(b"BATCH nope=1\n")
+            .unwrap_err()
+            .contains("unknown BATCH option"));
+        assert!(parse_request(&[0xff, 0xfe]).unwrap_err().contains("UTF-8"));
+    }
+}

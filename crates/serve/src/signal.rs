@@ -1,0 +1,139 @@
+//! Minimal zero-dep signal handling via the classic self-pipe trick.
+//!
+//! A signal handler may only call async-signal-safe functions, so the
+//! handler does exactly one thing: `write()` a single byte (the signal
+//! number) to a pipe. A normal watcher thread blocks in `read()` on the
+//! other end and runs the user callback outside signal context.
+//!
+//! Only SIGINT and SIGTERM are hooked, and only once per process
+//! ([`watch`] is idempotent after the first call). On non-Unix targets
+//! the module compiles to a no-op stub.
+
+/// A signal the watcher reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sig {
+    /// SIGINT (Ctrl-C). Conventional exit code 130.
+    Int,
+    /// SIGTERM. Conventional exit code 143.
+    Term,
+}
+
+impl Sig {
+    /// The cause string used by `KanonError::Interrupted`.
+    pub fn cause(self) -> &'static str {
+        match self {
+            Sig::Int => "SIGINT",
+            Sig::Term => "SIGTERM",
+        }
+    }
+
+    /// The conventional 128+signo shell exit code.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            Sig::Int => 130,
+            Sig::Term => 143,
+        }
+    }
+}
+
+#[cfg(unix)]
+pub use imp::watch;
+
+#[cfg(unix)]
+mod imp {
+    use super::Sig;
+    use std::sync::atomic::{AtomicI32, Ordering};
+    use std::sync::OnceLock;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn pipe(fds: *mut i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    }
+
+    /// Write end of the self-pipe; set once before the handlers are
+    /// installed, read-only (and async-signal-safely) afterwards.
+    static WRITE_FD: AtomicI32 = AtomicI32::new(-1);
+
+    /// Async-signal-safe handler: forward the signal number as one byte
+    /// down the pipe. `write(2)` is on the async-signal-safe list;
+    /// nothing else here allocates, locks, or formats.
+    extern "C" fn forward(signum: i32) {
+        let fd = WRITE_FD.load(Ordering::Relaxed);
+        if fd >= 0 {
+            let byte = signum as u8;
+            // SAFETY: fd is a valid pipe write end for the whole process
+            // lifetime (never closed), and `byte` outlives the call.
+            unsafe {
+                let _ = write(fd, &byte, 1);
+            }
+        }
+    }
+
+    /// Installs SIGINT/SIGTERM handlers and spawns the watcher thread;
+    /// `on_signal` runs on that thread for every delivered signal. Only
+    /// the first call installs anything — later calls are ignored (the
+    /// process has one shutdown policy).
+    pub fn watch(on_signal: Box<dyn Fn(Sig) + Send>) {
+        static INSTALLED: OnceLock<()> = OnceLock::new();
+        INSTALLED.get_or_init(|| {
+            let mut fds = [-1i32; 2];
+            // SAFETY: `fds` is a valid out-pointer for two file
+            // descriptors, the only thing pipe(2) writes.
+            let rc = unsafe { pipe(fds.as_mut_ptr()) };
+            if rc != 0 {
+                // No pipe, no graceful shutdown — the default signal
+                // disposition (immediate termination) still applies.
+                return;
+            }
+            WRITE_FD.store(fds[1], Ordering::Relaxed);
+            // SAFETY: `forward` is an `extern "C" fn(i32)` — exactly the
+            // handler ABI signal(2) expects — and touches only
+            // async-signal-safe state.
+            unsafe {
+                signal(SIGINT, forward as *const () as usize);
+                signal(SIGTERM, forward as *const () as usize);
+            }
+            let read_fd = fds[0];
+            std::thread::spawn(move || loop {
+                let mut byte = 0u8;
+                // SAFETY: read_fd is the pipe read end, owned solely by
+                // this thread; `byte` is a valid 1-byte buffer.
+                let n = unsafe { read(read_fd, &mut byte, 1) };
+                if n != 1 {
+                    if n < 0 {
+                        continue; // EINTR etc.
+                    }
+                    return; // EOF: write end gone, process exiting
+                }
+                let sig = match i32::from(byte) {
+                    SIGINT => Sig::Int,
+                    SIGTERM => Sig::Term,
+                    _ => continue,
+                };
+                on_signal(sig);
+            });
+        });
+    }
+}
+
+/// No-op stub: non-Unix targets keep the default signal disposition.
+#[cfg(not(unix))]
+pub fn watch(_on_signal: Box<dyn Fn(Sig) + Send>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sig_metadata_follows_shell_convention() {
+        assert_eq!(Sig::Int.cause(), "SIGINT");
+        assert_eq!(Sig::Term.cause(), "SIGTERM");
+        assert_eq!(Sig::Int.exit_code(), 130);
+        assert_eq!(Sig::Term.exit_code(), 143);
+    }
+}
