@@ -367,10 +367,12 @@ fn malformed_failpoint_spec_is_reported_not_a_crash() {
         &["anonymize", "art", "--k", "3", "--n", "40"],
         &[("KANON_FAILPOINTS", "algos/agglomerative/merge=sometimes")],
     );
-    assert_eq!(out.status.code(), Some(1));
+    // A bad spec is a usage error (exit 2), same as a misspelled
+    // fail-point name: the operator typed it, nothing ran yet.
+    assert_eq!(out.status.code(), Some(2));
     let err = stderr_of(&out);
     assert!(
-        err.contains("error:") && err.contains("KANON_FAILPOINTS"),
+        err.contains("usage error") && err.contains("KANON_FAILPOINTS"),
         "{err}"
     );
 }

@@ -26,6 +26,7 @@ const ISOLATED_VARS: &[&str] = &[
     "KANON_SERVE_SNAPSHOT_EVERY",
     "KANON_SERVE_REOPT_EVERY",
     "KANON_SERVE_MAX_FRAME",
+    "KANON_SERVE_IDLE_TIMEOUT_MS",
 ];
 
 fn kanon_cmd(args: &[&str], envs: &[(&str, &str)]) -> Command {
@@ -212,6 +213,66 @@ fn torn_journal_tail_recovers_to_the_last_intact_batch() {
 }
 
 #[test]
+fn reopt_survives_kill_minus_9() {
+    // A reopt rewrites the published generalization of already-released
+    // rows; recovering to the pre-reopt clustering would publish two
+    // different generalizations of the same rows. The journaled reopt
+    // record must carry it through kill -9 — with no snapshot in the
+    // way (journal-only persistence is the worst case).
+    let dir = tmp_dir("serve-reopt-kill");
+    let batches = batches();
+    let mut d = Daemon::spawn(&dir, &[], &[]);
+    for b in &batches {
+        d.request(format!("BATCH\n{b}").as_bytes());
+    }
+    let resp = d.request(b"REOPT");
+    assert!(resp.starts_with("OK loss_incremental="), "{resp}");
+    let live_output = d.request(b"OUTPUT");
+    let live_health = d.request(b"HEALTH");
+    assert!(live_health.contains("\"reopts\":1"), "{live_health}");
+    d.kill_dash_nine();
+
+    let mut r = Daemon::spawn(&dir, &[], &[]);
+    assert_eq!(r.request(b"OUTPUT"), live_output);
+    let health = r.request(b"HEALTH");
+    assert!(health.contains("\"reopts\":1"), "{health}");
+    assert!(health.contains("\"replayed\":4"), "{health}"); // 3 batches + 1 reopt
+    assert_eq!(r.shutdown(), Some(0));
+}
+
+#[test]
+fn torn_journal_append_is_repaired_and_never_buries_later_batches() {
+    // An armed serve/journal/append fault makes the first batch's WAL
+    // append fail mid-write. The un-acknowledged batch must surface as
+    // ERR Io, the torn bytes must be truncated away, and everything
+    // acknowledged afterwards must survive kill -9 — nothing hides
+    // behind a mid-file tear.
+    let dir = tmp_dir("serve-torn-append");
+    let batches = batches();
+    let mut d = Daemon::spawn(
+        &dir,
+        &[],
+        &[("KANON_FAILPOINTS", "serve/journal/append=once:1")],
+    );
+    let resp = d.request(format!("BATCH\n{}", batches[0]).as_bytes());
+    assert!(resp.starts_with("ERR Io:"), "{resp}");
+    // The daemon stays up and the repaired journal accepts the retry
+    // and a second batch.
+    for b in &batches[..2] {
+        let resp = d.request(format!("BATCH\n{b}").as_bytes());
+        assert!(resp.starts_with("OK seq="), "{resp}");
+    }
+    let live_output = d.request(b"OUTPUT");
+    d.kill_dash_nine();
+
+    let mut r = Daemon::spawn(&dir, &[], &[]);
+    assert_eq!(r.request(b"OUTPUT"), live_output);
+    let health = r.request(b"HEALTH");
+    assert!(health.contains("\"batches\":2"), "{health}");
+    assert_eq!(r.shutdown(), Some(0));
+}
+
+#[test]
 fn injected_transient_fault_is_retried_to_success() {
     let dir = tmp_dir("serve-retry");
     let batches = batches();
@@ -324,7 +385,7 @@ fn unknown_failpoint_names_are_usage_errors() {
         &["anonymize", "art", "--k", "3", "--n", "30"],
         &[(
             "KANON_FAILPOINTS",
-            "serve/accept=off,serve/batch/apply=off,serve/journal/replay=off,serve/snapshot/write=off",
+            "serve/accept=off,serve/batch/apply=off,serve/journal/append=off,serve/journal/replay=off,serve/snapshot/write=off",
         )],
     );
     assert_eq!(out.status.code(), Some(0));

@@ -24,6 +24,8 @@
 //!   batches (`0` disables periodic re-optimization).
 //! * `KANON_SERVE_MAX_FRAME` — maximum accepted request frame, in bytes;
 //!   values < 1 are ignored.
+//! * `KANON_SERVE_IDLE_TIMEOUT_MS` — per-read idle timeout on accepted
+//!   serve connections (`0` disables).
 //!
 //! All knobs are snapshotted once per process.
 
@@ -124,4 +126,14 @@ pub fn serve_reopt_every() -> u64 {
 pub fn serve_max_frame() -> u64 {
     static MAX: OnceLock<u64> = OnceLock::new();
     env_u64(&MAX, "KANON_SERVE_MAX_FRAME", 1, 16 * 1024 * 1024)
+}
+
+/// Per-read idle timeout on accepted serve connections, in milliseconds
+/// (`KANON_SERVE_IDLE_TIMEOUT_MS`, else 30 000; `0` disables). The
+/// daemon serves one connection at a time, so without a timeout a
+/// client that connects and sends nothing wedges every other client —
+/// including `HEALTH`.
+pub fn serve_idle_timeout_ms() -> u64 {
+    static IDLE: OnceLock<u64> = OnceLock::new();
+    env_u64(&IDLE, "KANON_SERVE_IDLE_TIMEOUT_MS", 0, 30_000)
 }

@@ -49,6 +49,7 @@
 //! | `parallel/worker`            | every spawned worker (index semantics)   |
 //! | `serve/accept`               | per accepted daemon connection (drops it) |
 //! | `serve/batch/apply`          | top of the daemon's batch-apply path     |
+//! | `serve/journal/append`       | per journal append (simulates torn write) |
 //! | `serve/journal/replay`       | per replayed journal record at recovery  |
 //! | `serve/snapshot/write`       | before a state snapshot (skips the write) |
 #![forbid(unsafe_code)]
@@ -64,7 +65,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 /// (the lint parses this constant out of the source, so adding a site
 /// without cataloguing it — or cataloguing a point nothing hits — turns
 /// the CI gate red).
-pub const CATALOGUE: [&str; 13] = [
+pub const CATALOGUE: [&str; 14] = [
     "algos/agglomerative/merge",
     "algos/forest/round",
     "algos/k1/row",
@@ -76,6 +77,7 @@ pub const CATALOGUE: [&str; 13] = [
     "parallel/worker",
     "serve/accept",
     "serve/batch/apply",
+    "serve/journal/append",
     "serve/journal/replay",
     "serve/snapshot/write",
 ];

@@ -1,11 +1,12 @@
 //! Write-ahead batch journal.
 //!
-//! Every accepted batch is appended (and fsynced) to `journal.log`
-//! *before* it is applied to in-memory state, so a `kill -9` at any
-//! instant loses at most work that was never acknowledged. On restart
-//! the daemon replays the journal on top of the latest snapshot and
-//! reaches byte-identical state — replay re-runs the same deterministic
-//! clustering code under the same recorded work budget.
+//! Every state mutation — an accepted batch or a re-optimization pass —
+//! is appended (and fsynced) to `journal.log` *before* it is applied to
+//! in-memory state, so a `kill -9` at any instant loses at most work
+//! that was never acknowledged. On restart the daemon replays the
+//! journal on top of the latest snapshot and reaches byte-identical
+//! state — replay re-runs the same deterministic clustering code under
+//! the same recorded work budget.
 //!
 //! ## Record format
 //!
@@ -17,8 +18,10 @@
 //! ```
 //!
 //! * `seq` — monotonically increasing batch sequence number.
-//! * `kind` — `B` (batch body follows) or `R` (the batch with this
-//!   `seq` was rolled back after exhausting retries; payload empty).
+//! * `kind` — `B` (batch body follows), `O` (a re-optimization pass ran
+//!   at this point in the sequence; payload empty), or `R` (the record
+//!   with this `seq` was rolled back after a permanent failure; payload
+//!   empty).
 //! * `budget` — the *relative* work-budget units granted to the batch
 //!   (`0` = unbounded). Relative units make replay independent of
 //!   process history: each apply runs under a fresh collector.
@@ -26,11 +29,21 @@
 //!
 //! A torn tail (truncated or CRC-mismatched final record, the only
 //! corruption a crash mid-append can produce) is detected and
-//! discarded; anything after the first bad record is ignored.
+//! discarded; anything after the first bad record is ignored. To keep
+//! "torn record" synonymous with "final record", a *failed* append
+//! truncates the file back to its pre-append length before returning —
+//! otherwise a later successful append would bury the torn bytes
+//! mid-file and silently hide every record after them from replay. If
+//! that repair itself fails the handle is poisoned and refuses further
+//! appends, so no acknowledged record can ever land beyond a tear.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+
+/// Fail point: simulates a torn append (partial write followed by an
+/// I/O error) so the truncation-repair path stays exercised.
+pub const POINT_JOURNAL_APPEND: &str = "serve/journal/append";
 
 /// IEEE CRC-32, bitwise (no table): the journal appends are fsync-bound,
 /// so checksum speed is irrelevant and zero static data keeps it simple.
@@ -51,7 +64,9 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 pub enum RecordKind {
     /// A batch body to (re-)apply.
     Batch,
-    /// The batch with this seq permanently failed and was rolled back.
+    /// A re-optimization pass ran at this point in the sequence.
+    Reopt,
+    /// The record with this seq permanently failed and was rolled back.
     Rollback,
 }
 
@@ -69,10 +84,15 @@ pub struct JournalRecord {
 }
 
 /// Append-only journal handle. Appends are durable (fsynced) before
-/// they return.
+/// they return; a failed append truncates its torn bytes away so the
+/// file never grows past a bad record.
 pub struct Journal {
     path: PathBuf,
     file: File,
+    /// Set when a failed append could not be truncated back out: the
+    /// logical tail is unknown, so further appends are refused rather
+    /// than risk burying the tear under acknowledged records.
+    poisoned: bool,
 }
 
 impl Journal {
@@ -82,6 +102,7 @@ impl Journal {
         Ok(Journal {
             path: path.to_path_buf(),
             file,
+            poisoned: false,
         })
     }
 
@@ -91,7 +112,11 @@ impl Journal {
     }
 
     /// Appends one record and fsyncs. The record is visible to a
-    /// post-crash replay only after this returns.
+    /// post-crash replay only after this returns. On failure (ENOSPC,
+    /// I/O error mid-write) the file is truncated back to its
+    /// pre-append length, so the torn record can never end up buried
+    /// mid-file where `read_journal` would stop at it and hide every
+    /// later acknowledged record from replay.
     pub fn append(
         &mut self,
         seq: u64,
@@ -99,8 +124,14 @@ impl Journal {
         budget: u64,
         payload: &[u8],
     ) -> io::Result<()> {
+        if self.poisoned {
+            return Err(io::Error::other(
+                "journal is poisoned: an earlier torn append could not be repaired",
+            ));
+        }
         let tag = match kind {
             RecordKind::Batch => 'B',
+            RecordKind::Reopt => 'O',
             RecordKind::Rollback => 'R',
         };
         let header = format!(
@@ -112,8 +143,30 @@ impl Journal {
         buf.extend_from_slice(header.as_bytes());
         buf.extend_from_slice(payload);
         buf.push(b'\n');
-        self.file.write_all(&buf)?;
-        self.file.sync_all()
+        let start = self.file.metadata()?.len();
+        let written = if kanon_fault::armed() && kanon_fault::fires(POINT_JOURNAL_APPEND) {
+            // Injected torn append: half the record lands, then the
+            // device "fails" — exactly what a crash mid-write leaves.
+            self.file
+                .write_all(&buf[..buf.len() / 2])
+                .and_then(|()| Err(io::Error::other("fault injected: serve/journal/append")))
+        } else {
+            self.file
+                .write_all(&buf)
+                .and_then(|()| self.file.sync_all())
+        };
+        if let Err(e) = written {
+            if self
+                .file
+                .set_len(start)
+                .and_then(|()| self.file.sync_all())
+                .is_err()
+            {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
+        Ok(())
     }
 }
 
@@ -153,6 +206,7 @@ fn decode_record(bytes: &[u8], out: &mut Vec<JournalRecord>) -> Option<usize> {
     let seq: u64 = words.next()?.parse().ok()?;
     let kind = match words.next()? {
         "B" => RecordKind::Batch,
+        "O" => RecordKind::Reopt,
         "R" => RecordKind::Rollback,
         _ => return None,
     };
@@ -207,15 +261,43 @@ mod tests {
         j.append(2, RecordKind::Rollback, 0, b"").unwrap();
         j.append(3, RecordKind::Batch, 0, b"payload with KJ1 inside\n")
             .unwrap();
+        j.append(4, RecordKind::Reopt, 0, b"").unwrap();
         drop(j);
         let recs = read_journal(&path).unwrap();
-        assert_eq!(recs.len(), 3);
+        assert_eq!(recs.len(), 4);
         assert_eq!(recs[0].seq, 1);
         assert_eq!(recs[0].kind, RecordKind::Batch);
         assert_eq!(recs[0].budget, 500);
         assert_eq!(recs[0].payload, b"a,b\nc,d\n");
         assert_eq!(recs[1].kind, RecordKind::Rollback);
         assert_eq!(recs[2].payload, b"payload with KJ1 inside\n");
+        assert_eq!(recs[3].kind, RecordKind::Reopt);
+        assert_eq!(recs[3].seq, 4);
+        assert!(recs[3].payload.is_empty());
+    }
+
+    #[test]
+    fn failed_append_truncates_the_torn_record_away() {
+        let path = tmp("torn-append");
+        let mut j = Journal::open(&path).unwrap();
+        j.append(1, RecordKind::Batch, 0, b"first\n").unwrap();
+        let len_before = std::fs::metadata(&path).unwrap().len();
+        {
+            let _g = kanon_fault::scoped(&format!("{POINT_JOURNAL_APPEND}=once:1"));
+            j.append(2, RecordKind::Batch, 0, b"second\n").unwrap_err();
+        }
+        // The partial record was rolled back — the file is exactly as
+        // long as before the failed append, not torn mid-file.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), len_before);
+        // A later successful append lands at the repaired tail, so
+        // nothing acknowledged ever hides behind torn bytes.
+        j.append(2, RecordKind::Batch, 0, b"second again\n")
+            .unwrap();
+        drop(j);
+        let recs = read_journal(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].seq, 2);
+        assert_eq!(recs[1].payload, b"second again\n");
     }
 
     #[test]

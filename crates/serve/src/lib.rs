@@ -22,8 +22,8 @@
 //!   endpoints serve the aggregated `kanon-obs` report.
 //!
 //! Fail points: `serve/accept`, `serve/batch/apply`,
-//! `serve/journal/replay`, `serve/snapshot/write` (see
-//! `kanon_fault::CATALOGUE`).
+//! `serve/journal/append`, `serve/journal/replay`,
+//! `serve/snapshot/write` (see `kanon_fault::CATALOGUE`).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -84,6 +84,11 @@ pub struct ServeOptions {
     pub work_rate: u64,
     /// Maximum accepted frame size in bytes (`KANON_SERVE_MAX_FRAME`).
     pub max_frame: u64,
+    /// Per-read idle timeout on accepted connections, in milliseconds
+    /// (`KANON_SERVE_IDLE_TIMEOUT_MS`; 0 disables). The daemon serves
+    /// one connection at a time, so a client that connects and then
+    /// sends nothing would otherwise wedge every other client.
+    pub idle_timeout_ms: u64,
 }
 
 impl ServeOptions {
@@ -98,6 +103,7 @@ impl ServeOptions {
             backoff_ms: kanon_core::config::serve_backoff_ms(),
             work_rate: kanon_core::config::serve_work_rate(),
             max_frame: kanon_core::config::serve_max_frame(),
+            idle_timeout_ms: kanon_core::config::serve_idle_timeout_ms(),
         }
     }
 }
@@ -125,8 +131,23 @@ impl Listener {
     pub fn bind(listen: &str) -> std::io::Result<(Listener, String)> {
         #[cfg(unix)]
         if listen.contains('/') {
-            // A stale socket file from a killed process blocks bind.
-            let _ = std::fs::remove_file(listen);
+            use std::os::unix::fs::FileTypeExt;
+            // A stale socket file from a killed process blocks bind —
+            // but only an actual socket may be unlinked: a typo'd
+            // `--listen` pointing at a regular file must never silently
+            // delete it.
+            match std::fs::symlink_metadata(listen) {
+                Ok(md) if md.file_type().is_socket() => {
+                    let _ = std::fs::remove_file(listen);
+                }
+                Ok(_) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::AlreadyExists,
+                        format!("--listen path {listen} exists and is not a socket"),
+                    ));
+                }
+                Err(_) => {}
+            }
             let l = std::os::unix::net::UnixListener::bind(listen)?;
             return Ok((Listener::Unix(l), listen.to_string()));
         }
@@ -193,15 +214,26 @@ impl Daemon {
             self.state.num_rows(),
             self.replayed
         );
+        // Connections are served one at a time, so an idle client must
+        // not hold the accept loop hostage: every read gets a timeout
+        // and a silent peer is dropped (see `serve_connection`).
+        let idle = (self.opts.idle_timeout_ms > 0)
+            .then(|| std::time::Duration::from_millis(self.opts.idle_timeout_ms));
         loop {
             let conn: Box<dyn Conn> = match &listener {
                 Listener::Tcp(l) => match l.accept() {
-                    Ok((s, _)) => Box::new(s),
+                    Ok((s, _)) => {
+                        let _ = s.set_read_timeout(idle);
+                        Box::new(s)
+                    }
                     Err(_) => continue,
                 },
                 #[cfg(unix)]
                 Listener::Unix(l) => match l.accept() {
-                    Ok((s, _)) => Box::new(s),
+                    Ok((s, _)) => {
+                        let _ = s.set_read_timeout(idle);
+                        Box::new(s)
+                    }
                     Err(_) => continue,
                 },
             };
@@ -225,6 +257,15 @@ impl Daemon {
                 Ok(Some(p)) => p,
                 Ok(None) => return Control::Continue,
                 Err(e) => {
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) {
+                        // Idle client: the per-read timeout fired with no
+                        // frame in flight. Drop the connection silently so
+                        // the next client gets served.
+                        return Control::Continue;
+                    }
                     // Oversize/truncated frame: diagnose if the pipe is
                     // still writable, then drop the connection.
                     let _ = write_frame(&mut conn, format!("ERR Usage: {e}").as_bytes());
@@ -311,12 +352,6 @@ impl Daemon {
                     let mut extra = String::new();
                     // `u64::is_multiple_of` needs Rust 1.87; MSRV is 1.75.
                     #[allow(clippy::manual_is_multiple_of)]
-                    if self.opts.snapshot_every > 0
-                        && self.state.batches_applied() % self.opts.snapshot_every == 0
-                    {
-                        self.snapshot();
-                    }
-                    #[allow(clippy::manual_is_multiple_of)]
                     if self.state.reopt_every() > 0
                         && self.state.batches_applied() % self.state.reopt_every() == 0
                     {
@@ -324,6 +359,15 @@ impl Daemon {
                             Ok(out) => format!(" drift={:+.6}", out.drift),
                             Err(e) => format!(" reopt_failed={e}"),
                         };
+                    }
+                    // Snapshot after any periodic reopt, not before it:
+                    // the snapshot then captures the post-reopt state, so
+                    // recovery needn't replay the reopt's journal record.
+                    #[allow(clippy::manual_is_multiple_of)]
+                    if self.opts.snapshot_every > 0
+                        && self.state.batches_applied() % self.opts.snapshot_every == 0
+                    {
+                        self.snapshot();
                     }
                     return format!(
                         "OK seq={} rows_in={} absorbed={} clustered={} pending={} \
@@ -414,13 +458,34 @@ impl Daemon {
         }
     }
 
+    /// Runs a re-optimization pass under the same write-ahead
+    /// discipline as a batch: an `O` record is journaled (fsync) before
+    /// the state mutates, so a `kill -9` at any instant after the
+    /// published clustering changed recovers to the same clustering —
+    /// never to the pre-reopt generalization of the same rows. A failed
+    /// reopt rolls its journal record back and burns the seq, exactly
+    /// like a permanently failed batch.
     fn reopt(&mut self) -> KanonResult<state::ReoptOutcome> {
+        let seq = self.state.next_seq();
+        self.journal
+            .append(seq, RecordKind::Reopt, 0, b"")
+            .map_err(|e| io_err(self.journal.path(), &e))?;
         let collector = Collector::new();
         let guard = collector.install();
         let out = self.state.reopt();
         drop(guard);
         self.fold(&collector.report());
-        out
+        match out {
+            Ok(outcome) => {
+                debug_assert_eq!(self.state.next_seq(), seq + 1);
+                Ok(outcome)
+            }
+            Err(e) => {
+                let _ = self.journal.append(seq, RecordKind::Rollback, 0, b"");
+                self.state.note_rollback(seq);
+                Err(e)
+            }
+        }
     }
 
     /// Writes a snapshot; `Some(false)` = skipped by the
@@ -473,7 +538,7 @@ impl<T: Read + Write> Conn for T {}
 /// ordinal advances per hit, and a worker panic may be one poisoned
 /// dispatch — both can succeed on the next attempt. Everything else
 /// (bad data, budget, usage) would fail identically again.
-fn transient(e: &KanonError) -> bool {
+pub(crate) fn transient(e: &KanonError) -> bool {
     matches!(
         e,
         KanonError::FaultInjected { .. } | KanonError::WorkerPanic { .. }
@@ -554,6 +619,7 @@ mod tests {
             backoff_ms: 0,
             work_rate: 5_000,
             max_frame: 1 << 20,
+            idle_timeout_ms: 0,
         }
     }
 
@@ -658,7 +724,117 @@ mod tests {
             backoff_ms: 0,
             work_rate: 5_000,
             max_frame: 1 << 20,
+            idle_timeout_ms: 0,
         }
+    }
+
+    #[test]
+    fn reopt_survives_crash_recovery() {
+        // The high-stakes invariant: a reopt rewrites the published
+        // generalization of already-released rows, so recovering to the
+        // pre-reopt clustering would publish two different
+        // generalizations of the same rows. The journaled `O` record
+        // must carry the reopt through `kill -9`.
+        let o = opts("reopt-recovery");
+        let mut d = Daemon::start(base_table(), cfg(), o.clone()).unwrap();
+        request(&mut d, b"BATCH\n10,60s\n11,70s\n");
+        let resp = request(&mut d, b"REOPT");
+        assert!(resp.starts_with("OK loss_incremental="), "{resp}");
+        let live_out = request(&mut d, b"OUTPUT");
+        let live_health = request(&mut d, b"HEALTH");
+        assert!(live_health.contains("\"reopts\":1"), "{live_health}");
+        drop(d); // "kill": journal only, no snapshot
+
+        let mut r = Daemon::start(base_table(), cfg(), opts2_keep("reopt-recovery")).unwrap();
+        assert_eq!(r.replayed(), 2); // the batch and the reopt
+        assert_eq!(request(&mut r, b"OUTPUT"), live_out);
+        let rec_health = request(&mut r, b"HEALTH").replace("\"replayed\":2", "\"replayed\":0");
+        assert_eq!(rec_health, live_health);
+    }
+
+    #[test]
+    fn failed_reopt_rolls_back_and_burns_its_seq() {
+        // shard_max 2 forces the partitioner to split (and hence hit
+        // its fail point) even on this tiny table.
+        let mut c = cfg();
+        c.shard_max = 2;
+        let o = opts("reopt-rollback");
+        let mut d = Daemon::start(base_table(), c.clone(), o).unwrap();
+        request(&mut d, b"BATCH\n10,60s\n11,70s\n"); // seq 1
+        let resp = {
+            let _g = kanon_fault::scoped("algos/shard/partition=every:1");
+            request(&mut d, b"REOPT")
+        };
+        assert!(resp.starts_with("ERR FaultInjected:"), "{resp}");
+        // The failed reopt journaled seq 2 and rolled it back; the next
+        // batch numbers past it.
+        let resp = request(&mut d, b"BATCH\n10,70s\n");
+        assert!(resp.starts_with("OK seq=3 "), "{resp}");
+        let live_out = request(&mut d, b"OUTPUT");
+        drop(d);
+
+        let mut r = Daemon::start(base_table(), c, opts2_keep("reopt-rollback")).unwrap();
+        assert_eq!(r.replayed(), 2); // both batches; the rolled-back reopt is skipped
+        assert_eq!(request(&mut r, b"OUTPUT"), live_out);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn bind_refuses_to_clobber_a_regular_file() {
+        let dir = std::env::temp_dir().join(format!("kanon-serve-bind-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A typo'd --listen pointing at a real file must error, not
+        // delete the file.
+        let file = dir.join("precious.csv");
+        std::fs::write(&file, "do not delete\n").unwrap();
+        let err = match Listener::bind(file.to_str().unwrap()) {
+            Ok(_) => panic!("bind accepted a regular file as --listen"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        assert_eq!(
+            std::fs::read_to_string(&file).unwrap(),
+            "do not delete\n",
+            "bind deleted an existing regular file"
+        );
+        // A stale socket left by a killed process is still cleaned up.
+        let sock = dir.join("serve.sock");
+        let (l, _) = Listener::bind(sock.to_str().unwrap()).unwrap();
+        drop(l); // the socket file outlives the listener
+        assert!(sock.exists());
+        let (_l, addr) = Listener::bind(sock.to_str().unwrap()).unwrap();
+        assert_eq!(addr, sock.to_str().unwrap());
+    }
+
+    #[test]
+    fn idle_connection_cannot_wedge_the_daemon() {
+        let mut o = opts("idle");
+        o.idle_timeout_ms = 100;
+        let state_dir = o.state_dir.clone();
+        let mut d = Daemon::start(base_table(), cfg(), o).unwrap();
+        let handle = std::thread::spawn(move || d.run());
+        let addr_path = state_dir.join(ADDR_FILE);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_path) {
+                if text.ends_with('\n') {
+                    break text.trim().to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        // A client that connects and sends nothing is dropped after the
+        // idle timeout instead of blocking everyone else forever.
+        let silent = std::net::TcpStream::connect(&addr).unwrap();
+        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+        write_frame(&mut conn, b"HEALTH").unwrap();
+        let resp = read_frame(&mut conn, 1 << 20).unwrap().unwrap();
+        assert!(resp.starts_with(b"OK "), "{resp:?}");
+        drop(silent);
+        write_frame(&mut conn, b"SHUTDOWN").unwrap();
+        let resp = read_frame(&mut conn, 1 << 20).unwrap().unwrap();
+        assert!(resp.starts_with(b"OK shutting down"), "{resp:?}");
+        handle.join().unwrap().unwrap();
     }
 
     #[test]

@@ -515,6 +515,11 @@ impl ServeState {
     /// loss drift against a fresh sharded run over the published rows,
     /// then adopts a full-table fresh run (publishing everything,
     /// pending included). Unbudgeted — this is maintenance work.
+    ///
+    /// A successful reopt consumes a sequence number, exactly like a
+    /// batch: the daemon journals an `O` record under that seq before
+    /// calling this, so recovery replays the reopt at the same point in
+    /// the batch sequence and reaches the same published clustering.
     pub fn reopt(&mut self) -> KanonResult<ReoptOutcome> {
         let shard_cfg = shard_config(&self.cfg);
         let table = self.table();
@@ -537,6 +542,7 @@ impl ServeState {
         let drift = Self::drift_of(loss_incremental, loss_scratch);
 
         self.adopt_clustering(&full.clustering);
+        self.seq += 1;
         self.reopt_runs += 1;
         self.last_drift = Some(drift);
         count(Counter::ServeReoptRuns, 1);
@@ -737,11 +743,22 @@ impl ServeState {
         Ok(state)
     }
 
-    /// Replays a journal on top of this state: every `B` record with
-    /// `seq` beyond the snapshot — minus those cancelled by a later `R`
-    /// rollback marker — is re-applied under its recorded relative
+    /// Replays a journal on top of this state: every `B` and `O` record
+    /// with `seq` beyond the snapshot — minus those cancelled by a later
+    /// `R` rollback marker — is re-applied under its recorded relative
     /// budget. Deterministic code + relative budgets ⇒ the recovered
     /// state is byte-identical to the pre-crash state.
+    ///
+    /// One crash window needs repair rather than faithful re-execution:
+    /// a record is journaled *before* its apply, and a permanent apply
+    /// failure only gets its `R` marker after all retries. A `kill -9`
+    /// inside that window leaves a journaled record whose replay fails
+    /// with the same deterministic error. Since nothing can have been
+    /// journaled after it, that record is necessarily the final one —
+    /// so a permanently failing **final** record is rolled back at
+    /// recovery time (the `R` marker is appended now) instead of
+    /// wedging startup. A deterministic failure anywhere earlier means
+    /// real corruption or non-determinism and still propagates.
     pub fn replay_journal(&mut self, path: &Path) -> KanonResult<u64> {
         let records = read_journal(path)
             .map_err(|e| KanonError::Usage(format!("cannot read journal: {e}")))?;
@@ -751,9 +768,9 @@ impl ServeState {
             .map(|r| r.seq)
             .collect();
         let mut replayed = 0;
-        for rec in &records {
+        for (idx, rec) in records.iter().enumerate() {
             if rec.seq <= self.seq
-                || rec.kind != RecordKind::Batch
+                || rec.kind == RecordKind::Rollback
                 || rolled_back.contains(&rec.seq)
             {
                 if rec.kind == RecordKind::Rollback && rec.seq > self.seq {
@@ -764,10 +781,30 @@ impl ServeState {
                 continue;
             }
             kanon_fault::fail_point!(POINT_JOURNAL_REPLAY);
-            let body = std::str::from_utf8(&rec.payload)
-                .map_err(|_| KanonError::Usage("journal payload is not UTF-8".to_string()))?;
-            self.apply_replayed(rec, body)?;
-            replayed += 1;
+            let outcome = match rec.kind {
+                RecordKind::Batch => {
+                    let body = std::str::from_utf8(&rec.payload).map_err(|_| {
+                        KanonError::Usage("journal payload is not UTF-8".to_string())
+                    })?;
+                    self.apply_replayed(rec, body)
+                }
+                RecordKind::Reopt => self.replay_reopt(rec),
+                RecordKind::Rollback => unreachable!("rollbacks are filtered above"),
+            };
+            match outcome {
+                Ok(()) => replayed += 1,
+                Err(e) if idx == records.len() - 1 && !crate::transient(&e) => {
+                    let mut journal = crate::journal::Journal::open(path)
+                        .map_err(|je| KanonError::Usage(format!("cannot open journal: {je}")))?;
+                    journal
+                        .append(rec.seq, RecordKind::Rollback, 0, b"")
+                        .map_err(|je| {
+                            KanonError::Usage(format!("cannot roll back journal tail: {je}"))
+                        })?;
+                    self.note_rollback(rec.seq);
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(replayed)
     }
@@ -788,6 +825,20 @@ impl ServeState {
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Re-runs a journaled re-optimization pass. Unbudgeted and
+    /// deterministic, so the adopted clustering is byte-identical to
+    /// the one the pre-crash process published.
+    fn replay_reopt(&mut self, rec: &JournalRecord) -> KanonResult<()> {
+        let collector = kanon_obs::Collector::new();
+        let guard = collector.install();
+        let out = self.reopt();
+        drop(guard);
+        count(Counter::ServeJournalReplays, 1);
+        out.map(|_| {
+            debug_assert_eq!(self.seq, rec.seq);
+        })
     }
 }
 
@@ -1035,6 +1086,94 @@ mod tests {
         // Rollback advances the sequence so the next accepted batch
         // does not reuse seq 2.
         assert_eq!(recovered.next_seq(), 3);
+    }
+
+    #[test]
+    fn replay_reproduces_a_reopt_byte_identically() {
+        use crate::journal::{Journal, RecordKind};
+        let dir =
+            std::env::temp_dir().join(format!("kanon-serve-reopt-replay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("journal.log");
+
+        // Live process: batch, reopt, batch — each journaled first.
+        let mut live = boot();
+        let mut j = Journal::open(&jpath).unwrap();
+        j.append(1, RecordKind::Batch, 0, b"10,60s\n11,70s\n")
+            .unwrap();
+        live.apply_batch("10,60s\n11,70s\n", 0).unwrap();
+        j.append(2, RecordKind::Reopt, 0, b"").unwrap();
+        live.reopt().unwrap();
+        j.append(3, RecordKind::Batch, 0, b"10,20s\n21,60s\n")
+            .unwrap();
+        live.apply_batch("10,20s\n21,60s\n", 0).unwrap();
+        drop(j);
+
+        let mut recovered = boot();
+        assert_eq!(recovered.replay_journal(&jpath).unwrap(), 3);
+        assert_eq!(fingerprint(&recovered), fingerprint(&live));
+        assert_eq!(recovered.reopt_runs(), live.reopt_runs());
+        assert_eq!(
+            recovered.last_drift().map(f64::to_bits),
+            live.last_drift().map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn permanently_failing_final_record_is_rolled_back_at_recovery() {
+        use crate::journal::{read_journal, Journal, RecordKind};
+        let dir =
+            std::env::temp_dir().join(format!("kanon-serve-crashwindow-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("journal.log");
+
+        // The crash window: seq 2 was journaled, its apply failed
+        // deterministically (bad label under Strict), and the process
+        // died before appending the rollback marker.
+        let mut live = boot();
+        let mut j = Journal::open(&jpath).unwrap();
+        j.append(1, RecordKind::Batch, 0, b"10,60s\n11,70s\n")
+            .unwrap();
+        live.apply_batch("10,60s\n11,70s\n", 0).unwrap();
+        j.append(2, RecordKind::Batch, 0, b"99,99\n").unwrap();
+        drop(j);
+
+        // Recovery must not wedge: the final record is rolled back (the
+        // `R` marker is appended now) and its seq burned.
+        let mut recovered = boot();
+        assert_eq!(recovered.replay_journal(&jpath).unwrap(), 1);
+        assert_eq!(recovered.next_seq(), 3);
+        assert_eq!(recovered.num_rows(), live.num_rows());
+        let recs = read_journal(&jpath).unwrap();
+        assert_eq!(recs.last().unwrap().kind, RecordKind::Rollback);
+        assert_eq!(recs.last().unwrap().seq, 2);
+        // A second recovery sees the marker and replays cleanly too.
+        let mut again = boot();
+        assert_eq!(again.replay_journal(&jpath).unwrap(), 1);
+        assert_eq!(again.next_seq(), 3);
+    }
+
+    #[test]
+    fn failing_mid_journal_record_still_propagates() {
+        use crate::journal::{Journal, RecordKind};
+        let dir = std::env::temp_dir().join(format!("kanon-serve-midfail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("journal.log");
+
+        // A deterministically failing record *followed by* another
+        // record cannot be a crash window (the live process would have
+        // rolled it back before journaling anything else) — that is
+        // corruption, and replay must refuse to guess.
+        let mut j = Journal::open(&jpath).unwrap();
+        j.append(1, RecordKind::Batch, 0, b"99,99\n").unwrap();
+        j.append(2, RecordKind::Batch, 0, b"10,60s\n11,70s\n")
+            .unwrap();
+        drop(j);
+        let err = boot().replay_journal(&jpath).unwrap_err();
+        assert!(matches!(err, KanonError::Core(_)), "{err:?}");
     }
 
     #[test]
