@@ -1,42 +1,165 @@
 //! Experiment E-S5 — loss drift of incremental serving vs from-scratch
-//! anonymization.
+//! anonymization, across the ε-bounded absorption tier.
 //!
 //! Feeds an ART row stream through the `kanon-serve` state machine the
 //! way the daemon does — a base bootstrap, then fixed-size appended
-//! micro-batches (new rows enter as singletons and are absorbed into
-//! mature clusters only when the join is provably free) — and probes,
-//! every few batches, the relative loss drift of the incremental
-//! clustering against a fresh sharded run over the same published rows
-//! (`ServeState::probe_drift`, read-only). A final `reopt` shows the
-//! drift collapsing back to zero when the daemon adopts a from-scratch
-//! clustering, which is the maintenance story of DESIGN.md §5h.
+//! micro-batches — once per configured ε. Under ε = 0 new rows enter as
+//! singletons and are absorbed into the *first* mature cluster whose
+//! closure the join provably leaves unchanged; under ε > 0 the daemon
+//! instead admits every cluster whose per-member loss the join raises
+//! by less than ε (a closure-preserving join raises it by exactly
+//! zero) and places the row in the cheapest admissible home (see
+//! `ServeState::apply_batch`). Every few batches the run probes the
+//! relative loss drift
+//! of the incremental clustering against a fresh sharded run over the
+//! same published rows (`ServeState::probe_drift`, read-only). A final
+//! `reopt` per ε shows the drift collapsing back to zero when the
+//! daemon adopts a from-scratch clustering — the maintenance story of
+//! DESIGN.md §5h.
 //!
-//! Emits one JSON row per probe to `BENCH_serve_drift.json` and a
-//! human-readable curve to stdout. Fully deterministic: same flags,
-//! same bytes.
+//! Emits one JSON row per probe (tagged with its ε) to
+//! `BENCH_serve_drift.json` and a human-readable curve per ε to stdout.
+//! Fully deterministic: same flags, same bytes, any `KANON_THREADS`.
 //!
 //! Usage:
 //! `cargo run --release -p kanon-bench --bin serve_drift -- \
 //!    [--n0 2000] [--batch 100] [--batches 40] [--k 10] [--seed 42] \
 //!    [--every 5] [--measure em|lm] [--shard-max 0] \
-//!    [--out BENCH_serve_drift.json]`
+//!    [--epsilons 0,0.01,0.05] [--out BENCH_serve_drift.json]`
 
 #![forbid(unsafe_code)]
 
+use kanon_core::table::Table;
 use kanon_data::art;
 use kanon_data::csv::{table_to_csv, RowPolicy};
 use kanon_serve::state::{Measure, ServeConfig, ServeState};
 
 struct Probe {
+    epsilon: f64,
     batch: u64,
     rows: usize,
     published: usize,
     pending: usize,
     clusters: usize,
     absorbed_total: usize,
+    absorbed_eps_total: usize,
     loss_incremental: f64,
     loss_scratch: f64,
     drift: f64,
+}
+
+/// The post-reopt probe of one ε's run.
+struct ReoptProbe {
+    epsilon: f64,
+    clusters: usize,
+    loss_incremental: f64,
+    loss_scratch: f64,
+    drift: f64,
+}
+
+struct SweepParams {
+    n0: usize,
+    batch: usize,
+    batches: u64,
+    k: usize,
+    every: u64,
+    measure: Measure,
+    shard_max: usize,
+}
+
+/// Runs the full incremental stream once under `epsilon`, printing the
+/// drift curve and appending probe rows; returns the post-reopt probe.
+fn run_stream(full: &Table, p: &SweepParams, epsilon: f64, probes: &mut Vec<Probe>) -> ReoptProbe {
+    let base = full
+        .select_rows(&(0..p.n0).collect::<Vec<_>>())
+        .expect("base slice");
+    let cfg = ServeConfig {
+        k: p.k,
+        measure: p.measure,
+        policy: RowPolicy::Strict,
+        shard_max: p.shard_max,
+        reopt_every: 0,
+        absorb_epsilon: epsilon,
+    };
+    let mut state = ServeState::bootstrap(base, cfg).expect("bootstrap");
+
+    println!("\n── absorb_epsilon = {epsilon} ──");
+    println!(
+        "{:>6} {:>8} {:>10} {:>8} {:>9} {:>9} {:>8} {:>12} {:>12} {:>9}",
+        "batch",
+        "rows",
+        "published",
+        "pending",
+        "clusters",
+        "absorbed",
+        "abs_eps",
+        "loss_inc",
+        "loss_scr",
+        "drift"
+    );
+    let mut absorbed_total = 0usize;
+    let mut absorbed_eps_total = 0usize;
+    for b in 1..=p.batches {
+        let lo = p.n0 + (b as usize - 1) * p.batch;
+        let sub = full
+            .select_rows(&(lo..lo + p.batch).collect::<Vec<_>>())
+            .expect("batch slice");
+        let csv = table_to_csv(&sub);
+        let body = csv.split_once('\n').expect("header row").1;
+        let report = state.apply_batch(body, 0, epsilon).expect("apply batch");
+        absorbed_total += report.absorbed;
+        absorbed_eps_total += report.absorbed_eps;
+        // `u64::is_multiple_of` needs Rust 1.87; MSRV is 1.75.
+        #[allow(clippy::manual_is_multiple_of)]
+        if b % p.every == 0 || b == p.batches {
+            let probe = state.probe_drift().expect("probe drift");
+            println!(
+                "{b:>6} {:>8} {:>10} {:>8} {:>9} {absorbed_total:>9} \
+                 {absorbed_eps_total:>8} {:>12.6} {:>12.6} {:>8.2}%",
+                state.num_rows(),
+                state.published_rows(),
+                state.pending_rows(),
+                state.mature_clusters(),
+                probe.loss_incremental,
+                probe.loss_scratch,
+                probe.drift * 100.0,
+            );
+            probes.push(Probe {
+                epsilon,
+                batch: b,
+                rows: state.num_rows(),
+                published: state.published_rows(),
+                pending: state.pending_rows(),
+                clusters: state.mature_clusters(),
+                absorbed_total,
+                absorbed_eps_total,
+                loss_incremental: probe.loss_incremental,
+                loss_scratch: probe.loss_scratch,
+                drift: probe.drift,
+            });
+        }
+    }
+
+    // The maintenance move: one reopt adopts a from-scratch clustering
+    // over everything (pending included) and zeroes the drift.
+    let reopt = state.reopt().expect("reopt");
+    let after = state.probe_drift().expect("probe after reopt");
+    println!(
+        "reopt: loss {:.6} -> {:.6} (drift was {:+.2}%), {} clusters, \
+         post-reopt drift {:+.2}%",
+        reopt.loss_incremental,
+        reopt.loss_scratch,
+        reopt.drift * 100.0,
+        reopt.clusters,
+        after.drift * 100.0,
+    );
+    ReoptProbe {
+        epsilon,
+        clusters: reopt.clusters,
+        loss_incremental: after.loss_incremental,
+        loss_scratch: after.loss_scratch,
+        drift: after.drift,
+    }
 }
 
 fn main() {
@@ -49,6 +172,7 @@ fn main() {
     let mut every = 5u64;
     let mut measure = "em".to_string();
     let mut shard_max = 0usize;
+    let mut epsilons = "0,0.01,0.05".to_string();
     let mut out_path = "BENCH_serve_drift.json".to_string();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -66,120 +190,85 @@ fn main() {
             "--every" => every = val(&mut it).parse().expect("--every"),
             "--measure" => measure = val(&mut it),
             "--shard-max" => shard_max = val(&mut it).parse().expect("--shard-max"),
+            "--epsilons" => epsilons = val(&mut it),
             "--out" => out_path = val(&mut it),
             other => panic!("unknown flag {other}"),
         }
     }
     let measure = Measure::parse(&measure).expect("--measure em|lm");
+    let epsilons: Vec<f64> = epsilons
+        .split(',')
+        .map(|s| {
+            let e: f64 = s.trim().parse().expect("--epsilons: comma-separated f64s");
+            assert!(
+                e.is_finite() && e.total_cmp(&0.0).is_ge(),
+                "--epsilons: values must be finite and non-negative"
+            );
+            e
+        })
+        .collect();
 
-    // One deterministic stream: the base table is the prefix, every
-    // batch a consecutive slice of the remainder — exactly what a
-    // producer appending to a growing dataset looks like.
+    // One deterministic stream shared by every ε: the base table is the
+    // prefix, every batch a consecutive slice of the remainder — exactly
+    // what a producer appending to a growing dataset looks like.
     let total = n0 + batch * batches as usize;
     let full = art::generate(total, seed);
-    let base = full
-        .select_rows(&(0..n0).collect::<Vec<_>>())
-        .expect("base slice");
-
-    let cfg = ServeConfig {
-        k,
-        measure,
-        policy: RowPolicy::Strict,
-        shard_max,
-        reopt_every: 0,
-    };
-    let mut state = ServeState::bootstrap(base, cfg).expect("bootstrap");
 
     println!(
         "SERVE DRIFT — ART, n0 = {n0}, batch = {batch}, k = {k}, \
-         measure = {measure:?} (seed {seed})"
+         measure = {measure:?} (seed {seed}), epsilons = {epsilons:?}"
     );
-    println!(
-        "{:>6} {:>8} {:>10} {:>8} {:>9} {:>9} {:>12} {:>12} {:>9}",
-        "batch",
-        "rows",
-        "published",
-        "pending",
-        "clusters",
-        "absorbed",
-        "loss_inc",
-        "loss_scr",
-        "drift"
-    );
+    let params = SweepParams {
+        n0,
+        batch,
+        batches,
+        k,
+        every,
+        measure,
+        shard_max,
+    };
     let mut probes: Vec<Probe> = Vec::new();
-    let mut absorbed_total = 0usize;
-    for b in 1..=batches {
-        let lo = n0 + (b as usize - 1) * batch;
-        let sub = full
-            .select_rows(&(lo..lo + batch).collect::<Vec<_>>())
-            .expect("batch slice");
-        let csv = table_to_csv(&sub);
-        let body = csv.split_once('\n').expect("header row").1;
-        let report = state.apply_batch(body, 0).expect("apply batch");
-        absorbed_total += report.absorbed;
-        if b % every == 0 || b == batches {
-            let probe = state.probe_drift().expect("probe drift");
-            println!(
-                "{b:>6} {:>8} {:>10} {:>8} {:>9} {absorbed_total:>9} {:>12.6} {:>12.6} {:>8.2}%",
-                state.num_rows(),
-                state.published_rows(),
-                state.pending_rows(),
-                state.mature_clusters(),
-                probe.loss_incremental,
-                probe.loss_scratch,
-                probe.drift * 100.0,
-            );
-            probes.push(Probe {
-                batch: b,
-                rows: state.num_rows(),
-                published: state.published_rows(),
-                pending: state.pending_rows(),
-                clusters: state.mature_clusters(),
-                absorbed_total,
-                loss_incremental: probe.loss_incremental,
-                loss_scratch: probe.loss_scratch,
-                drift: probe.drift,
-            });
-        }
+    let mut reopts: Vec<ReoptProbe> = Vec::new();
+    for &eps in &epsilons {
+        reopts.push(run_stream(&full, &params, eps, &mut probes));
     }
-
-    // The maintenance move: one reopt adopts a from-scratch clustering
-    // over everything (pending included) and zeroes the drift.
-    let reopt = state.reopt().expect("reopt");
-    let after = state.probe_drift().expect("probe after reopt");
-    println!(
-        "\nreopt: loss {:.6} -> {:.6} (drift was {:+.2}%), {} clusters, \
-         post-reopt drift {:+.2}%",
-        reopt.loss_incremental,
-        reopt.loss_scratch,
-        reopt.drift * 100.0,
-        reopt.clusters,
-        after.drift * 100.0,
-    );
 
     let mut json = String::from("[\n");
     for p in &probes {
         json.push_str(&format!(
-            "  {{\"batch\": {}, \"rows\": {}, \"published\": {}, \"pending\": {}, \
-             \"clusters\": {}, \"absorbed_total\": {}, \"loss_incremental\": {:.12}, \
+            "  {{\"epsilon\": {}, \"batch\": {}, \"rows\": {}, \"published\": {}, \
+             \"pending\": {}, \"clusters\": {}, \"absorbed_total\": {}, \
+             \"absorbed_eps_total\": {}, \"loss_incremental\": {:.12}, \
              \"loss_scratch\": {:.12}, \"drift\": {:.12}}},\n",
+            p.epsilon,
             p.batch,
             p.rows,
             p.published,
             p.pending,
             p.clusters,
             p.absorbed_total,
+            p.absorbed_eps_total,
             p.loss_incremental,
             p.loss_scratch,
             p.drift,
         ));
     }
-    json.push_str(&format!(
-        "  {{\"batch\": \"post-reopt\", \"loss_incremental\": {:.12}, \
-         \"loss_scratch\": {:.12}, \"drift\": {:.12}, \"clusters\": {}}}\n",
-        after.loss_incremental, after.loss_scratch, after.drift, reopt.clusters
-    ));
+    for (i, r) in reopts.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"epsilon\": {}, \"batch\": \"post-reopt\", \"loss_incremental\": {:.12}, \
+             \"loss_scratch\": {:.12}, \"drift\": {:.12}, \"clusters\": {}}}{}\n",
+            r.epsilon,
+            r.loss_incremental,
+            r.loss_scratch,
+            r.drift,
+            r.clusters,
+            if i + 1 < reopts.len() { "," } else { "" }
+        ));
+    }
     json.push_str("]\n");
     std::fs::write(&out_path, json).expect("write drift rows");
-    println!("wrote {} probe rows to {out_path}", probes.len() + 1);
+    println!(
+        "\nwrote {} probe rows to {out_path}",
+        probes.len() + reopts.len()
+    );
 }

@@ -65,7 +65,8 @@ fn usage() -> ! {
          kanon measure   <DATASET> [--in FILE] [--n N] [--seed S]\n  \
          kanon serve     <DATASET> --k K --state-dir DIR [--listen ADDR] \
          [--measure em|lm] [--in FILE] [--n N] [--seed S] [--shard-max N] \
-         [--reopt-every N] [--snapshot-every N] [--on-bad-row POLICY]\n\n\
+         [--reopt-every N] [--snapshot-every N] [--absorb-epsilon X] \
+         [--on-bad-row POLICY]\n\n\
          DATASET is art|adult|cmc (built-in schemas) or custom;\n\
          custom requires --schema SCHEMA.txt (see kanon_data::schema_text)\n\
          and --in DATA.csv.\n\n\
@@ -91,10 +92,14 @@ fn usage() -> ! {
          takes host:port (default 127.0.0.1:0, bound port written to\n\
          <state-dir>/serve.addr) or a socket path containing '/'. The\n\
          write-ahead journal and snapshots in --state-dir make kill -9\n\
-         recovery byte-identical. Knobs: KANON_SERVE_WORK_RATE,\n\
+         recovery byte-identical; each snapshot compacts the journal to\n\
+         the records it does not cover. --absorb-epsilon X absorbs a new\n\
+         row into a mature cluster when the join raises the cluster's\n\
+         loss contribution by less than X (0 disables; a BATCH request\n\
+         may override per batch). Knobs: KANON_SERVE_WORK_RATE,\n\
          KANON_SERVE_RETRIES, KANON_SERVE_BACKOFF_MS,\n\
          KANON_SERVE_SNAPSHOT_EVERY, KANON_SERVE_REOPT_EVERY,\n\
-         KANON_SERVE_MAX_FRAME.\n\n\
+         KANON_SERVE_MAX_FRAME, KANON_SERVE_ABSORB_EPSILON.\n\n\
          Exit codes: 0 success, 1 runtime error, 2 usage error,\n\
          130/143 interrupted by SIGINT/SIGTERM, 141 stdout EPIPE."
     );
@@ -603,19 +608,30 @@ fn cmd_serve(name: &str, flags: &Flags) -> CmdResult {
     let measure = kanon_serve::state::Measure::parse(measure_name).ok_or_else(|| {
         KanonError::Usage(format!("unknown measure {measure_name:?} (expected em|lm)"))
     })?;
+    let absorb_epsilon = match flags.get("absorb-epsilon") {
+        None => kanon_core::config::serve_absorb_epsilon(),
+        Some(v) => match v.parse::<f64>() {
+            Ok(e) if e.is_finite() && e.total_cmp(&0.0).is_ge() => e,
+            _ => {
+                eprintln!("--absorb-epsilon must be a finite non-negative number");
+                usage()
+            }
+        },
+    };
     let cfg = kanon_serve::state::ServeConfig {
         k,
         measure,
         policy: row_policy(flags)?,
         shard_max: flags.usize_or("shard-max", 0),
         reopt_every: flags.u64_or("reopt-every", kanon_core::config::serve_reopt_every()),
+        absorb_epsilon,
     };
     let mut opts = kanon_serve::ServeOptions::new(std::path::PathBuf::from(state_dir));
     if let Some(listen) = flags.get("listen") {
         opts.listen = listen.to_string();
     }
     opts.snapshot_every = flags.u64_or("snapshot-every", opts.snapshot_every);
-    let mut daemon = kanon_serve::Daemon::start(table, cfg, opts)?;
+    let daemon = kanon_serve::Daemon::start(table, cfg, opts)?;
     daemon.run()
 }
 

@@ -26,6 +26,9 @@
 //!   values < 1 are ignored.
 //! * `KANON_SERVE_IDLE_TIMEOUT_MS` — per-read idle timeout on accepted
 //!   serve connections (`0` disables).
+//! * `KANON_SERVE_ABSORB_EPSILON` — default ε of the daemon's ε-bounded
+//!   absorption tier (`0` disables the tier; must be finite and
+//!   non-negative).
 //!
 //! All knobs are snapshotted once per process.
 
@@ -129,11 +132,27 @@ pub fn serve_max_frame() -> u64 {
 }
 
 /// Per-read idle timeout on accepted serve connections, in milliseconds
-/// (`KANON_SERVE_IDLE_TIMEOUT_MS`, else 30 000; `0` disables). The
-/// daemon serves one connection at a time, so without a timeout a
-/// client that connects and sends nothing wedges every other client —
-/// including `HEALTH`.
+/// (`KANON_SERVE_IDLE_TIMEOUT_MS`, else 30 000; `0` disables). Each
+/// connection gets its own thread, but without a timeout a client that
+/// connects and sends nothing pins a thread — and at shutdown, a scope
+/// join — forever.
 pub fn serve_idle_timeout_ms() -> u64 {
     static IDLE: OnceLock<u64> = OnceLock::new();
     env_u64(&IDLE, "KANON_SERVE_IDLE_TIMEOUT_MS", 0, 30_000)
+}
+
+/// Default ε of the daemon's ε-bounded absorption tier
+/// (`KANON_SERVE_ABSORB_EPSILON`, else 0 = tier disabled). Values must
+/// be finite and non-negative (the total order puts `-0.0` below
+/// `+0.0`, so a negative-zero bit pattern is filtered out too); a
+/// per-request `BATCH absorb_epsilon=X` overrides this.
+pub fn serve_absorb_epsilon() -> f64 {
+    static EPS: OnceLock<f64> = OnceLock::new();
+    *EPS.get_or_init(|| {
+        std::env::var("KANON_SERVE_ABSORB_EPSILON")
+            .ok()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .filter(|v| v.is_finite() && v.total_cmp(&0.0).is_ge())
+            .unwrap_or(0.0)
+    })
 }

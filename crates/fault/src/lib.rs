@@ -50,6 +50,7 @@
 //! | `serve/accept`               | per accepted daemon connection (drops it) |
 //! | `serve/batch/apply`          | top of the daemon's batch-apply path     |
 //! | `serve/journal/append`       | per journal append (simulates torn write) |
+//! | `serve/journal/compact`      | before a journal compaction (skips it)   |
 //! | `serve/journal/replay`       | per replayed journal record at recovery  |
 //! | `serve/snapshot/write`       | before a state snapshot (skips the write) |
 #![forbid(unsafe_code)]
@@ -65,7 +66,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 /// (the lint parses this constant out of the source, so adding a site
 /// without cataloguing it — or cataloguing a point nothing hits — turns
 /// the CI gate red).
-pub const CATALOGUE: [&str; 14] = [
+pub const CATALOGUE: [&str; 15] = [
     "algos/agglomerative/merge",
     "algos/forest/round",
     "algos/k1/row",
@@ -78,6 +79,7 @@ pub const CATALOGUE: [&str; 14] = [
     "serve/accept",
     "serve/batch/apply",
     "serve/journal/append",
+    "serve/journal/compact",
     "serve/journal/replay",
     "serve/snapshot/write",
 ];

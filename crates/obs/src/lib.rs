@@ -124,11 +124,18 @@ pub enum Counter {
     ServeReoptRuns,
     /// Journal records replayed during serve daemon recovery.
     ServeJournalReplays,
+    /// Rows absorbed into a mature cluster through the ε-bounded tier
+    /// (the join changed the cluster closure but raised its loss
+    /// contribution by less than the configured `absorb_epsilon`).
+    ServeRowsAbsorbedEps,
+    /// Journal bytes reclaimed by post-snapshot compaction (the
+    /// snapshot-covered prefix atomically rewritten away).
+    ServeJournalBytesCompacted,
 }
 
 impl Counter {
     /// Every counter, in canonical report order.
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 29] = [
         Counter::MergesPerformed,
         Counter::NnRescans,
         Counter::JoinTableHits,
@@ -156,6 +163,8 @@ impl Counter {
         Counter::ServeRowsAbsorbed,
         Counter::ServeReoptRuns,
         Counter::ServeJournalReplays,
+        Counter::ServeRowsAbsorbedEps,
+        Counter::ServeJournalBytesCompacted,
     ];
 
     /// The counter's canonical snake_case name (the JSON key).
@@ -188,6 +197,8 @@ impl Counter {
             Counter::ServeRowsAbsorbed => "serve_rows_absorbed",
             Counter::ServeReoptRuns => "serve_reopt_runs",
             Counter::ServeJournalReplays => "serve_journal_replays",
+            Counter::ServeRowsAbsorbedEps => "serve_rows_absorbed_eps",
+            Counter::ServeJournalBytesCompacted => "serve_journal_bytes_compacted",
         }
     }
 }
@@ -823,9 +834,9 @@ mod tests {
         for c in Counter::ALL {
             assert!(ja.contains(&format!("\"{}\":", c.name())), "{}", c.name());
         }
-        // Fixed order: merges first, boundary repairs last.
+        // Fixed order: merges first, compacted journal bytes last.
         assert!(ja.starts_with("{\"merges_performed\":7"));
-        assert!(ja.ends_with("\"serve_journal_replays\":0}"));
+        assert!(ja.ends_with("\"serve_journal_bytes_compacted\":0}"));
     }
 
     #[test]

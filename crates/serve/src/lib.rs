@@ -16,14 +16,28 @@
 //! * **Recovery** — every batch is journaled (fsync) *before* it is
 //!   applied ([`journal`]), and state snapshots periodically
 //!   ([`state`]); a `kill -9` at any instant recovers to byte-identical
-//!   state on restart.
+//!   state on restart — including a *second* `kill -9` after a torn
+//!   tail: recovery truncates the journal to its intact prefix before
+//!   anything reopens it for append, so post-restart acknowledgments
+//!   can never land behind crash garbage.
+//! * **Compaction** — after each successful snapshot the journal is
+//!   atomically rewritten down to the records the snapshot does not
+//!   cover, so disk usage is O(batches since last snapshot) instead of
+//!   O(lifetime).
+//! * **Concurrent reads** — batches stay strictly serialized behind the
+//!   single-writer core lock, but `OUTPUT`/`STATS`/`HEALTH` are served
+//!   from per-connection threads against an immutable published view
+//!   that is swapped wholesale after every commit: a slow reader never
+//!   blocks ingestion, and no reader ever observes a mid-commit state.
 //! * **Degradation** — bad rows follow the `--on-bad-row` policy, a
-//!   failed snapshot only lengthens recovery, and the `STATS`/`HEALTH`
-//!   endpoints serve the aggregated `kanon-obs` report.
+//!   failed snapshot or compaction only lengthens recovery, and the
+//!   `STATS`/`HEALTH` endpoints serve the aggregated `kanon-obs`
+//!   report.
 //!
 //! Fail points: `serve/accept`, `serve/batch/apply`,
-//! `serve/journal/append`, `serve/journal/replay`,
-//! `serve/snapshot/write` (see `kanon_fault::CATALOGUE`).
+//! `serve/journal/append`, `serve/journal/compact`,
+//! `serve/journal/replay`, `serve/snapshot/write` (see
+//! `kanon_fault::CATALOGUE`).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -32,10 +46,13 @@
 // unsafe is confined to src/signal.rs behind per-call SAFETY arguments,
 // and the rest of the crate stays deny(unsafe_code).
 
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::TcpListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use kanon_algos::fallible::error_from_panic;
 use kanon_core::error::{KanonError, KanonResult};
@@ -85,9 +102,10 @@ pub struct ServeOptions {
     /// Maximum accepted frame size in bytes (`KANON_SERVE_MAX_FRAME`).
     pub max_frame: u64,
     /// Per-read idle timeout on accepted connections, in milliseconds
-    /// (`KANON_SERVE_IDLE_TIMEOUT_MS`; 0 disables). The daemon serves
-    /// one connection at a time, so a client that connects and then
-    /// sends nothing would otherwise wedge every other client.
+    /// (`KANON_SERVE_IDLE_TIMEOUT_MS`; 0 disables). Connections get
+    /// their own threads, but a client that connects and then sends
+    /// nothing would otherwise pin a thread (and at shutdown, a scope
+    /// join) forever.
     pub idle_timeout_ms: u64,
 }
 
@@ -157,23 +175,178 @@ impl Listener {
     }
 }
 
-/// The daemon: resident state + journal + lifecycle policy.
-pub struct Daemon {
+/// The single-writer core: state, journal and the stats collectors.
+/// Exactly one thread holds this at a time (the `Daemon::core` mutex),
+/// which is the one-writer invariant — reads never touch it.
+struct Core {
     state: ServeState,
     journal: Journal,
-    opts: ServeOptions,
-    /// Lifetime stats: every request's fresh per-request collector is
-    /// folded in here after the request finishes.
+    /// Lifetime stats: every write request's fresh per-request
+    /// collector is folded in here after the request finishes. Rendering
+    /// the published view runs under a throwaway collector instead, so
+    /// this block reflects only the committed request history.
     lifetime: Collector,
+    /// Counters folded during startup replay — kept out of `lifetime`
+    /// so a recovered daemon's `STATS` stays comparable to an uncrashed
+    /// twin's.
+    recovery: Collector,
     /// Journal records replayed during startup recovery.
     replayed: u64,
+    /// Monotonic version of the published view (bumped per render).
+    version: u64,
+}
+
+/// An immutable, fully rendered read view. Built under the core lock
+/// after every commit and swapped into `Daemon::published` wholesale,
+/// so a concurrent reader sees either the pre- or the post-commit
+/// view — never a mid-commit state.
+struct PublishedView {
+    /// Render generation (monotonic; for tests and debugging).
+    version: u64,
+    output: String,
+    stats: String,
+    health: String,
+}
+
+impl Core {
+    /// Renders the committed state into an immutable view. The
+    /// presentation work (CSV rendering, loss recomputation) runs under
+    /// a throwaway collector so the lifetime counters keep reflecting
+    /// only the committed request history — that is what makes a live
+    /// daemon's `STATS` byte-comparable to its recovered twin's.
+    fn render_view(&mut self) -> PublishedView {
+        self.version += 1;
+        let scratch = Collector::new();
+        let guard = scratch.install();
+        let output = match (|| -> KanonResult<String> {
+            let loss = self.state.published_loss()?;
+            let csv = self.state.published_csv()?;
+            Ok(format!(
+                "OK rows={} loss={:.6}\n{}",
+                self.state.published_rows(),
+                loss,
+                csv
+            ))
+        })() {
+            Ok(s) => s,
+            Err(e) => format!("ERR {}: {e}", class(&e)),
+        };
+        drop(guard);
+        // Line 2 is the deterministic lifetime counter block
+        // (byte-identical across thread counts and restarts of the same
+        // request history); line 3 is the full lifetime report including
+        // runtime data; line 4 is the recovery block — counters folded
+        // during startup replay, all-zero on a daemon that never
+        // crashed.
+        let lifetime = self.lifetime.report();
+        let recovery = self.recovery.report();
+        let stats = format!(
+            "OK\n{}\n{}\n{}",
+            lifetime.counters_json(),
+            lifetime.to_json(),
+            recovery.counters_json()
+        );
+        let health = format!(
+            "OK {{\"status\":\"ok\",\"rows\":{},\"published\":{},\"pending\":{},\
+             \"clusters\":{},\"batches\":{},\"seq\":{},\"reopts\":{},\"replayed\":{},\
+             \"drift\":{}}}",
+            self.state.num_rows(),
+            self.state.published_rows(),
+            self.state.pending_rows(),
+            self.state.mature_clusters(),
+            self.state.batches_applied(),
+            self.state.next_seq() - 1,
+            self.state.reopt_runs(),
+            self.replayed,
+            match self.state.last_drift() {
+                Some(d) => format!("{d:.6}"),
+                None => "null".to_string(),
+            }
+        );
+        PublishedView {
+            version: self.version,
+            output,
+            stats,
+            health,
+        }
+    }
+
+    /// Folds one request's report into the lifetime collector.
+    fn fold(&self, report: &Report) {
+        let _g = self.lifetime.install();
+        fold_report(report);
+    }
+}
+
+/// Counts every nonzero counter of `report` into the *currently
+/// installed* collector — the caller picks the destination by holding
+/// an install guard (the daemon's `lifetime`, or `recovery` during
+/// startup replay).
+pub(crate) fn fold_report(report: &Report) {
+    for &c in Counter::ALL.iter() {
+        let v = report.counter(c);
+        if v > 0 {
+            count(c, v);
+        }
+    }
+    for &c in RuntimeCounter::ALL.iter() {
+        let v = report.runtime_counter(c);
+        if v > 0 {
+            count_runtime(c, v);
+        }
+    }
+}
+
+/// A cloned stream handle held per live connection so shutdown can
+/// unblock a reader stuck in a blocking `read_frame`.
+enum Kick {
+    Tcp(std::net::TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Kick {
+    fn kick(&self) {
+        match self {
+            Kick::Tcp(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Kick::Unix(s) => {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// The daemon: resident state + journal behind the single-writer lock,
+/// plus the atomically published read view and connection lifecycle.
+pub struct Daemon {
+    core: Mutex<Core>,
+    /// The last committed read view. Swapped wholesale (a fresh `Arc`)
+    /// by the writer after every committed mutation; readers clone the
+    /// `Arc` and answer from it without ever touching `core`.
+    published: RwLock<Arc<PublishedView>>,
+    opts: ServeOptions,
+    /// Set by the connection that received `SHUTDOWN`; the accept loop
+    /// and every connection loop re-check it.
+    shutdown: AtomicBool,
+    /// The bound listen address, once `run` has bound it (the shutdown
+    /// wake-up connection targets this).
+    bound_addr: Mutex<Option<String>>,
+    /// Kick handles of live connections, keyed by connection id, so
+    /// shutdown can unblock readers stuck in blocking reads.
+    conns: Mutex<BTreeMap<u64, Kick>>,
+    next_conn: AtomicU64,
 }
 
 impl Daemon {
     /// Starts a daemon: restores the newest snapshot if one exists
-    /// (otherwise bootstraps from `base`), replays the journal tail,
-    /// and opens the journal for appending. After this returns, the
-    /// in-memory state is byte-identical to the pre-crash state.
+    /// (otherwise bootstraps from `base`), truncates any crash-torn
+    /// journal tail to the intact prefix, replays the journal tail, and
+    /// opens the journal for appending. After this returns, the
+    /// in-memory state is byte-identical to the pre-crash state, and
+    /// new appends land where a future recovery will read them.
     pub fn start(base: Table, cfg: ServeConfig, opts: ServeOptions) -> KanonResult<Daemon> {
         std::fs::create_dir_all(&opts.state_dir).map_err(|e| io_err(&opts.state_dir, &e))?;
         let snapshot_path = opts.state_dir.join(SNAPSHOT_FILE);
@@ -187,89 +360,160 @@ impl Daemon {
             ServeState::bootstrap(base, cfg)?
         };
         let lifetime = Collector::new();
+        let recovery = Collector::new();
         let replayed = {
-            let _g = lifetime.install();
+            // Replay work is folded into the `recovery` collector, not
+            // `lifetime`: a recovered daemon's lifetime block must stay
+            // comparable to an uncrashed daemon's.
+            let _g = recovery.install();
             state.replay_journal(&journal_path)?
         };
         let journal = Journal::open(&journal_path).map_err(|e| io_err(&journal_path, &e))?;
-        Ok(Daemon {
+        let mut core = Core {
             state,
             journal,
-            opts,
             lifetime,
+            recovery,
             replayed,
+            version: 0,
+        };
+        let published = RwLock::new(Arc::new(core.render_view()));
+        Ok(Daemon {
+            core: Mutex::new(core),
+            published,
+            opts,
+            shutdown: AtomicBool::new(false),
+            bound_addr: Mutex::new(None),
+            conns: Mutex::new(BTreeMap::new()),
+            next_conn: AtomicU64::new(1),
         })
     }
 
     /// Serves requests until `SHUTDOWN` (graceful) or a listener error.
     /// The bound address is written to `<state-dir>/serve.addr` and
-    /// logged to stderr before the first accept.
-    pub fn run(&mut self) -> KanonResult<()> {
-        let (listener, addr) = Listener::bind(&self.opts.listen.clone())
+    /// logged to stderr before the first accept. Each accepted
+    /// connection gets its own thread; write requests serialize behind
+    /// the core lock while reads are answered from the published view.
+    pub fn run(&self) -> KanonResult<()> {
+        let (listener, addr) = Listener::bind(&self.opts.listen)
             .map_err(|e| io_err(Path::new(&self.opts.listen), &e))?;
+        *self.bound_addr.lock().unwrap() = Some(addr.clone());
         let addr_path = self.opts.state_dir.join(ADDR_FILE);
         std::fs::write(&addr_path, format!("{addr}\n")).map_err(|e| io_err(&addr_path, &e))?;
-        eprintln!(
-            "kanon serve: listening on {addr} ({} rows resident, {} replayed)",
-            self.state.num_rows(),
-            self.replayed
-        );
-        // Connections are served one at a time, so an idle client must
-        // not hold the accept loop hostage: every read gets a timeout
-        // and a silent peer is dropped (see `serve_connection`).
+        {
+            let core = self.core.lock().unwrap();
+            eprintln!(
+                "kanon serve: listening on {addr} ({} rows resident, {} replayed)",
+                core.state.num_rows(),
+                core.replayed
+            );
+        }
         let idle = (self.opts.idle_timeout_ms > 0)
             .then(|| std::time::Duration::from_millis(self.opts.idle_timeout_ms));
-        loop {
-            let conn: Box<dyn Conn> = match &listener {
-                Listener::Tcp(l) => match l.accept() {
-                    Ok((s, _)) => {
-                        let _ = s.set_read_timeout(idle);
-                        Box::new(s)
-                    }
-                    Err(_) => continue,
-                },
-                #[cfg(unix)]
-                Listener::Unix(l) => match l.accept() {
-                    Ok((s, _)) => {
-                        let _ = s.set_read_timeout(idle);
-                        Box::new(s)
-                    }
-                    Err(_) => continue,
-                },
-            };
-            if kanon_fault::armed() && kanon_fault::fires(POINT_ACCEPT) {
-                drop(conn); // injected network fault: client sees a reset
-                continue;
-            }
-            if self.serve_connection(conn) == Control::Shutdown {
-                if self.opts.snapshot_every > 0 {
-                    self.snapshot();
+        std::thread::scope(|scope| {
+            loop {
+                let (conn, kick): (Box<dyn Conn>, Option<Kick>) = match &listener {
+                    Listener::Tcp(l) => match l.accept() {
+                        Ok((s, _)) => {
+                            let _ = s.set_read_timeout(idle);
+                            let kick = s.try_clone().ok().map(Kick::Tcp);
+                            (Box::new(s), kick)
+                        }
+                        Err(_) => {
+                            if self.shutdown_requested() {
+                                break;
+                            }
+                            continue;
+                        }
+                    },
+                    #[cfg(unix)]
+                    Listener::Unix(l) => match l.accept() {
+                        Ok((s, _)) => {
+                            let _ = s.set_read_timeout(idle);
+                            let kick = s.try_clone().ok().map(Kick::Unix);
+                            (Box::new(s), kick)
+                        }
+                        Err(_) => {
+                            if self.shutdown_requested() {
+                                break;
+                            }
+                            continue;
+                        }
+                    },
+                };
+                if self.shutdown_requested() {
+                    // The shutdown wake-up connect (or a late client).
+                    break;
                 }
-                return Ok(());
+                if kanon_fault::armed() && kanon_fault::fires(POINT_ACCEPT) {
+                    drop(conn); // injected network fault: client sees a reset
+                    continue;
+                }
+                let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+                if let Some(k) = kick {
+                    self.conns.lock().unwrap().insert(id, k);
+                }
+                scope.spawn(move || {
+                    self.serve_connection(conn, id);
+                    self.conns.lock().unwrap().remove(&id);
+                });
             }
+        });
+        // Graceful shutdown: capture the final state in a snapshot.
+        if self.opts.snapshot_every > 0 {
+            let mut core = self.core.lock().unwrap();
+            self.snapshot(&mut core);
+        }
+        Ok(())
+    }
+
+    fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Flips the shutdown flag, kicks every live connection out of its
+    /// blocking read, and unblocks the accept loop with a throwaway
+    /// wake-up connection.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        for kick in self.conns.lock().unwrap().values() {
+            kick.kick();
+        }
+        let addr = self.bound_addr.lock().unwrap().clone();
+        if let Some(addr) = addr {
+            #[cfg(unix)]
+            if addr.contains('/') {
+                let _ = std::os::unix::net::UnixStream::connect(addr.as_str());
+                return;
+            }
+            let _ = std::net::TcpStream::connect(addr.as_str());
         }
     }
 
-    /// Serves one connection until EOF, an I/O error, or `SHUTDOWN`.
-    fn serve_connection(&mut self, mut conn: Box<dyn Conn>) -> Control {
+    /// Serves one connection until EOF, an I/O error, `SHUTDOWN`, or a
+    /// shutdown kick from another connection.
+    fn serve_connection(&self, mut conn: Box<dyn Conn>, id: u64) {
         loop {
+            if self.shutdown_requested() {
+                return;
+            }
             let payload = match read_frame(&mut conn, self.opts.max_frame) {
                 Ok(Some(p)) => p,
-                Ok(None) => return Control::Continue,
+                Ok(None) => return,
                 Err(e) => {
                     if matches!(
                         e.kind(),
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) {
                         // Idle client: the per-read timeout fired with no
-                        // frame in flight. Drop the connection silently so
-                        // the next client gets served.
-                        return Control::Continue;
+                        // frame in flight. Drop the connection silently.
+                        return;
                     }
-                    // Oversize/truncated frame: diagnose if the pipe is
-                    // still writable, then drop the connection.
+                    // Oversize/truncated frame (or a shutdown kick):
+                    // diagnose if the pipe is still writable, then drop
+                    // the connection.
                     let _ = write_frame(&mut conn, format!("ERR Usage: {e}").as_bytes());
-                    return Control::Continue;
+                    return;
                 }
             };
             let (response, control) = match parse_request(&payload) {
@@ -277,57 +521,103 @@ impl Daemon {
                 Err(msg) => (format!("ERR Usage: {msg}"), Control::Continue),
             };
             if write_frame(&mut conn, response.as_bytes()).is_err() {
-                return Control::Continue; // client went away mid-response
+                return; // client went away mid-response
             }
             if control == Control::Shutdown {
-                return Control::Shutdown;
+                // Deregister first so the kick pass cannot sever this
+                // socket while the client is still reading the response.
+                self.conns.lock().unwrap().remove(&id);
+                self.begin_shutdown();
+                return;
             }
         }
     }
 
-    /// Dispatches one parsed request.
-    fn handle(&mut self, req: Request) -> (String, Control) {
+    /// Dispatches one parsed request. Write requests (`BATCH`, `REOPT`,
+    /// `SNAPSHOT`) take the core lock and republish the read view after
+    /// committing; read requests answer from the published view without
+    /// locking the core.
+    fn handle(&self, req: Request) -> (String, Control) {
         match req {
             Request::Batch {
                 deadline_ms,
                 retries,
+                absorb_epsilon,
                 body,
-            } => (
-                self.handle_batch(deadline_ms, retries, &body),
-                Control::Continue,
-            ),
-            Request::Output => (self.handle_output(), Control::Continue),
-            Request::Stats => (self.handle_stats(), Control::Continue),
-            Request::Health => (self.handle_health(), Control::Continue),
-            Request::Reopt => (self.handle_reopt(), Control::Continue),
+            } => {
+                let mut core = self.core.lock().unwrap();
+                let resp =
+                    self.handle_batch(&mut core, deadline_ms, retries, absorb_epsilon, &body);
+                self.publish(&mut core);
+                (resp, Control::Continue)
+            }
+            Request::Reopt => {
+                let mut core = self.core.lock().unwrap();
+                let resp = match self.reopt(&mut core) {
+                    Ok(out) => format!(
+                        "OK loss_incremental={:.6} loss_scratch={:.6} drift={:+.6} clusters={}",
+                        out.loss_incremental, out.loss_scratch, out.drift, out.clusters
+                    ),
+                    Err(e) => format!("ERR {}: {e}", class(&e)),
+                };
+                self.publish(&mut core);
+                (resp, Control::Continue)
+            }
             Request::Snapshot => {
-                let resp = match self.snapshot() {
+                let mut core = self.core.lock().unwrap();
+                let resp = match self.snapshot(&mut core) {
                     Some(true) => "OK snapshot written".to_string(),
                     Some(false) => "OK snapshot skipped (fault injected)".to_string(),
                     None => "ERR Io: snapshot write failed".to_string(),
                 };
+                self.publish(&mut core);
                 (resp, Control::Continue)
             }
+            Request::Output => (
+                self.published.read().unwrap().output.clone(),
+                Control::Continue,
+            ),
+            Request::Stats => (
+                self.published.read().unwrap().stats.clone(),
+                Control::Continue,
+            ),
+            Request::Health => (
+                self.published.read().unwrap().health.clone(),
+                Control::Continue,
+            ),
             Request::Shutdown => ("OK shutting down".to_string(), Control::Shutdown),
         }
     }
 
+    /// Rebuilds and atomically swaps the published read view (called
+    /// with the core lock held, i.e. by the single writer).
+    fn publish(&self, core: &mut Core) {
+        let view = Arc::new(core.render_view());
+        *self.published.write().unwrap() = view;
+    }
+
     /// The full batch lifecycle: journal (WAL), apply with deadline
-    /// budget, retry transient faults with exponential backoff, roll
-    /// back permanent failures.
+    /// budget and absorption ε, retry transient faults with exponential
+    /// backoff, roll back permanent failures.
     fn handle_batch(
-        &mut self,
+        &self,
+        core: &mut Core,
         deadline_ms: Option<u64>,
         retries: Option<u64>,
+        absorb_epsilon: Option<f64>,
         body: &str,
     ) -> String {
         let budget = deadline_ms
             .map(|ms| ms.saturating_mul(self.opts.work_rate))
             .unwrap_or(0);
-        let seq = self.state.next_seq();
-        if let Err(e) = self
-            .journal
-            .append(seq, RecordKind::Batch, budget, body.as_bytes())
+        // The per-request ε (if any) overrides the configured default;
+        // whichever wins is journaled with the record so replay applies
+        // the identical absorption criterion.
+        let epsilon = absorb_epsilon.unwrap_or_else(|| core.state.absorb_epsilon());
+        let seq = core.state.next_seq();
+        if let Err(e) =
+            core.journal
+                .append(seq, RecordKind::Batch, budget, epsilon, body.as_bytes())
         {
             return format!("ERR Io: journal append failed: {e}");
         }
@@ -340,7 +630,9 @@ impl Daemon {
             // budget reproduce the same cut during journal replay.
             let collector = Collector::new();
             let guard = collector.install();
-            let outcome = catch_unwind(AssertUnwindSafe(|| self.state.apply_batch(body, budget)));
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                core.state.apply_batch(body, budget, epsilon)
+            }));
             drop(guard);
             let outcome = match outcome {
                 Ok(r) => r,
@@ -348,14 +640,14 @@ impl Daemon {
             };
             match outcome {
                 Ok(report) => {
-                    self.fold(&collector.report());
+                    core.fold(&collector.report());
                     let mut extra = String::new();
                     // `u64::is_multiple_of` needs Rust 1.87; MSRV is 1.75.
                     #[allow(clippy::manual_is_multiple_of)]
-                    if self.state.reopt_every() > 0
-                        && self.state.batches_applied() % self.state.reopt_every() == 0
+                    if core.state.reopt_every() > 0
+                        && core.state.batches_applied() % core.state.reopt_every() == 0
                     {
-                        extra = match self.reopt() {
+                        extra = match self.reopt(core) {
                             Ok(out) => format!(" drift={:+.6}", out.drift),
                             Err(e) => format!(" reopt_failed={e}"),
                         };
@@ -365,16 +657,17 @@ impl Daemon {
                     // recovery needn't replay the reopt's journal record.
                     #[allow(clippy::manual_is_multiple_of)]
                     if self.opts.snapshot_every > 0
-                        && self.state.batches_applied() % self.opts.snapshot_every == 0
+                        && core.state.batches_applied() % self.opts.snapshot_every == 0
                     {
-                        self.snapshot();
+                        self.snapshot(core);
                     }
                     return format!(
-                        "OK seq={} rows_in={} absorbed={} clustered={} pending={} \
-                         suppressed={} rooted={} budget_exhausted={} attempts={}{}",
+                        "OK seq={} rows_in={} absorbed={} absorbed_eps={} clustered={} \
+                         pending={} suppressed={} rooted={} budget_exhausted={} attempts={}{}",
                         report.seq,
                         report.rows_in,
                         report.absorbed,
+                        report.absorbed_eps,
                         report.clustered,
                         report.pending,
                         report.rows_suppressed,
@@ -394,67 +687,11 @@ impl Daemon {
                 Err(e) => {
                     // Permanent failure: mark the journaled batch rolled
                     // back so replay skips it, and burn its seq.
-                    let _ = self.journal.append(seq, RecordKind::Rollback, 0, b"");
-                    self.state.note_rollback(seq);
+                    let _ = core.journal.append(seq, RecordKind::Rollback, 0, 0.0, b"");
+                    core.state.note_rollback(seq);
                     return format!("ERR {}: {e} (attempts={attempt})", class(&e));
                 }
             }
-        }
-    }
-
-    fn handle_output(&mut self) -> String {
-        let collector = Collector::new();
-        let guard = collector.install();
-        let out = (|| -> KanonResult<String> {
-            let loss = self.state.published_loss()?;
-            let csv = self.state.published_csv()?;
-            Ok(format!(
-                "OK rows={} loss={:.6}\n{}",
-                self.state.published_rows(),
-                loss,
-                csv
-            ))
-        })();
-        drop(guard);
-        self.fold(&collector.report());
-        out.unwrap_or_else(|e| format!("ERR {}: {e}", class(&e)))
-    }
-
-    fn handle_stats(&self) -> String {
-        // Line 2 is the deterministic counter block (byte-identical
-        // across thread counts and restarts of the same request
-        // history); line 3 is the full report including runtime data.
-        let report = self.lifetime.report();
-        format!("OK\n{}\n{}", report.counters_json(), report.to_json())
-    }
-
-    fn handle_health(&self) -> String {
-        format!(
-            "OK {{\"status\":\"ok\",\"rows\":{},\"published\":{},\"pending\":{},\
-             \"clusters\":{},\"batches\":{},\"seq\":{},\"reopts\":{},\"replayed\":{},\
-             \"drift\":{}}}",
-            self.state.num_rows(),
-            self.state.published_rows(),
-            self.state.pending_rows(),
-            self.state.mature_clusters(),
-            self.state.batches_applied(),
-            self.state.next_seq() - 1,
-            self.state.reopt_runs(),
-            self.replayed,
-            match self.state.last_drift() {
-                Some(d) => format!("{d:.6}"),
-                None => "null".to_string(),
-            }
-        )
-    }
-
-    fn handle_reopt(&mut self) -> String {
-        match self.reopt() {
-            Ok(out) => format!(
-                "OK loss_incremental={:.6} loss_scratch={:.6} drift={:+.6} clusters={}",
-                out.loss_incremental, out.loss_scratch, out.drift, out.clusters
-            ),
-            Err(e) => format!("ERR {}: {e}", class(&e)),
         }
     }
 
@@ -465,36 +702,55 @@ impl Daemon {
     /// never to the pre-reopt generalization of the same rows. A failed
     /// reopt rolls its journal record back and burns the seq, exactly
     /// like a permanently failed batch.
-    fn reopt(&mut self) -> KanonResult<state::ReoptOutcome> {
-        let seq = self.state.next_seq();
-        self.journal
-            .append(seq, RecordKind::Reopt, 0, b"")
-            .map_err(|e| io_err(self.journal.path(), &e))?;
+    fn reopt(&self, core: &mut Core) -> KanonResult<state::ReoptOutcome> {
+        let seq = core.state.next_seq();
+        core.journal
+            .append(seq, RecordKind::Reopt, 0, 0.0, b"")
+            .map_err(|e| io_err(core.journal.path(), &e))?;
         let collector = Collector::new();
         let guard = collector.install();
-        let out = self.state.reopt();
+        let out = core.state.reopt();
         drop(guard);
-        self.fold(&collector.report());
+        core.fold(&collector.report());
         match out {
             Ok(outcome) => {
-                debug_assert_eq!(self.state.next_seq(), seq + 1);
+                debug_assert_eq!(core.state.next_seq(), seq + 1);
                 Ok(outcome)
             }
             Err(e) => {
-                let _ = self.journal.append(seq, RecordKind::Rollback, 0, b"");
-                self.state.note_rollback(seq);
+                let _ = core.journal.append(seq, RecordKind::Rollback, 0, 0.0, b"");
+                core.state.note_rollback(seq);
                 Err(e)
             }
         }
     }
 
-    /// Writes a snapshot; `Some(false)` = skipped by the
-    /// `serve/snapshot/write` fault, `None` = I/O error. Both degrade:
-    /// the daemon stays up, recovery just replays a longer journal.
-    fn snapshot(&mut self) -> Option<bool> {
+    /// Writes a snapshot, then compacts the journal down to the records
+    /// the snapshot does not cover. `Some(false)` = skipped by the
+    /// `serve/snapshot/write` fault, `None` = I/O error. All failure
+    /// modes degrade: the daemon stays up, recovery just replays a
+    /// longer journal.
+    fn snapshot(&self, core: &mut Core) -> Option<bool> {
         let path = self.opts.state_dir.join(SNAPSHOT_FILE);
-        match self.state.write_snapshot(&path) {
-            Ok(written) => Some(written),
+        match core.state.write_snapshot(&path) {
+            Ok(true) => {
+                // Every record with seq ≤ covered is now reproduced by
+                // the snapshot; dropping them bounds the journal at
+                // O(batches since last snapshot).
+                let covered = core.state.next_seq() - 1;
+                match core.journal.compact(covered) {
+                    Ok(Some(bytes)) => {
+                        if bytes > 0 {
+                            let _g = core.lifetime.install();
+                            count(Counter::ServeJournalBytesCompacted, bytes);
+                        }
+                    }
+                    Ok(None) => {} // fault-skipped: the covered prefix lingers
+                    Err(e) => eprintln!("kanon serve: journal compaction failed: {e}"),
+                }
+                Some(true)
+            }
+            Ok(false) => Some(false),
             Err(e) => {
                 eprintln!("kanon serve: snapshot write failed: {e}");
                 None
@@ -502,37 +758,28 @@ impl Daemon {
         }
     }
 
-    /// Folds one request's report into the lifetime collector.
-    fn fold(&self, report: &Report) {
-        let _g = self.lifetime.install();
-        for &c in Counter::ALL.iter() {
-            let v = report.counter(c);
-            if v > 0 {
-                count(c, v);
-            }
-        }
-        for &c in RuntimeCounter::ALL.iter() {
-            let v = report.runtime_counter(c);
-            if v > 0 {
-                count_runtime(c, v);
-            }
-        }
-    }
-
-    /// The resident state (read access for tests and the CLI).
-    pub fn state(&self) -> &ServeState {
-        &self.state
+    /// Runs `f` against the resident state (read access for tests and
+    /// the CLI; takes the core lock).
+    pub fn with_state<R>(&self, f: impl FnOnce(&ServeState) -> R) -> R {
+        f(&self.core.lock().unwrap().state)
     }
 
     /// Journal records replayed during startup recovery.
     pub fn replayed(&self) -> u64 {
-        self.replayed
+        self.core.lock().unwrap().replayed
+    }
+
+    /// Version of the currently published read view (monotonic; bumps
+    /// once per committed write request).
+    pub fn published_version(&self) -> u64 {
+        self.published.read().unwrap().version
     }
 }
 
-/// Both `Read` and `Write` (TCP and Unix streams qualify).
-trait Conn: Read + Write {}
-impl<T: Read + Write> Conn for T {}
+/// Both `Read` and `Write`, sendable to a connection thread (TCP and
+/// Unix streams qualify).
+trait Conn: Read + Write + Send {}
+impl<T: Read + Write + Send> Conn for T {}
 
 /// Transient errors are worth retrying: an injected fault's `once:K`
 /// ordinal advances per hit, and a worker panic may be one poisoned
@@ -604,6 +851,7 @@ mod tests {
             policy: RowPolicy::Strict,
             shard_max: 0,
             reopt_every: 0,
+            absorb_epsilon: 0.0,
         }
     }
 
@@ -623,95 +871,6 @@ mod tests {
         }
     }
 
-    fn request(d: &mut Daemon, req: &[u8]) -> String {
-        let (resp, _) = d.handle(parse_request(req).unwrap());
-        resp
-    }
-
-    #[test]
-    fn batch_output_stats_health_round_trip() {
-        let mut d = Daemon::start(base_table(), cfg(), opts("roundtrip")).unwrap();
-        let resp = request(&mut d, b"BATCH\n10,20s\n");
-        assert!(resp.starts_with("OK seq=1 rows_in=1"), "{resp}");
-        let resp = request(&mut d, b"OUTPUT");
-        assert!(resp.starts_with("OK rows="), "{resp}");
-        let resp = request(&mut d, b"STATS");
-        assert!(resp.contains("\"serve_batches_applied\":1"), "{resp}");
-        let resp = request(&mut d, b"HEALTH");
-        assert!(resp.contains("\"status\":\"ok\""), "{resp}");
-        assert!(resp.contains("\"batches\":1"), "{resp}");
-    }
-
-    #[test]
-    fn transient_faults_are_retried_and_succeed() {
-        let mut d = Daemon::start(base_table(), cfg(), opts("retry")).unwrap();
-        let _g = kanon_fault::scoped("serve/batch/apply=once:1");
-        let resp = request(&mut d, b"BATCH\n10,20s\n");
-        assert!(resp.starts_with("OK "), "{resp}");
-        assert!(resp.contains("attempts=2"), "{resp}");
-    }
-
-    #[test]
-    fn exhausted_retries_roll_the_batch_back() {
-        let mut o = opts("rollback");
-        o.retries = 1;
-        let mut d = Daemon::start(base_table(), cfg(), o).unwrap();
-        // Fire on every hit: attempt 1 and its single retry both fail.
-        let _g = kanon_fault::scoped("serve/batch/apply=every:1");
-        let resp = request(&mut d, b"BATCH\n10,20s\n");
-        assert!(resp.starts_with("ERR FaultInjected:"), "{resp}");
-        assert!(resp.contains("attempts=2"), "{resp}");
-        drop(_g);
-        // State untouched; the next batch gets a fresh seq past the
-        // rolled-back one.
-        assert_eq!(d.state().num_rows(), 6);
-        let resp = request(&mut d, b"BATCH\n10,20s\n");
-        assert!(resp.starts_with("OK seq=2 "), "{resp}");
-    }
-
-    #[test]
-    fn deadline_maps_to_budget_and_commits_valid_partial() {
-        let mut d = Daemon::start(base_table(), cfg(), opts("deadline")).unwrap();
-        // An absurdly tight deadline: 1ms at 1 unit/ms.
-        let mut o = d.opts.clone();
-        o.work_rate = 1;
-        d.opts = o;
-        let resp = request(
-            &mut d,
-            b"BATCH deadline_ms=1\n10,60s\n11,70s\n10,70s\n11,60s\n",
-        );
-        // Either the tiny run fits the budget or a valid partial commits;
-        // both are OK responses, never a hard failure.
-        assert!(resp.starts_with("OK "), "{resp}");
-    }
-
-    #[test]
-    fn crash_recovery_reaches_byte_identical_output() {
-        let o = opts("recovery");
-        let mut d = Daemon::start(base_table(), cfg(), o.clone()).unwrap();
-        request(&mut d, b"BATCH\n10,60s\n11,70s\n");
-        request(&mut d, b"BATCH\n10,70s\n11,60s\n");
-        let live_out = request(&mut d, b"OUTPUT");
-        let live_health = request(&mut d, b"HEALTH");
-        drop(d); // "kill": no snapshot (snapshot_every=0), journal only
-
-        let mut r = Daemon::start(base_table(), cfg(), o).unwrap();
-        assert_eq!(r.replayed(), 2);
-        let mut rec_out = request(&mut r, b"OUTPUT");
-        // HEALTH differs only in the replayed count.
-        let rec_health = request(&mut r, b"HEALTH").replace("\"replayed\":2", "\"replayed\":0");
-        assert_eq!(rec_out, live_out);
-        assert_eq!(rec_health, live_health);
-        // And the journal tail keeps replaying over a snapshot too.
-        request(&mut r, b"SNAPSHOT");
-        request(&mut r, b"BATCH\n10,20s\n");
-        rec_out = request(&mut r, b"OUTPUT");
-        drop(r);
-        let mut r2 = Daemon::start(base_table(), cfg(), opts2_keep("recovery")).unwrap();
-        assert_eq!(r2.replayed(), 1); // only the post-snapshot batch
-        assert_eq!(request(&mut r2, b"OUTPUT"), rec_out);
-    }
-
     /// Same state dir as [`opts`] but *without* wiping it.
     fn opts2_keep(tag: &str) -> ServeOptions {
         let dir =
@@ -728,6 +887,253 @@ mod tests {
         }
     }
 
+    fn request(d: &Daemon, req: &[u8]) -> String {
+        let (resp, _) = d.handle(parse_request(req).unwrap());
+        resp
+    }
+
+    fn journal_len(o: &ServeOptions) -> u64 {
+        std::fs::metadata(o.state_dir.join(JOURNAL_FILE))
+            .map(|m| m.len())
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn batch_output_stats_health_round_trip() {
+        let d = Daemon::start(base_table(), cfg(), opts("roundtrip")).unwrap();
+        let resp = request(&d, b"BATCH\n10,20s\n");
+        assert!(resp.starts_with("OK seq=1 rows_in=1"), "{resp}");
+        let resp = request(&d, b"OUTPUT");
+        assert!(resp.starts_with("OK rows="), "{resp}");
+        let resp = request(&d, b"STATS");
+        assert!(resp.contains("\"serve_batches_applied\":1"), "{resp}");
+        let resp = request(&d, b"HEALTH");
+        assert!(resp.contains("\"status\":\"ok\""), "{resp}");
+        assert!(resp.contains("\"batches\":1"), "{resp}");
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_succeed() {
+        let d = Daemon::start(base_table(), cfg(), opts("retry")).unwrap();
+        let _g = kanon_fault::scoped("serve/batch/apply=once:1");
+        let resp = request(&d, b"BATCH\n10,20s\n");
+        assert!(resp.starts_with("OK "), "{resp}");
+        assert!(resp.contains("attempts=2"), "{resp}");
+    }
+
+    #[test]
+    fn exhausted_retries_roll_the_batch_back() {
+        let mut o = opts("rollback");
+        o.retries = 1;
+        let d = Daemon::start(base_table(), cfg(), o).unwrap();
+        // Fire on every hit: attempt 1 and its single retry both fail.
+        let _g = kanon_fault::scoped("serve/batch/apply=every:1");
+        let resp = request(&d, b"BATCH\n10,20s\n");
+        assert!(resp.starts_with("ERR FaultInjected:"), "{resp}");
+        assert!(resp.contains("attempts=2"), "{resp}");
+        drop(_g);
+        // State untouched; the next batch gets a fresh seq past the
+        // rolled-back one.
+        assert_eq!(d.with_state(|s| s.num_rows()), 6);
+        let resp = request(&d, b"BATCH\n10,20s\n");
+        assert!(resp.starts_with("OK seq=2 "), "{resp}");
+    }
+
+    #[test]
+    fn deadline_maps_to_budget_and_commits_valid_partial() {
+        // An absurdly tight deadline: 1ms at 1 unit/ms.
+        let mut o = opts("deadline");
+        o.work_rate = 1;
+        let d = Daemon::start(base_table(), cfg(), o).unwrap();
+        let resp = request(&d, b"BATCH deadline_ms=1\n10,60s\n11,70s\n10,70s\n11,60s\n");
+        // Either the tiny run fits the budget or a valid partial commits;
+        // both are OK responses, never a hard failure.
+        assert!(resp.starts_with("OK "), "{resp}");
+    }
+
+    #[test]
+    fn crash_recovery_reaches_byte_identical_output() {
+        let o = opts("recovery");
+        let d = Daemon::start(base_table(), cfg(), o.clone()).unwrap();
+        request(&d, b"BATCH\n10,60s\n11,70s\n");
+        request(&d, b"BATCH\n10,70s\n11,60s\n");
+        let live_out = request(&d, b"OUTPUT");
+        let live_health = request(&d, b"HEALTH");
+        drop(d); // "kill": no snapshot (snapshot_every=0), journal only
+
+        let r = Daemon::start(base_table(), cfg(), o).unwrap();
+        assert_eq!(r.replayed(), 2);
+        let mut rec_out = request(&r, b"OUTPUT");
+        // HEALTH differs only in the replayed count.
+        let rec_health = request(&r, b"HEALTH").replace("\"replayed\":2", "\"replayed\":0");
+        assert_eq!(rec_out, live_out);
+        assert_eq!(rec_health, live_health);
+        // And the journal tail keeps replaying over a snapshot too.
+        request(&r, b"SNAPSHOT");
+        request(&r, b"BATCH\n10,20s\n");
+        rec_out = request(&r, b"OUTPUT");
+        drop(r);
+        let r2 = Daemon::start(base_table(), cfg(), opts2_keep("recovery")).unwrap();
+        assert_eq!(r2.replayed(), 1); // only the post-snapshot batch
+        assert_eq!(request(&r2, b"OUTPUT"), rec_out);
+    }
+
+    #[test]
+    fn double_crash_with_a_torn_tail_loses_nothing() {
+        // The headline regression: a kill -9 mid-append leaves a torn
+        // record at the journal tail. Recovery must truncate it before
+        // reopening for append — otherwise the next acknowledged batch
+        // lands *behind* the garbage, where the stop-at-first-bad-record
+        // rule hides it from the recovery after a second kill -9.
+        let o = opts("doublecrash");
+        let d = Daemon::start(base_table(), cfg(), o.clone()).unwrap();
+        request(&d, b"BATCH\n10,60s\n11,70s\n");
+        drop(d); // first kill -9 ...
+        let journal_path = o.state_dir.join(JOURNAL_FILE);
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal_path)
+            .unwrap();
+        // ... torn mid-append: a header promising 34 payload bytes with
+        // only 4 on disk, exactly what a power cut mid-write leaves.
+        f.write_all(b"KJ1 2 B 0 34 00000000\ntorn").unwrap();
+        drop(f);
+
+        let r = Daemon::start(base_table(), cfg(), opts2_keep("doublecrash")).unwrap();
+        assert_eq!(r.replayed(), 1);
+        let resp = request(&r, b"BATCH\n10,70s\n11,60s\n");
+        assert!(resp.starts_with("OK seq=2 "), "{resp}");
+        let out = request(&r, b"OUTPUT");
+        drop(r); // second kill -9
+
+        // The batch acknowledged after the first recovery must survive
+        // the second crash byte-identically.
+        let r2 = Daemon::start(base_table(), cfg(), opts2_keep("doublecrash")).unwrap();
+        assert_eq!(
+            r2.replayed(),
+            2,
+            "post-restart append was buried behind the torn tail"
+        );
+        assert_eq!(request(&r2, b"OUTPUT"), out);
+    }
+
+    #[test]
+    fn snapshot_compacts_the_journal_and_recovery_stays_identical() {
+        let o = opts("compactlib");
+        let d = Daemon::start(base_table(), cfg(), o.clone()).unwrap();
+        request(&d, b"BATCH\n10,60s\n11,70s\n");
+        request(&d, b"BATCH\n10,70s\n11,60s\n");
+        let before = journal_len(&o);
+        assert!(before > 0);
+        let resp = request(&d, b"SNAPSHOT");
+        assert!(resp.starts_with("OK snapshot written"), "{resp}");
+        // The snapshot covers every record: the journal compacts to
+        // empty, and the reclaimed bytes land in the lifetime stats.
+        assert_eq!(journal_len(&o), 0, "journal did not shrink after snapshot");
+        let stats = request(&d, b"STATS");
+        assert!(
+            stats.contains(&format!("\"serve_journal_bytes_compacted\":{before}")),
+            "{stats}"
+        );
+        // Post-compaction appends land in the fresh journal and replay.
+        request(&d, b"BATCH\n10,20s\n");
+        assert!(journal_len(&o) > 0);
+        let out = request(&d, b"OUTPUT");
+        drop(d);
+        let r = Daemon::start(base_table(), cfg(), opts2_keep("compactlib")).unwrap();
+        assert_eq!(r.replayed(), 1); // only the post-snapshot batch
+        assert_eq!(request(&r, b"OUTPUT"), out);
+    }
+
+    #[test]
+    fn compaction_fault_degrades_to_a_longer_journal() {
+        let o = opts("compactfault");
+        let d = Daemon::start(base_table(), cfg(), o.clone()).unwrap();
+        request(&d, b"BATCH\n10,60s\n11,70s\n");
+        let before = journal_len(&o);
+        let resp = {
+            let _g = kanon_fault::scoped("serve/journal/compact=every:1");
+            request(&d, b"SNAPSHOT")
+        };
+        // The snapshot itself succeeded; only the compaction was
+        // skipped, so the covered records linger harmlessly.
+        assert!(resp.starts_with("OK snapshot written"), "{resp}");
+        assert_eq!(journal_len(&o), before);
+        drop(d);
+        let r = Daemon::start(base_table(), cfg(), opts2_keep("compactfault")).unwrap();
+        // Recovery restores the snapshot and skips the covered records.
+        assert_eq!(r.replayed(), 0);
+        assert_eq!(r.with_state(|s| s.next_seq()), 2);
+    }
+
+    #[test]
+    fn recovered_stats_report_replay_in_a_separate_block() {
+        let o = opts("recstats");
+        let d = Daemon::start(base_table(), cfg(), o.clone()).unwrap();
+        request(&d, b"BATCH\n10,60s\n11,70s\n");
+        request(&d, b"BATCH\n10,70s\n11,60s\n");
+        let live = request(&d, b"STATS");
+        let live_lines: Vec<String> = live.lines().map(str::to_string).collect();
+        assert_eq!(live_lines.len(), 4, "{live}");
+        // A live daemon has replayed nothing: its recovery block is the
+        // all-zero counter set.
+        assert!(
+            live_lines[3].contains("\"serve_journal_replays\":0"),
+            "{live}"
+        );
+        drop(d);
+
+        let r = Daemon::start(base_table(), cfg(), opts2_keep("recstats")).unwrap();
+        let rec = request(&r, b"STATS");
+        let rec_lines: Vec<String> = rec.lines().map(str::to_string).collect();
+        // The recovered daemon has served nothing yet: its lifetime
+        // block equals the live daemon's (empty) recovery block — no
+        // replay noise leaks into lifetime stats.
+        assert_eq!(rec_lines[1], live_lines[3]);
+        // And its recovery block is the live daemon's lifetime block,
+        // except for the replay count itself: the replayed work is
+        // byte-identical to the original work.
+        let expected =
+            live_lines[1].replace("\"serve_journal_replays\":0", "\"serve_journal_replays\":2");
+        assert_eq!(rec_lines[3], expected);
+    }
+
+    #[test]
+    fn concurrent_reads_observe_only_committed_views() {
+        let d = Daemon::start(base_table(), cfg(), opts("concread")).unwrap();
+        request(&d, b"BATCH\n10,60s\n11,70s\n");
+        let pre = request(&d, b"OUTPUT");
+        let v0 = d.published_version();
+        let observed = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut last = 0u64;
+                    let mut seen = Vec::new();
+                    for _ in 0..100 {
+                        let v = d.published_version();
+                        assert!(v >= last, "published version went backwards");
+                        last = v;
+                        seen.push(request(&d, b"OUTPUT"));
+                    }
+                    observed.lock().unwrap().append(&mut seen);
+                });
+            }
+            s.spawn(|| {
+                request(&d, b"BATCH\n10,70s\n11,60s\n");
+            });
+        });
+        let post = request(&d, b"OUTPUT");
+        assert!(d.published_version() > v0);
+        assert_ne!(pre, post);
+        for out in observed.lock().unwrap().iter() {
+            assert!(
+                *out == pre || *out == post,
+                "reader observed a mid-commit view: {out}"
+            );
+        }
+    }
+
     #[test]
     fn reopt_survives_crash_recovery() {
         // The high-stakes invariant: a reopt rewrites the published
@@ -736,19 +1142,19 @@ mod tests {
         // generalizations of the same rows. The journaled `O` record
         // must carry the reopt through `kill -9`.
         let o = opts("reopt-recovery");
-        let mut d = Daemon::start(base_table(), cfg(), o.clone()).unwrap();
-        request(&mut d, b"BATCH\n10,60s\n11,70s\n");
-        let resp = request(&mut d, b"REOPT");
+        let d = Daemon::start(base_table(), cfg(), o.clone()).unwrap();
+        request(&d, b"BATCH\n10,60s\n11,70s\n");
+        let resp = request(&d, b"REOPT");
         assert!(resp.starts_with("OK loss_incremental="), "{resp}");
-        let live_out = request(&mut d, b"OUTPUT");
-        let live_health = request(&mut d, b"HEALTH");
+        let live_out = request(&d, b"OUTPUT");
+        let live_health = request(&d, b"HEALTH");
         assert!(live_health.contains("\"reopts\":1"), "{live_health}");
         drop(d); // "kill": journal only, no snapshot
 
-        let mut r = Daemon::start(base_table(), cfg(), opts2_keep("reopt-recovery")).unwrap();
+        let r = Daemon::start(base_table(), cfg(), opts2_keep("reopt-recovery")).unwrap();
         assert_eq!(r.replayed(), 2); // the batch and the reopt
-        assert_eq!(request(&mut r, b"OUTPUT"), live_out);
-        let rec_health = request(&mut r, b"HEALTH").replace("\"replayed\":2", "\"replayed\":0");
+        assert_eq!(request(&r, b"OUTPUT"), live_out);
+        let rec_health = request(&r, b"HEALTH").replace("\"replayed\":2", "\"replayed\":0");
         assert_eq!(rec_health, live_health);
     }
 
@@ -759,23 +1165,23 @@ mod tests {
         let mut c = cfg();
         c.shard_max = 2;
         let o = opts("reopt-rollback");
-        let mut d = Daemon::start(base_table(), c.clone(), o).unwrap();
-        request(&mut d, b"BATCH\n10,60s\n11,70s\n"); // seq 1
+        let d = Daemon::start(base_table(), c.clone(), o).unwrap();
+        request(&d, b"BATCH\n10,60s\n11,70s\n"); // seq 1
         let resp = {
             let _g = kanon_fault::scoped("algos/shard/partition=every:1");
-            request(&mut d, b"REOPT")
+            request(&d, b"REOPT")
         };
         assert!(resp.starts_with("ERR FaultInjected:"), "{resp}");
         // The failed reopt journaled seq 2 and rolled it back; the next
         // batch numbers past it.
-        let resp = request(&mut d, b"BATCH\n10,70s\n");
+        let resp = request(&d, b"BATCH\n10,70s\n");
         assert!(resp.starts_with("OK seq=3 "), "{resp}");
-        let live_out = request(&mut d, b"OUTPUT");
+        let live_out = request(&d, b"OUTPUT");
         drop(d);
 
-        let mut r = Daemon::start(base_table(), c, opts2_keep("reopt-rollback")).unwrap();
+        let r = Daemon::start(base_table(), c, opts2_keep("reopt-rollback")).unwrap();
         assert_eq!(r.replayed(), 2); // both batches; the rolled-back reopt is skipped
-        assert_eq!(request(&mut r, b"OUTPUT"), live_out);
+        assert_eq!(request(&r, b"OUTPUT"), live_out);
     }
 
     #[cfg(unix)]
@@ -807,24 +1213,29 @@ mod tests {
         assert_eq!(addr, sock.to_str().unwrap());
     }
 
+    fn wait_for_addr(state_dir: &Path) -> String {
+        let addr_path = state_dir.join(ADDR_FILE);
+        loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_path) {
+                if text.ends_with('\n') {
+                    return text.trim().to_string();
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+
     #[test]
     fn idle_connection_cannot_wedge_the_daemon() {
         let mut o = opts("idle");
         o.idle_timeout_ms = 100;
         let state_dir = o.state_dir.clone();
-        let mut d = Daemon::start(base_table(), cfg(), o).unwrap();
-        let handle = std::thread::spawn(move || d.run());
-        let addr_path = state_dir.join(ADDR_FILE);
-        let addr = loop {
-            if let Ok(text) = std::fs::read_to_string(&addr_path) {
-                if text.ends_with('\n') {
-                    break text.trim().to_string();
-                }
-            }
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        };
+        let d = Arc::new(Daemon::start(base_table(), cfg(), o).unwrap());
+        let d2 = Arc::clone(&d);
+        let handle = std::thread::spawn(move || d2.run());
+        let addr = wait_for_addr(&state_dir);
         // A client that connects and sends nothing is dropped after the
-        // idle timeout instead of blocking everyone else forever.
+        // idle timeout instead of pinning its thread past shutdown.
         let silent = std::net::TcpStream::connect(&addr).unwrap();
         let mut conn = std::net::TcpStream::connect(&addr).unwrap();
         write_frame(&mut conn, b"HEALTH").unwrap();
@@ -839,7 +1250,7 @@ mod tests {
 
     #[test]
     fn usage_errors_do_not_kill_the_connection_loop() {
-        let mut d = Daemon::start(base_table(), cfg(), opts("usage")).unwrap();
+        let d = Daemon::start(base_table(), cfg(), opts("usage")).unwrap();
         let (resp, control) = match parse_request(b"NOPE") {
             Ok(req) => d.handle(req),
             Err(msg) => (format!("ERR Usage: {msg}"), Control::Continue),
@@ -847,31 +1258,61 @@ mod tests {
         assert!(resp.starts_with("ERR Usage:"), "{resp}");
         assert_eq!(control, Control::Continue);
         // Bad rows under Strict: typed Core error, state intact.
-        let resp = request(&mut d, b"BATCH\n99,99\n");
+        let resp = request(&d, b"BATCH\n99,99\n");
         assert!(resp.starts_with("ERR Core:"), "{resp}");
-        assert_eq!(d.state().num_rows(), 6);
+        assert_eq!(d.with_state(|s| s.num_rows()), 6);
     }
 
     #[test]
     fn tcp_listener_serves_frames_end_to_end() {
         let o = opts("tcp");
         let state_dir = o.state_dir.clone();
-        let mut d = Daemon::start(base_table(), cfg(), o).unwrap();
-        let handle = std::thread::spawn(move || d.run());
-        // Wait for the address file.
-        let addr_path = state_dir.join(ADDR_FILE);
-        let addr = loop {
-            if let Ok(text) = std::fs::read_to_string(&addr_path) {
-                if text.ends_with('\n') {
-                    break text.trim().to_string();
-                }
-            }
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        };
+        let d = Arc::new(Daemon::start(base_table(), cfg(), o).unwrap());
+        let d2 = Arc::clone(&d);
+        let handle = std::thread::spawn(move || d2.run());
+        let addr = wait_for_addr(&state_dir);
         let mut conn = std::net::TcpStream::connect(&addr).unwrap();
         write_frame(&mut conn, b"BATCH\n10,20s\n").unwrap();
         let resp = read_frame(&mut conn, 1 << 20).unwrap().unwrap();
         assert!(resp.starts_with(b"OK seq=1"), "{resp:?}");
+        write_frame(&mut conn, b"SHUTDOWN").unwrap();
+        let resp = read_frame(&mut conn, 1 << 20).unwrap().unwrap();
+        assert!(resp.starts_with(b"OK shutting down"), "{resp:?}");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn concurrent_tcp_readers_do_not_block_batches() {
+        // End-to-end over TCP: readers hammer OUTPUT from their own
+        // connections while batches commit; every response is a
+        // complete committed view.
+        let o = opts("tcp-concurrent");
+        let state_dir = o.state_dir.clone();
+        let d = Arc::new(Daemon::start(base_table(), cfg(), o).unwrap());
+        let d2 = Arc::clone(&d);
+        let handle = std::thread::spawn(move || d2.run());
+        let addr = wait_for_addr(&state_dir);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let addr = addr.clone();
+                s.spawn(move || {
+                    let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+                    for _ in 0..20 {
+                        write_frame(&mut conn, b"OUTPUT").unwrap();
+                        let resp = read_frame(&mut conn, 1 << 20).unwrap().unwrap();
+                        assert!(resp.starts_with(b"OK rows="), "{resp:?}");
+                    }
+                });
+            }
+            let addr = addr.clone();
+            s.spawn(move || {
+                let mut conn = std::net::TcpStream::connect(&addr).unwrap();
+                write_frame(&mut conn, b"BATCH\n10,60s\n11,70s\n").unwrap();
+                let resp = read_frame(&mut conn, 1 << 20).unwrap().unwrap();
+                assert!(resp.starts_with(b"OK seq=1"), "{resp:?}");
+            });
+        });
+        let mut conn = std::net::TcpStream::connect(&addr).unwrap();
         write_frame(&mut conn, b"SHUTDOWN").unwrap();
         let resp = read_frame(&mut conn, 1 << 20).unwrap().unwrap();
         assert!(resp.starts_with(b"OK shutting down"), "{resp:?}");

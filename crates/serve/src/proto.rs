@@ -9,9 +9,13 @@
 //! the batch body:
 //!
 //! ```text
-//! BATCH [deadline_ms=N] [retries=N] '\n' <csv rows, no header>
+//! BATCH [deadline_ms=N] [retries=N] [absorb_epsilon=X] '\n' <csv rows, no header>
 //! OUTPUT | STATS | HEALTH | REOPT | SNAPSHOT | SHUTDOWN
 //! ```
+//!
+//! `absorb_epsilon` is a finite non-negative float overriding the
+//! daemon's configured ε-bounded absorption threshold for this batch
+//! (see `state::ServeState::apply_batch`).
 //!
 //! Responses are text frames starting `OK …` or `ERR <class>: <msg>`
 //! (`class` mirrors the [`kanon_core::KanonError`] variant name). The
@@ -22,7 +26,10 @@
 use std::io::{self, Read, Write};
 
 /// A parsed client request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// (No `Eq`: `absorb_epsilon` is a float. It is parsed to be finite,
+/// so `PartialEq` behaves totally on every value this module emits.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Append a micro-batch of rows (CSV, no header) to the table.
     Batch {
@@ -31,6 +38,9 @@ pub enum Request {
         deadline_ms: Option<u64>,
         /// Retry-attempt override for this request.
         retries: Option<u64>,
+        /// Per-request override of the ε-bounded absorption threshold
+        /// (finite, non-negative; `None` = use the daemon's config).
+        absorb_epsilon: Option<f64>,
         /// The CSV body (rows only, no header line).
         body: String,
     },
@@ -106,19 +116,38 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
         "BATCH" => {
             let mut deadline_ms = None;
             let mut retries = None;
+            let mut absorb_epsilon = None;
             for opt in words {
                 let (key, value) = opt
                     .split_once('=')
                     .ok_or_else(|| format!("BATCH option `{opt}` is not `key=value`"))?;
-                let value: u64 = value
-                    .parse()
-                    .map_err(|_| format!("BATCH option `{key}` needs an unsigned integer"))?;
                 match key {
-                    "deadline_ms" => deadline_ms = Some(value),
-                    "retries" => retries = Some(value),
+                    "deadline_ms" | "retries" => {
+                        let value: u64 = value.parse().map_err(|_| {
+                            format!("BATCH option `{key}` needs an unsigned integer")
+                        })?;
+                        if key == "deadline_ms" {
+                            deadline_ms = Some(value);
+                        } else {
+                            retries = Some(value);
+                        }
+                    }
+                    "absorb_epsilon" => {
+                        let value: f64 = value.parse().map_err(|_| {
+                            "BATCH option `absorb_epsilon` needs a number".to_string()
+                        })?;
+                        if !value.is_finite() || value.total_cmp(&0.0).is_lt() {
+                            return Err(format!(
+                                "BATCH option `absorb_epsilon` must be finite and \
+                                 non-negative (got `{value}`)"
+                            ));
+                        }
+                        absorb_epsilon = Some(value);
+                    }
                     other => {
                         return Err(format!(
-                            "unknown BATCH option `{other}` (expected deadline_ms|retries)"
+                            "unknown BATCH option `{other}` \
+                             (expected deadline_ms|retries|absorb_epsilon)"
                         ))
                     }
                 }
@@ -126,6 +155,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, String> {
             Ok(Request::Batch {
                 deadline_ms,
                 retries,
+                absorb_epsilon,
                 body: body.to_string(),
             })
         }
@@ -186,6 +216,7 @@ mod tests {
             Request::Batch {
                 deadline_ms: Some(50),
                 retries: Some(1),
+                absorb_epsilon: None,
                 body: "a,b\nc,d\n".to_string()
             }
         );
@@ -195,9 +226,33 @@ mod tests {
             Request::Batch {
                 deadline_ms: None,
                 retries: None,
+                absorb_epsilon: None,
                 body: String::new()
             }
         );
+        let req = parse_request(b"BATCH absorb_epsilon=0.05\na,b\n").unwrap();
+        assert_eq!(
+            req,
+            Request::Batch {
+                deadline_ms: None,
+                retries: None,
+                absorb_epsilon: Some(0.05),
+                body: "a,b\n".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn bad_epsilons_are_rejected() {
+        for bad in ["abc", "NaN", "inf", "-0.5", "-1"] {
+            let req = format!("BATCH absorb_epsilon={bad}\n");
+            let err = parse_request(req.as_bytes()).unwrap_err();
+            assert!(err.contains("absorb_epsilon"), "{bad}: {err}");
+        }
+        // -0.0 parses, but it orders below +0.0 under total order —
+        // rejecting it keeps a negative-zero bit pattern out of the
+        // journal's ε encoding.
+        assert!(parse_request(b"BATCH absorb_epsilon=-0.0\n").is_err());
     }
 
     #[test]

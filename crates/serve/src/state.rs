@@ -101,6 +101,11 @@ pub struct ServeConfig {
     pub shard_max: usize,
     /// Re-optimize every N applied batches (0 = only on demand).
     pub reopt_every: u64,
+    /// Default ε for the ε-bounded absorption tier (0 = tier off: only
+    /// the exact free-absorption criterion applies). A `BATCH
+    /// absorb_epsilon=X` request overrides it per batch. See
+    /// [`ServeState::apply_batch`] for the criterion.
+    pub absorb_epsilon: f64,
 }
 
 /// One mature (published) cluster.
@@ -125,8 +130,12 @@ pub struct ApplyReport {
     pub rows_suppressed: usize,
     /// Cells generalized to root by the bad-row policy.
     pub cells_rooted: usize,
-    /// Rows absorbed for free into mature clusters.
+    /// Rows absorbed into mature clusters (free + ε-bounded).
     pub absorbed: usize,
+    /// The subset of `absorbed` taken through the ε-bounded tier — the
+    /// join changed the cluster closure (raising its loss contribution
+    /// by less than the batch's ε) instead of leaving it bit-identical.
+    pub absorbed_eps: usize,
     /// Rows published through new clusters this apply.
     pub clustered: usize,
     /// Rows left pending (unpublished) after the apply.
@@ -299,6 +308,12 @@ impl ServeState {
         self.cfg.reopt_every
     }
 
+    /// The configured default ε of the ε-bounded absorption tier
+    /// (0 = exact free absorption only).
+    pub fn absorb_epsilon(&self) -> f64 {
+        self.cfg.absorb_epsilon
+    }
+
     /// Burns `seq` after a permanently failed (rolled-back) batch so it
     /// is never reused — the journal's rollback marker and any future
     /// batch record must carry distinct sequence numbers, or replay
@@ -310,17 +325,49 @@ impl ServeState {
     }
 
     /// Applies one micro-batch of CSV rows (no header) under a relative
-    /// work budget (`0` = unbounded). Staged: on any error the state is
-    /// byte-identical to before the call.
-    pub fn apply_batch(&mut self, body: &str, budget_units: u64) -> KanonResult<ApplyReport> {
+    /// work budget (`0` = unbounded) and an absorption tolerance
+    /// `epsilon`. Staged: on any error the state is byte-identical to
+    /// before the call.
+    ///
+    /// ## The ε-bounded absorption criterion
+    ///
+    /// With `epsilon == 0` the absorption sweep uses the exact free
+    /// criterion: a row joins the *first* mature cluster whose closure
+    /// the join leaves bit-identical. With `epsilon > 0` the sweep
+    /// instead measures, for every mature cluster `C`, how much the
+    /// join would raise that cluster's per-member loss:
+    ///
+    /// ```text
+    /// raise(C, r) = cost(C ∪ {r}) − cost(C)
+    /// ```
+    ///
+    /// A cluster is *admissible* when `raise < ε`, and `r` is absorbed
+    /// into the admissible cluster with the smallest joined cost
+    /// `cost(C ∪ {r})` (ties broken toward the lowest slot;
+    /// [`f64::total_cmp`] throughout). A closure-preserving join
+    /// raises the cluster's loss by exactly zero, so the admissible
+    /// set is a superset of the free tier's for any ε > 0 — the tier
+    /// differs in *placement*: instead of first fit it sends the row
+    /// to the cheapest home that tolerates it, which is what bounds
+    /// drift (under first fit, rows default into the widest clusters
+    /// that happen to contain them). Every verdict is computed against
+    /// the pre-batch state, so the sweep stays deterministic under any
+    /// thread count and replays bit-identically from the journal's
+    /// recorded ε.
+    pub fn apply_batch(
+        &mut self,
+        body: &str,
+        budget_units: u64,
+        epsilon: f64,
+    ) -> KanonResult<ApplyReport> {
         kanon_fault::fail_point!(POINT_BATCH_APPLY);
         let (batch, ingest) =
             table_from_csv_with_policy(&self.schema, body, false, self.cfg.policy)
                 .map_err(KanonError::Core)?;
         let staged = if budget_units > 0 {
-            kanon_obs::with_work_budget(budget_units, || self.stage_batch(&batch))
+            kanon_obs::with_work_budget(budget_units, || self.stage_batch(&batch, epsilon))
         } else {
-            self.stage_batch(&batch)
+            self.stage_batch(&batch, epsilon)
         }?;
         // Commit point: everything below is infallible.
         let rows_in = batch.num_rows();
@@ -330,6 +377,11 @@ impl ServeState {
             let at = m.members.partition_point(|&x| x < *row);
             m.members.insert(at, *row);
         }
+        for (slot, nodes, cost) in staged.widened {
+            let m = &mut self.matures[slot];
+            m.nodes = nodes;
+            m.cost = cost;
+        }
         self.matures.extend(staged.new_matures);
         self.pending = staged.pending;
         self.rebuild_arena();
@@ -338,12 +390,14 @@ impl ServeState {
         count(Counter::ServeBatchesApplied, 1);
         count(Counter::ServeRowsIngested, rows_in as u64);
         count(Counter::ServeRowsAbsorbed, staged.absorbed.len() as u64);
+        count(Counter::ServeRowsAbsorbedEps, staged.absorbed_eps as u64);
         Ok(ApplyReport {
             seq: self.seq,
             rows_in,
             rows_suppressed: ingest.suppressed_rows.len(),
             cells_rooted: ingest.rooted_cells.len(),
             absorbed: staged.absorbed.len(),
+            absorbed_eps: staged.absorbed_eps,
             clustered: staged.clustered,
             pending: self.pending.len(),
             budget_exhausted: staged.budget_exhausted,
@@ -352,7 +406,7 @@ impl ServeState {
 
     /// Computes everything a batch apply will commit, without mutating
     /// `self` (the arena's probe tail is scratch and reset on entry).
-    fn stage_batch(&mut self, batch: &Table) -> KanonResult<StagedApply> {
+    fn stage_batch(&mut self, batch: &Table, epsilon: f64) -> KanonResult<StagedApply> {
         let n0 = self.records.len();
         let mut records = self.records.clone();
         records.extend(batch.rows().iter().cloned());
@@ -372,8 +426,36 @@ impl ServeState {
         }
         let arena = &self.arena;
         let matures = &self.matures;
+        let eps_on = epsilon.to_bits() != 0;
         let decide = |i: usize| -> Option<usize> {
             let row = new_ids[i];
+            if eps_on {
+                // ε tier: a cluster is admissible when the join raises
+                // its per-member loss by less than ε — a closure-
+                // preserving join raises it by exactly zero, so every
+                // free home is admissible under any ε > 0. Among the
+                // admissible homes the row takes the one that publishes
+                // it most cheaply (smallest joined cost, ties toward
+                // the lowest slot), instead of the free tier's first
+                // fit. Verdicts are against the pre-batch matures, so
+                // they are order-independent and parallel-safe.
+                let leaves = ctx.leaf_nodes(row as usize);
+                let mut best: Option<(f64, usize)> = None;
+                for (s, mature) in matures.iter().enumerate() {
+                    let mut joined = mature.nodes.clone();
+                    ctx.join_nodes_into(&mut joined, &leaves);
+                    let joined_cost = ctx.cost(&joined);
+                    let raise = joined_cost - mature.cost;
+                    let improves = match best {
+                        None => true,
+                        Some((b, _)) => joined_cost.total_cmp(&b).is_lt(),
+                    };
+                    if raise.total_cmp(&epsilon).is_lt() && improves {
+                        best = Some((joined_cost, s));
+                    }
+                }
+                return best.map(|(_, s)| s);
+            }
             (0..m_count).find(|&s| {
                 if ctx.arena_join_cost(arena, s, m_count + i).to_bits() != arena.cost(s).to_bits() {
                     return false;
@@ -399,6 +481,37 @@ impl ServeState {
             match verdict {
                 Some(slot) => absorbed.push((*slot, new_ids[i])),
                 None => pending.push(new_ids[i]),
+            }
+        }
+
+        // ε-joins may widen a cluster closure: recompute the nodes and
+        // cost of every touched slot over all its absorbed rows (the
+        // closure of the union — identical to what a snapshot restore
+        // recomputes from the member list). Under ε = 0 closures are
+        // unchanged by construction and this stays empty.
+        let mut widened: Vec<(usize, Vec<NodeId>, f64)> = Vec::new();
+        let mut absorbed_eps = 0usize;
+        if eps_on {
+            let mut by_slot: Vec<(usize, Vec<u32>)> = Vec::new();
+            for &(slot, row) in &absorbed {
+                match by_slot.iter_mut().find(|(s, _)| *s == slot) {
+                    Some((_, rows)) => rows.push(row),
+                    None => by_slot.push((slot, vec![row])),
+                }
+            }
+            for (slot, rows) in by_slot {
+                let mut joined = matures[slot].nodes.clone();
+                for &row in &rows {
+                    let before = joined.clone();
+                    ctx.join_nodes_into(&mut joined, &ctx.leaf_nodes(row as usize));
+                    if joined != before {
+                        absorbed_eps += 1;
+                    }
+                }
+                if joined != matures[slot].nodes {
+                    let cost = ctx.cost(&joined);
+                    widened.push((slot, joined, cost));
+                }
             }
         }
 
@@ -433,6 +546,8 @@ impl ServeState {
         pending.sort_unstable();
         Ok(StagedApply {
             absorbed,
+            absorbed_eps,
+            widened,
             new_matures,
             pending,
             clustered,
@@ -760,8 +875,17 @@ impl ServeState {
     /// wedging startup. A deterministic failure anywhere earlier means
     /// real corruption or non-determinism and still propagates.
     pub fn replay_journal(&mut self, path: &Path) -> KanonResult<u64> {
+        // Repair a crash-torn tail *before* anything reopens the file
+        // for appending (the recovery-rollback arm below does, and the
+        // daemon reopens right after this returns): appending past a
+        // tear would bury it mid-file, where the stop-at-first-bad-
+        // record rule hides every later acknowledged record from the
+        // next recovery.
+        crate::journal::truncate_torn_tail(path)
+            .map_err(|e| KanonError::Usage(format!("cannot repair journal tail: {e}")))?;
         let records = read_journal(path)
             .map_err(|e| KanonError::Usage(format!("cannot read journal: {e}")))?;
+        crate::journal::validate_order(&records).map_err(KanonError::Usage)?;
         let rolled_back: Vec<u64> = records
             .iter()
             .filter(|r| r.kind == RecordKind::Rollback)
@@ -781,6 +905,13 @@ impl ServeState {
                 continue;
             }
             kanon_fault::fail_point!(POINT_JOURNAL_REPLAY);
+            // A gap means burned sequence numbers whose rollback markers
+            // were compacted away with the covered prefix; the journal's
+            // numbering is authoritative, so the replayed apply must
+            // commit under the recorded seq.
+            if rec.seq > self.seq + 1 {
+                self.seq = rec.seq - 1;
+            }
             let outcome = match rec.kind {
                 RecordKind::Batch => {
                     let body = std::str::from_utf8(&rec.payload).map_err(|_| {
@@ -797,7 +928,7 @@ impl ServeState {
                     let mut journal = crate::journal::Journal::open(path)
                         .map_err(|je| KanonError::Usage(format!("cannot open journal: {je}")))?;
                     journal
-                        .append(rec.seq, RecordKind::Rollback, 0, b"")
+                        .append(rec.seq, RecordKind::Rollback, 0, 0.0, b"")
                         .map_err(|je| {
                             KanonError::Usage(format!("cannot roll back journal tail: {je}"))
                         })?;
@@ -812,11 +943,15 @@ impl ServeState {
     fn apply_replayed(&mut self, rec: &JournalRecord, body: &str) -> KanonResult<()> {
         // Each replayed apply runs under its own fresh collector so the
         // recorded relative budget bites at the identical point it did
-        // in the original process.
+        // in the original process; the inner counters are then folded
+        // into whatever collector the caller installed (the daemon's
+        // `recovery` collector), so a recovered daemon can report the
+        // replayed work distinctly from its own lifetime.
         let collector = kanon_obs::Collector::new();
         let guard = collector.install();
-        let applied = self.apply_batch(body, rec.budget);
+        let applied = self.apply_batch(body, rec.budget, rec.epsilon());
         drop(guard);
+        crate::fold_report(&collector.report());
         count(Counter::ServeJournalReplays, 1);
         match applied {
             Ok(report) => {
@@ -835,6 +970,7 @@ impl ServeState {
         let guard = collector.install();
         let out = self.reopt();
         drop(guard);
+        crate::fold_report(&collector.report());
         count(Counter::ServeJournalReplays, 1);
         out.map(|_| {
             debug_assert_eq!(self.seq, rec.seq);
@@ -857,6 +993,12 @@ fn shard_config(cfg: &ServeConfig) -> ShardConfig {
 struct StagedApply {
     /// `(mature slot, global row id)` absorption assignments.
     absorbed: Vec<(usize, u32)>,
+    /// How many absorptions went through the ε tier with a changed
+    /// closure (0 whenever ε = 0).
+    absorbed_eps: usize,
+    /// Post-join closure nodes and cost of every slot an ε-join
+    /// widened (empty whenever ε = 0).
+    widened: Vec<(usize, Vec<NodeId>, f64)>,
     new_matures: Vec<Mature>,
     pending: Vec<u32>,
     clustered: usize,
@@ -897,6 +1039,7 @@ mod tests {
             policy: RowPolicy::Strict,
             shard_max: 0,
             reopt_every: 0,
+            absorb_epsilon: 0.0,
         }
     }
 
@@ -951,7 +1094,7 @@ mod tests {
     #[test]
     fn small_batches_stay_pending_until_k() {
         let mut s = boot();
-        let r = s.apply_batch("10,70s\n", 0).unwrap();
+        let r = s.apply_batch("10,70s\n", 0, 0.0).unwrap();
         // The row either absorbs for free or waits as a pending singleton.
         assert_eq!(r.rows_in, 1);
         assert_eq!(r.absorbed + r.pending, 1);
@@ -962,7 +1105,7 @@ mod tests {
     fn pending_pool_clusters_once_it_reaches_k() {
         let mut s = boot();
         // Rows far from any existing closure (mixed zip branch + age branch).
-        s.apply_batch("10,60s\n11,70s\n10,70s\n11,60s\n", 0)
+        s.apply_batch("10,60s\n11,70s\n10,70s\n11,60s\n", 0, 0.0)
             .unwrap();
         assert_eq!(s.pending_rows() % 2, 0);
         assert_eq!(s.published_rows() + s.pending_rows(), 10);
@@ -975,7 +1118,7 @@ mod tests {
     fn absorption_only_happens_when_closure_is_unchanged() {
         let mut s = boot();
         let before = s.published_csv().unwrap();
-        let r = s.apply_batch("10,20s\n", 0).unwrap();
+        let r = s.apply_batch("10,20s\n", 0, 0.0).unwrap();
         if r.absorbed == 1 {
             // The pre-existing published rows must be untouched: the new
             // output is the old output with exactly one extra line.
@@ -992,13 +1135,13 @@ mod tests {
         let mut s = boot();
         let before = fingerprint(&s);
         // Unknown label -> CoreError under Strict policy.
-        let err = s.apply_batch("99,20s\n", 0).unwrap_err();
+        let err = s.apply_batch("99,20s\n", 0, 0.0).unwrap_err();
         assert!(matches!(err, KanonError::Core(_)));
         assert_eq!(fingerprint(&s), before);
         // An injected fault before staging also leaves no trace.
         let _g = kanon_fault::scoped(&format!("{POINT_BATCH_APPLY}=once:1"));
         let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            s.apply_batch("10,20s\n", 0)
+            s.apply_batch("10,20s\n", 0, 0.0)
         }))
         .unwrap_err();
         let e = kanon_algos::fallible::error_from_panic(err);
@@ -1009,9 +1152,9 @@ mod tests {
     #[test]
     fn snapshot_round_trips_byte_identically() {
         let mut s = boot();
-        s.apply_batch("10,60s\n11,70s\n10,70s\n11,60s\n", 0)
+        s.apply_batch("10,60s\n11,70s\n10,70s\n11,60s\n", 0, 0.0)
             .unwrap();
-        s.apply_batch("10,20s\n", 0).unwrap();
+        s.apply_batch("10,20s\n", 0, 0.0).unwrap();
         let dir = std::env::temp_dir().join(format!("kanon-serve-snap-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("state.snap");
@@ -1048,9 +1191,9 @@ mod tests {
         let mut live = boot();
         let mut j = Journal::open(&jpath).unwrap();
         for b in &batches {
-            j.append(live.next_seq(), RecordKind::Batch, 0, b.as_bytes())
+            j.append(live.next_seq(), RecordKind::Batch, 0, 0.0, b.as_bytes())
                 .unwrap();
-            live.apply_batch(b, 0).unwrap();
+            live.apply_batch(b, 0, 0.0).unwrap();
         }
         drop(j);
 
@@ -1071,12 +1214,12 @@ mod tests {
 
         let mut live = boot();
         let mut j = Journal::open(&jpath).unwrap();
-        j.append(1, RecordKind::Batch, 0, b"10,60s\n11,70s\n")
+        j.append(1, RecordKind::Batch, 0, 0.0, b"10,60s\n11,70s\n")
             .unwrap();
-        live.apply_batch("10,60s\n11,70s\n", 0).unwrap();
+        live.apply_batch("10,60s\n11,70s\n", 0, 0.0).unwrap();
         // Seq 2 was journaled but permanently failed -> rollback marker.
-        j.append(2, RecordKind::Batch, 0, b"10,70s\n").unwrap();
-        j.append(2, RecordKind::Rollback, 0, b"").unwrap();
+        j.append(2, RecordKind::Batch, 0, 0.0, b"10,70s\n").unwrap();
+        j.append(2, RecordKind::Rollback, 0, 0.0, b"").unwrap();
         drop(j);
 
         let mut recovered = boot();
@@ -1100,14 +1243,14 @@ mod tests {
         // Live process: batch, reopt, batch — each journaled first.
         let mut live = boot();
         let mut j = Journal::open(&jpath).unwrap();
-        j.append(1, RecordKind::Batch, 0, b"10,60s\n11,70s\n")
+        j.append(1, RecordKind::Batch, 0, 0.0, b"10,60s\n11,70s\n")
             .unwrap();
-        live.apply_batch("10,60s\n11,70s\n", 0).unwrap();
-        j.append(2, RecordKind::Reopt, 0, b"").unwrap();
+        live.apply_batch("10,60s\n11,70s\n", 0, 0.0).unwrap();
+        j.append(2, RecordKind::Reopt, 0, 0.0, b"").unwrap();
         live.reopt().unwrap();
-        j.append(3, RecordKind::Batch, 0, b"10,20s\n21,60s\n")
+        j.append(3, RecordKind::Batch, 0, 0.0, b"10,20s\n21,60s\n")
             .unwrap();
-        live.apply_batch("10,20s\n21,60s\n", 0).unwrap();
+        live.apply_batch("10,20s\n21,60s\n", 0, 0.0).unwrap();
         drop(j);
 
         let mut recovered = boot();
@@ -1134,10 +1277,10 @@ mod tests {
         // died before appending the rollback marker.
         let mut live = boot();
         let mut j = Journal::open(&jpath).unwrap();
-        j.append(1, RecordKind::Batch, 0, b"10,60s\n11,70s\n")
+        j.append(1, RecordKind::Batch, 0, 0.0, b"10,60s\n11,70s\n")
             .unwrap();
-        live.apply_batch("10,60s\n11,70s\n", 0).unwrap();
-        j.append(2, RecordKind::Batch, 0, b"99,99\n").unwrap();
+        live.apply_batch("10,60s\n11,70s\n", 0, 0.0).unwrap();
+        j.append(2, RecordKind::Batch, 0, 0.0, b"99,99\n").unwrap();
         drop(j);
 
         // Recovery must not wedge: the final record is rolled back (the
@@ -1168,8 +1311,8 @@ mod tests {
         // rolled it back before journaling anything else) — that is
         // corruption, and replay must refuse to guess.
         let mut j = Journal::open(&jpath).unwrap();
-        j.append(1, RecordKind::Batch, 0, b"99,99\n").unwrap();
-        j.append(2, RecordKind::Batch, 0, b"10,60s\n11,70s\n")
+        j.append(1, RecordKind::Batch, 0, 0.0, b"99,99\n").unwrap();
+        j.append(2, RecordKind::Batch, 0, 0.0, b"10,60s\n11,70s\n")
             .unwrap();
         drop(j);
         let err = boot().replay_journal(&jpath).unwrap_err();
@@ -1183,7 +1326,7 @@ mod tests {
             let collector = kanon_obs::Collector::new();
             let _g = collector.install();
             let mut s = boot();
-            s.apply_batch(batch, budget).unwrap();
+            s.apply_batch(batch, budget, 0.0).unwrap();
             fingerprint(&s)
         };
         // A tight budget produces a (possibly partial) result; the same
@@ -1193,10 +1336,149 @@ mod tests {
     }
 
     #[test]
+    fn tiny_epsilon_admits_free_joins_and_refuses_widening() {
+        // "11,30s" absorbs for free: its leaves sit inside an existing
+        // closure, so the join raises that cluster's loss by exactly
+        // zero — admissible under every ε > 0. The tier is a superset
+        // of free absorption, not a restriction of it.
+        let mut s = boot();
+        let r = s.apply_batch("11,30s\n", 0, 1e-12).unwrap();
+        assert_eq!(r.absorbed, 1);
+        assert_eq!(r.absorbed_eps, 0, "a free join must not count as an ε-join");
+
+        // A row outside every closure can only enter by widening some
+        // cluster, and any real widening raises that cluster's loss by
+        // far more than 1e-12 — so under a tiny ε it pends, exactly as
+        // the free tier would have it.
+        let (table, _) = table_from_csv_with_policy(
+            &schema(),
+            "10,20s\n10,30s\n20,60s\n21,70s\n",
+            false,
+            RowPolicy::Strict,
+        )
+        .unwrap();
+        let mut s = ServeState::bootstrap(table, cfg()).unwrap();
+        let r = s.apply_batch("10,60s\n", 0, 1e-12).unwrap();
+        assert_eq!(r.absorbed, 0);
+        assert_eq!(r.pending, 1);
+    }
+
+    #[test]
+    fn large_epsilon_widens_a_cluster_and_stays_consistent() {
+        // A 4-row base whose two bootstrap clusters are both tight (no
+        // fully-generalized cluster whose closure covers everything), so
+        // "10,60s" cannot free-absorb — but a huge ε lets the cheapest
+        // cluster widen around it.
+        let (table, _) = table_from_csv_with_policy(
+            &schema(),
+            "10,20s\n10,30s\n20,60s\n21,70s\n",
+            false,
+            RowPolicy::Strict,
+        )
+        .unwrap();
+        let mut s = ServeState::bootstrap(table, cfg()).unwrap();
+        let before_clusters = s.mature_clusters();
+        let free = s.apply_batch("10,60s\n", 0, 0.0).unwrap();
+        assert_eq!(free.absorbed, 0, "premise: the row must not free-absorb");
+        assert_eq!(free.pending, 1);
+
+        let (table, _) = table_from_csv_with_policy(
+            &schema(),
+            "10,20s\n10,30s\n20,60s\n21,70s\n",
+            false,
+            RowPolicy::Strict,
+        )
+        .unwrap();
+        let mut s = ServeState::bootstrap(table, cfg()).unwrap();
+        let r = s.apply_batch("10,60s\n", 0, 1e9).unwrap();
+        assert_eq!(r.absorbed, 1);
+        assert_eq!(r.absorbed_eps, 1);
+        assert_eq!(s.mature_clusters(), before_clusters);
+        assert_eq!(s.pending_rows(), 0);
+        // The widened closure must equal the closure a snapshot restore
+        // recomputes from the member list — snapshot round-trip is the
+        // sharpest check of that invariant.
+        let dir = std::env::temp_dir().join(format!("kanon-serve-epssnap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.snap");
+        assert!(s.write_snapshot(&path).unwrap());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let restored = ServeState::restore_snapshot(&text, cfg(), schema()).unwrap();
+        assert_eq!(fingerprint(&restored), fingerprint(&s));
+    }
+
+    #[test]
+    fn eps_batches_replay_byte_identically_from_the_journal() {
+        use crate::journal::{Journal, RecordKind};
+        let dir =
+            std::env::temp_dir().join(format!("kanon-serve-epsreplay-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("journal.log");
+
+        // Mixed history: an ε batch between two exact ones, journaled
+        // with its effective ε so replay re-runs the same criterion.
+        let mut live = boot();
+        let mut j = Journal::open(&jpath).unwrap();
+        j.append(1, RecordKind::Batch, 0, 0.0, b"10,60s\n11,70s\n")
+            .unwrap();
+        live.apply_batch("10,60s\n11,70s\n", 0, 0.0).unwrap();
+        j.append(2, RecordKind::Batch, 0, 0.75, b"10,70s\n11,30s\n")
+            .unwrap();
+        live.apply_batch("10,70s\n11,30s\n", 0, 0.75).unwrap();
+        j.append(3, RecordKind::Batch, 0, 0.0, b"10,20s\n").unwrap();
+        live.apply_batch("10,20s\n", 0, 0.0).unwrap();
+        drop(j);
+
+        let mut recovered = boot();
+        assert_eq!(recovered.replay_journal(&jpath).unwrap(), 3);
+        assert_eq!(fingerprint(&recovered), fingerprint(&live));
+    }
+
+    #[test]
+    fn replay_rejects_out_of_order_journals() {
+        use crate::journal::{Journal, RecordKind};
+        for (name, seqs) in [("dup", [1u64, 1]), ("decreasing", [2, 1])] {
+            let dir = std::env::temp_dir().join(format!(
+                "kanon-serve-seqcheck-{name}-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let jpath = dir.join("journal.log");
+            let mut j = Journal::open(&jpath).unwrap();
+            j.append(seqs[0], RecordKind::Batch, 0, 0.0, b"10,20s\n")
+                .unwrap();
+            j.append(seqs[1], RecordKind::Batch, 0, 0.0, b"10,30s\n")
+                .unwrap();
+            drop(j);
+            let err = boot().replay_journal(&jpath).unwrap_err();
+            match err {
+                KanonError::Usage(msg) => {
+                    assert!(msg.contains("does not advance"), "{name}: {msg}")
+                }
+                other => panic!("{name}: wrong error {other:?}"),
+            }
+        }
+        // Gaps stay fine: burned sequence numbers are normal.
+        let dir = std::env::temp_dir().join(format!("kanon-serve-seqgap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let jpath = dir.join("journal.log");
+        let mut j = Journal::open(&jpath).unwrap();
+        j.append(1, RecordKind::Batch, 0, 0.0, b"10,20s\n").unwrap();
+        j.append(5, RecordKind::Batch, 0, 0.0, b"10,30s\n").unwrap();
+        drop(j);
+        let mut s = boot();
+        assert_eq!(s.replay_journal(&jpath).unwrap(), 2);
+        assert_eq!(s.next_seq(), 6);
+    }
+
+    #[test]
     fn reopt_measures_drift_and_publishes_everything() {
         let mut s = boot();
-        s.apply_batch("10,60s\n", 0).unwrap();
-        s.apply_batch("11,70s\n", 0).unwrap();
+        s.apply_batch("10,60s\n", 0, 0.0).unwrap();
+        s.apply_batch("11,70s\n", 0, 0.0).unwrap();
         let out = s.reopt().unwrap();
         assert_eq!(s.pending_rows(), 0);
         assert_eq!(s.published_rows(), 8);
@@ -1220,5 +1502,158 @@ mod tests {
         // Second attempt (fault exhausted) succeeds.
         assert!(s.write_snapshot(&path).unwrap());
         assert!(path.exists());
+    }
+
+    mod compaction_equivalence {
+        use super::*;
+        use crate::journal::{Journal, RecordKind};
+        use proptest::prelude::*;
+        use std::path::PathBuf;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        /// A minimal daemon stand-in driving the exact WAL discipline of
+        /// `kanon_serve::Daemon` — journal (fsync) before apply, `R`
+        /// markers on failure, recovery via snapshot restore + replay —
+        /// with snapshot+compaction either on (every 2 applied batches)
+        /// or off (journal-only recovery).
+        struct Rig {
+            dir: PathBuf,
+            snapshotting: bool,
+            state: ServeState,
+            journal: Journal,
+        }
+
+        impl Rig {
+            fn open(dir: PathBuf, snapshotting: bool) -> Rig {
+                std::fs::create_dir_all(&dir).unwrap();
+                let snap = dir.join("state.snap");
+                let jpath = dir.join("journal.log");
+                let mut state = if snap.exists() {
+                    let text = std::fs::read_to_string(&snap).unwrap();
+                    ServeState::restore_snapshot(&text, cfg(), schema()).unwrap()
+                } else {
+                    let (table, _) =
+                        table_from_csv_with_policy(&schema(), base_csv(), false, RowPolicy::Strict)
+                            .unwrap();
+                    ServeState::bootstrap(table, cfg()).unwrap()
+                };
+                state.replay_journal(&jpath).unwrap();
+                let journal = Journal::open(&jpath).unwrap();
+                Rig {
+                    dir,
+                    snapshotting,
+                    state,
+                    journal,
+                }
+            }
+
+            fn batch(&mut self, body: &str, eps: f64) {
+                let seq = self.state.next_seq();
+                self.journal
+                    .append(seq, RecordKind::Batch, 0, eps, body.as_bytes())
+                    .unwrap();
+                match self.state.apply_batch(body, 0, eps) {
+                    Ok(_) => self.maybe_snapshot(),
+                    Err(_) => {
+                        self.journal
+                            .append(seq, RecordKind::Rollback, 0, 0.0, b"")
+                            .unwrap();
+                        self.state.note_rollback(seq);
+                    }
+                }
+            }
+
+            fn reopt(&mut self) {
+                let seq = self.state.next_seq();
+                self.journal
+                    .append(seq, RecordKind::Reopt, 0, 0.0, b"")
+                    .unwrap();
+                if self.state.reopt().is_err() {
+                    self.journal
+                        .append(seq, RecordKind::Rollback, 0, 0.0, b"")
+                        .unwrap();
+                    self.state.note_rollback(seq);
+                }
+            }
+
+            fn maybe_snapshot(&mut self) {
+                // `u64::is_multiple_of` needs Rust 1.87; MSRV is 1.75.
+                #[allow(clippy::manual_is_multiple_of)]
+                if self.snapshotting
+                    && self.state.batches_applied() % 2 == 0
+                    && self
+                        .state
+                        .write_snapshot(&self.dir.join("state.snap"))
+                        .unwrap()
+                {
+                    self.journal.compact(self.state.next_seq() - 1).unwrap();
+                }
+            }
+
+            /// `kill -9` and restart; `torn` leaves a half-written record
+            /// at the journal tail, as a crash mid-append would.
+            fn crash(self, torn: bool) -> Rig {
+                let Rig {
+                    dir, snapshotting, ..
+                } = self;
+                if torn {
+                    let mut f = std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(dir.join("journal.log"))
+                        .unwrap();
+                    std::io::Write::write_all(&mut f, b"KJ1 999 B 0 50 00000000\nxx").unwrap();
+                }
+                Rig::open(dir, snapshotting)
+            }
+        }
+
+        fn fresh_dir(tag: &str) -> PathBuf {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            let dir = std::env::temp_dir()
+                .join(format!("kanon-serve-prop-{tag}-{}-{n}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// For any interleaving of plain/ε batches, reopts,
+            /// rollbacks and (torn) crashes, recovery from snapshot +
+            /// compacted journal is byte-identical to recovery from the
+            /// full journal.
+            #[test]
+            fn compacted_recovery_equals_full_journal_recovery(
+                ops in proptest::collection::vec(0u8..7, 0..12)
+            ) {
+                let mut a = Rig::open(fresh_dir("a"), true);
+                let mut b = Rig::open(fresh_dir("b"), false);
+                for op in ops {
+                    match op {
+                        0 => { a.batch("10,60s\n11,70s\n", 0.0); b.batch("10,60s\n11,70s\n", 0.0); }
+                        1 => { a.batch("10,70s\n", 0.0); b.batch("10,70s\n", 0.0); }
+                        2 => { a.batch("11,30s\n20,60s\n", 0.75); b.batch("11,30s\n20,60s\n", 0.75); }
+                        3 => { a.batch("99,99\n", 0.0); b.batch("99,99\n", 0.0); } // rolls back
+                        4 => { a.reopt(); b.reopt(); }
+                        5 => { a = a.crash(false); b = b.crash(false); }
+                        _ => { a = a.crash(true); b = b.crash(true); }
+                    }
+                    prop_assert_eq!(fingerprint(&a.state), fingerprint(&b.state));
+                }
+                // Final kill -9 on both: the recovered twins must match
+                // bit for bit, and the compacting rig's journal must not
+                // exceed the full one.
+                let ja = std::fs::metadata(a.dir.join("journal.log")).map(|m| m.len()).unwrap_or(0);
+                let jb = std::fs::metadata(b.dir.join("journal.log")).map(|m| m.len()).unwrap_or(0);
+                prop_assert!(ja <= jb, "compacted journal larger than full: {} > {}", ja, jb);
+                let a = a.crash(false);
+                let b = b.crash(false);
+                prop_assert_eq!(fingerprint(&a.state), fingerprint(&b.state));
+                let _ = std::fs::remove_dir_all(&a.dir);
+                let _ = std::fs::remove_dir_all(&b.dir);
+            }
+        }
     }
 }

@@ -57,10 +57,11 @@ fn daemon_addr() -> &'static str {
             policy: RowPolicy::SuppressRow,
             shard_max: 0,
             reopt_every: 0,
+            absorb_epsilon: 0.0,
         };
         let mut opts = ServeOptions::new(dir.clone());
         opts.max_frame = 1 << 16;
-        let mut daemon = Daemon::start(base, cfg, opts).unwrap();
+        let daemon = Daemon::start(base, cfg, opts).unwrap();
         std::thread::spawn(move || daemon.run());
         let addr_path = dir.join(ADDR_FILE);
         loop {
@@ -82,7 +83,7 @@ fn random_bytes(seed: u64, max_len: usize) -> Vec<u8> {
     if seed % 3 == 0 {
         // Protocol-shaped text garbage: more likely to reach deep paths.
         const PALETTE: &[u8] =
-            b"BATCH OUTPUT STATS HEALTH REOPT SNAPSHOT SHUTDOWN deadline_ms=retries=\n,0129ab\xff";
+            b"BATCH OUTPUT STATS HEALTH REOPT SNAPSHOT SHUTDOWN deadline_ms=retries=absorb_epsilon=.05-\n,0129ab\xff";
         (0..len)
             .map(|_| PALETTE[rng.gen_range(0..PALETTE.len())])
             .collect()

@@ -118,6 +118,35 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any(std::marker::PhantomData)
 }
 
+/// Strategies over collections (the `vec` subset this workspace uses),
+/// mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy yielding `Vec<S::Value>` with a length drawn from a
+    /// range (see [`vec`](fn@vec)).
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, len_range)`: vectors of independent `element`
+    /// draws whose length is drawn uniformly from `len_range`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.gen_range(self.len.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 /// The commonly-glob-imported names, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
